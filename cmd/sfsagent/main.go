@@ -1,0 +1,146 @@
+// Command sfsagent inspects and exercises an SFS user agent offline
+// (paper §2.3, §2.5.1). The agent proper runs inside sfscd in this
+// reproduction; this tool performs the agent's standalone key
+// operations so they can be scripted:
+//
+//	sfsagent sign   -k key.sfs -location HOST -hostid ID -session HEX -seq N
+//	sfsagent verify -msg HEX -location HOST -hostid ID -session HEX -seq N
+//	sfsagent revcheck -cert FILE -location HOST -hostid ID
+//
+// "sign" emits the opaque authentication message an agent would hand
+// the client for one session; "verify" replays the authserver's check;
+// "revcheck" validates a revocation certificate against a pathname.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/keyfile"
+	"repro/internal/sfsrpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "sign":
+		cmdSign(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "revcheck":
+		cmdRevCheck(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sfsagent sign|verify|revcheck [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfsagent:", err)
+	os.Exit(1)
+}
+
+func parseSession(fs *flag.FlagSet) (string, core.HostID, [20]byte, uint) {
+	location := fs.Lookup("location").Value.String()
+	hostidStr := fs.Lookup("hostid").Value.String()
+	sessionHex := fs.Lookup("session").Value.String()
+	seqStr := fs.Lookup("seq").Value.(flag.Getter).Get().(uint)
+	id, err := core.ParseHostID(hostidStr)
+	if err != nil {
+		die(err)
+	}
+	var sid [20]byte
+	raw, err := hex.DecodeString(sessionHex)
+	if err != nil || len(raw) != 20 {
+		die(fmt.Errorf("-session must be 40 hex characters"))
+	}
+	copy(sid[:], raw)
+	return location, id, sid, seqStr
+}
+
+func sessionFlags(fs *flag.FlagSet) {
+	fs.String("location", "", "server location")
+	fs.String("hostid", "", "server HostID (base 32)")
+	fs.String("session", "", "SessionID (hex)")
+	fs.Uint("seq", 1, "sequence number")
+}
+
+func cmdSign(args []string) {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	kf := fs.String("k", "key.sfs", "user key file")
+	sessionFlags(fs)
+	fs.Parse(args) //nolint:errcheck
+	location, id, sid, seq := parseSession(fs)
+	key, err := keyfile.Load(*kf)
+	if err != nil {
+		die(err)
+	}
+	ai := sfsrpc.NewAuthInfo(location, id, sid)
+	req := sfsrpc.SignedAuthReq{Tag: "SignedAuthReq", AuthID: ai.AuthID(), SeqNo: uint32(seq)}
+	sig, err := key.Sign(prng.New(), req.Digest())
+	if err != nil {
+		die(err)
+	}
+	msg := sfsrpc.AuthMsg{UserKey: key.PublicKey.Bytes(), Req: req, Sig: *sig}
+	fmt.Println(hex.EncodeToString(msg.Marshal()))
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	msgHex := fs.String("msg", "", "authentication message (hex)")
+	sessionFlags(fs)
+	fs.Parse(args) //nolint:errcheck
+	location, id, sid, seq := parseSession(fs)
+	raw, err := hex.DecodeString(*msgHex)
+	if err != nil {
+		die(err)
+	}
+	msg, err := sfsrpc.ParseAuthMsg(raw)
+	if err != nil {
+		die(err)
+	}
+	ai := sfsrpc.NewAuthInfo(location, id, sid)
+	if _, err := msg.Verify(ai, uint32(seq)); err != nil {
+		die(fmt.Errorf("verification failed: %w", err))
+	}
+	fmt.Println("OK")
+}
+
+func cmdRevCheck(args []string) {
+	fs := flag.NewFlagSet("revcheck", flag.ExitOnError)
+	certFile := fs.String("cert", "", "revocation certificate file")
+	location := fs.String("location", "", "server location")
+	hostid := fs.String("hostid", "", "server HostID (base 32)")
+	fs.Parse(args) //nolint:errcheck
+	data, err := os.ReadFile(*certFile)
+	if err != nil {
+		die(err)
+	}
+	cert, id, err := core.ParsePathRevoke(data)
+	if err != nil {
+		die(fmt.Errorf("certificate invalid: %w", err))
+	}
+	want, err := core.ParseHostID(*hostid)
+	if err != nil {
+		die(err)
+	}
+	if id != want || cert.Location != *location {
+		die(fmt.Errorf("certificate is for %s:%s, not the given pathname", cert.Location, id))
+	}
+	if cert.IsRevocation() {
+		fmt.Println("REVOKED")
+	} else {
+		target, _ := cert.ForwardTarget()
+		fmt.Printf("FORWARDED to %s\n", target.String())
+	}
+}

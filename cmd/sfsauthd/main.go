@@ -1,0 +1,151 @@
+// Command sfsauthd administers SFS authserver databases (paper §2.5):
+// it creates user databases, registers users with passwords and keys,
+// and exports the public half for other servers to import read-only.
+//
+// Subcommands:
+//
+//	sfsauthd init    -db users.db
+//	sfsauthd adduser -db users.db -selfpath PATH -user U -uid N \
+//	                 [-password PW] [-keyfile key.sfs]
+//	sfsauthd list    -db users.db
+//	sfsauthd export  -db users.db -o public.db
+//
+// The exported public database contains public keys and credentials
+// but nothing with which an attacker could verify a guessed password;
+// it is safe to serve to the world over SFS itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/authserv"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/keyfile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		cmdInit(os.Args[2:])
+	case "adduser":
+		cmdAddUser(os.Args[2:])
+	case "list":
+		cmdList(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sfsauthd init|adduser|list|export [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfsauthd:", err)
+	os.Exit(1)
+}
+
+func loadDB(path string) *authserv.DB {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	db, err := authserv.ImportFull(data)
+	if err != nil {
+		die(err)
+	}
+	return db
+}
+
+func saveDB(path string, db *authserv.DB) {
+	if err := os.WriteFile(path, db.ExportFull(), 0o600); err != nil {
+		die(err)
+	}
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dbPath := fs.String("db", "users.db", "database file")
+	fs.Parse(args) //nolint:errcheck
+	saveDB(*dbPath, authserv.NewDB("local", true))
+	fmt.Printf("initialized %s\n", *dbPath)
+}
+
+func cmdAddUser(args []string) {
+	fs := flag.NewFlagSet("adduser", flag.ExitOnError)
+	dbPath := fs.String("db", "users.db", "database file")
+	selfPath := fs.String("selfpath", "", "the file server's self-certifying pathname")
+	user := fs.String("user", "", "user name")
+	uid := fs.Uint("uid", 0, "numeric user id")
+	password := fs.String("password", "", "optional password for SRP registration")
+	kf := fs.String("keyfile", "", "user key (generated if missing)")
+	fs.Parse(args) //nolint:errcheck
+	if *user == "" {
+		die(fmt.Errorf("-user is required"))
+	}
+	db := loadDB(*dbPath)
+	rng := prng.New()
+	var key *rabin.PrivateKey
+	var err error
+	if *kf != "" {
+		if _, statErr := os.Stat(*kf); statErr == nil {
+			key, err = keyfile.Load(*kf)
+		} else {
+			key, err = rabin.GenerateKey(rng, 1024)
+			if err == nil {
+				err = keyfile.Save(*kf, key)
+			}
+		}
+	} else {
+		key, err = rabin.GenerateKey(rng, 1024)
+	}
+	if err != nil {
+		die(err)
+	}
+	srv := authserv.New(*selfPath, rng)
+	srv.AddDB(db)
+	if err := srv.Register(db, *user, uint32(*uid), []uint32{uint32(*uid)}, authserv.RegisterOptions{
+		Password:   *password,
+		PrivateKey: key,
+	}); err != nil {
+		die(err)
+	}
+	saveDB(*dbPath, db)
+	fmt.Printf("registered %s (uid %d)\n", *user, *uid)
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	dbPath := fs.String("db", "users.db", "database file")
+	fs.Parse(args) //nolint:errcheck
+	db := loadDB(*dbPath)
+	for _, name := range db.Names() {
+		rec, _ := db.ByName(name)
+		srp := " "
+		if len(rec.SRPVerifier) > 0 {
+			srp = "+srp"
+		}
+		fmt.Printf("%-20s uid=%-6d %s\n", rec.User, rec.UID, srp)
+	}
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dbPath := fs.String("db", "users.db", "database file")
+	out := fs.String("o", "public.db", "output file for the public half")
+	fs.Parse(args) //nolint:errcheck
+	db := loadDB(*dbPath)
+	if err := os.WriteFile(*out, db.ExportPublic(), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("exported public half to %s\n", *out)
+}

@@ -1,0 +1,49 @@
+// Command sfsbench regenerates the tables and figures of the paper's
+// evaluation section (§4). Each figure builds the stacks it compares
+// — the local substrate, NFS 3 over UDP and TCP, and SFS with its
+// ablation knobs — on loopback TCP with the calibrated hardware model
+// of internal/netsim, runs the paper's workload, and prints measured
+// values next to the paper's where the paper states numbers.
+//
+// Usage:
+//
+//	sfsbench [-quick] [-fig 5|6|7|8|9|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, or all")
+	flag.Parse()
+
+	opts := bench.Options{Quick: *quick, Out: os.Stdout}
+	runners := map[string]func(bench.Options) (*bench.Figure, error){
+		"5": bench.Fig5,
+		"6": bench.Fig6,
+		"7": bench.Fig7,
+		"8": bench.Fig8,
+		"9": bench.Fig9,
+	}
+	var order []string
+	if *fig == "all" {
+		order = []string{"5", "6", "7", "8", "9"}
+	} else if _, ok := runners[*fig]; ok {
+		order = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9 or all)\n", *fig)
+		os.Exit(2)
+	}
+	for _, id := range order {
+		if _, err := runners[id](opts); err != nil {
+			fmt.Fprintf(os.Stderr, "sfsbench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

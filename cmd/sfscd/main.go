@@ -1,0 +1,223 @@
+// Command sfscd is the SFS client daemon (paper §2.3, §3.3) packaged
+// as an interactive shell: where the paper's sfscd answers kernel NFS
+// RPCs for /sfs, this reproduction exposes the same client — secure
+// channels, HostID verification, automounting, agents, certification
+// paths — through a small command interpreter.
+//
+// Usage:
+//
+//	sfscd -server HOST=ADDR[,HOST=ADDR...] [-user NAME] [-keyfile key.sfs] \
+//	      [-link NAME=TARGET]... [-certpath DIR]...
+//
+// Commands on stdin:
+//
+//	ls PATH         list a directory under /sfs
+//	ll PATH         long listing with sizes and "%user" owner names
+//	cat PATH        print a file
+//	put PATH TEXT   write a file
+//	rm PATH         remove a file
+//	mkdir PATH      create a directory
+//	ln NAME TARGET  create an agent symlink in /sfs
+//	pwd PATH        print the self-certifying pathname of PATH's server
+//	bookmark NAME PATH   record a secure bookmark for PATH's server
+//	bookmarks       list secure bookmarks
+//	block HOSTID    block a HostID in this agent (no other user affected)
+//	sfs             list this user's view of /sfs
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/keyfile"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	servers := flag.String("server", "", "comma-separated HOST=ADDR map for dialing locations")
+	user := flag.String("user", "user", "local user name")
+	kf := flag.String("keyfile", "", "user private key for authentication")
+	var links, certpaths listFlag
+	flag.Var(&links, "link", "agent symlink NAME=TARGET (repeatable)")
+	flag.Var(&certpaths, "certpath", "certification path directory (repeatable)")
+	flag.Parse()
+
+	addrs := map[string]string{}
+	if *servers != "" {
+		for _, kv := range strings.Split(*servers, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				die(fmt.Errorf("bad -server entry %q", kv))
+			}
+			addrs[parts[0]] = parts[1]
+		}
+	}
+	cl, err := client.New(client.Config{
+		Dial: func(location string) (net.Conn, error) {
+			addr, ok := addrs[location]
+			if !ok {
+				addr = location // fall back to dialing the location itself
+			}
+			return net.Dial("tcp", addr)
+		},
+		RNG:             prng.New(),
+		EnhancedCaching: true,
+	})
+	if err != nil {
+		die(err)
+	}
+	a := agent.New(*user, prng.New())
+	if *kf != "" {
+		key, err := keyfile.Load(*kf)
+		if err != nil {
+			die(err)
+		}
+		a.AddKey(key)
+	}
+	for _, l := range links {
+		parts := strings.SplitN(l, "=", 2)
+		if len(parts) != 2 {
+			die(fmt.Errorf("bad -link %q", l))
+		}
+		a.Symlink(parts[0], parts[1])
+	}
+	if len(certpaths) > 0 {
+		a.SetCertPaths(certpaths)
+	}
+	cl.RegisterAgent(*user, a)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("sfs> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := run(cl, a, *user, line); quit {
+				return
+			}
+		}
+		fmt.Print("sfs> ")
+	}
+}
+
+func run(cl *client.Client, a *agent.Agent, user, line string) bool {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	arg := func(i int) string {
+		if i < len(fields) {
+			return fields[i]
+		}
+		return ""
+	}
+	switch cmd {
+	case "quit", "exit":
+		return true
+	case "ls":
+		ents, err := cl.ReadDir(user, arg(1))
+		if err != nil {
+			warn(err)
+			return false
+		}
+		for _, e := range ents {
+			fmt.Println(e.Name)
+		}
+	case "ll":
+		dir := strings.TrimSuffix(arg(1), "/")
+		ents, err := cl.ReadDir(user, dir)
+		if err != nil {
+			warn(err)
+			return false
+		}
+		for _, e := range ents {
+			attr, err := cl.Lstat(user, dir+"/"+e.Name)
+			if err != nil {
+				warn(err)
+				continue
+			}
+			owner, err := cl.UserName(user, dir, attr.UID)
+			if err != nil {
+				owner = fmt.Sprintf("%d", attr.UID)
+			}
+			fmt.Printf("%04o %-12s %8d %s\n", attr.Mode, owner, attr.Size, e.Name)
+		}
+	case "rm":
+		if err := cl.Remove(user, arg(1)); err != nil {
+			warn(err)
+		}
+	case "mkdir":
+		if err := cl.Mkdir(user, arg(1), 0o755); err != nil {
+			warn(err)
+		}
+	case "cat":
+		data, err := cl.ReadFile(user, arg(1))
+		if err != nil {
+			warn(err)
+			return false
+		}
+		os.Stdout.Write(data) //nolint:errcheck
+		fmt.Println()
+	case "put":
+		if err := cl.WriteFile(user, arg(1), []byte(strings.Join(fields[2:], " "))); err != nil {
+			warn(err)
+		}
+	case "ln":
+		a.Symlink(arg(1), arg(2))
+	case "pwd":
+		p, err := cl.SelfPath(user, arg(1))
+		if err != nil {
+			warn(err)
+			return false
+		}
+		fmt.Println(p)
+	case "bookmark":
+		p, err := cl.SelfPath(user, arg(2))
+		if err != nil {
+			warn(err)
+			return false
+		}
+		parsed, err := core.Parse(p)
+		if err != nil {
+			warn(err)
+			return false
+		}
+		a.Bookmark(arg(1), parsed)
+		a.Symlink(arg(1), p)
+	case "bookmarks":
+		for name, p := range a.Bookmarks() {
+			fmt.Printf("%-16s %s\n", name, p)
+		}
+	case "block":
+		id, err := core.ParseHostID(arg(1))
+		if err != nil {
+			warn(err)
+			return false
+		}
+		a.Block(id)
+	case "sfs":
+		for _, name := range cl.ListSFS(user) {
+			fmt.Println(name)
+		}
+	default:
+		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs quit")
+	}
+	return false
+}
+
+func warn(err error) { fmt.Fprintln(os.Stderr, "sfscd:", err) }
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfscd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command sfskey manages SFS keys, as the paper's sfskey does (§2.4):
+// it generates key pairs, prints the self-certifying pathname a key
+// yields for a location, and — the headline feature — securely
+// downloads a server's self-certifying pathname and the user's own
+// encrypted private key given nothing but a password, via SRP.
+//
+// Subcommands:
+//
+//	sfskey gen -o key.sfs [-bits 1024]
+//	sfskey path -k key.sfs -location HOST
+//	sfskey fetch -server ADDR -location HOST -hostid ID -user U -password PW [-o key.sfs]
+//
+// "sfskey fetch" is the paper's "sfskey add" travel scenario: the user
+// types one password and ends up with both the pathname and a usable
+// private key, with no administrators or certification authorities
+// involved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/authserv"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/keyfile"
+	"repro/internal/secchan"
+	"repro/internal/sunrpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "path":
+		cmdPath(os.Args[2:])
+	case "fetch":
+		cmdFetch(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sfskey gen|path|fetch [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfskey:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("o", "key.sfs", "output key file")
+	bits := fs.Int("bits", 1024, "modulus size")
+	fs.Parse(args) //nolint:errcheck
+	rng := prng.New()
+	key, err := rabin.GenerateKey(rng, *bits)
+	if err != nil {
+		die(err)
+	}
+	if err := keyfile.Save(*out, key); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %d-bit key to %s\n", key.N.BitLen(), *out)
+}
+
+func cmdPath(args []string) {
+	fs := flag.NewFlagSet("path", flag.ExitOnError)
+	kf := fs.String("k", "key.sfs", "key file")
+	location := fs.String("location", "", "server location (DNS name)")
+	fs.Parse(args) //nolint:errcheck
+	if *location == "" {
+		die(fmt.Errorf("-location is required"))
+	}
+	key, err := keyfile.Load(*kf)
+	if err != nil {
+		die(err)
+	}
+	p := core.MakePath(*location, key.PublicKey.Bytes())
+	fmt.Println(p.String())
+}
+
+func cmdFetch(args []string) {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	server := fs.String("server", "", "server TCP address (host:port)")
+	location := fs.String("location", "", "server location")
+	hostid := fs.String("hostid", "", "expected HostID (base 32)")
+	user := fs.String("user", "", "user name")
+	password := fs.String("password", "", "password (prompted via stdin if empty)")
+	out := fs.String("o", "", "write the downloaded private key here")
+	fs.Parse(args) //nolint:errcheck
+	if *server == "" || *location == "" || *hostid == "" || *user == "" {
+		die(fmt.Errorf("-server, -location, -hostid, and -user are required"))
+	}
+	id, err := core.ParseHostID(*hostid)
+	if err != nil {
+		die(err)
+	}
+	pw := *password
+	if pw == "" {
+		fmt.Fprint(os.Stderr, "password: ")
+		if _, err := fmt.Scanln(&pw); err != nil {
+			die(err)
+		}
+	}
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		die(err)
+	}
+	rng := prng.New()
+	tempKey, err := rabin.GenerateKey(rng, 768)
+	if err != nil {
+		die(err)
+	}
+	path := core.Path{Location: *location, HostID: id}
+	sec, _, _, err := secchan.ClientHandshake(conn, secchan.ServiceAuth, path, tempKey, rng)
+	if err != nil {
+		die(err)
+	}
+	cl := sunrpc.NewClient(sec)
+	defer cl.Close()
+	res, err := authserv.FetchWithPassword(cl, *user, pw, rng)
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(res.SelfPath)
+	if res.PrivateKey != nil && *out != "" {
+		if err := keyfile.Save(*out, res.PrivateKey); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "private key saved to %s\n", *out)
+	}
+}

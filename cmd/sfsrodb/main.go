@@ -1,0 +1,152 @@
+// Command sfsrodb manages SFS read-only databases (paper §2.4, §3.2):
+// it signs a snapshot of a directory tree offline, serves the database
+// from an untrusted replica, and fetches+verifies files from replicas.
+//
+// Subcommands:
+//
+//	sfsrodb build -seed DIR -location HOST -keyfile key.sfs -o fs.sfsro \
+//	              [-version N] [-ttl 24h]
+//	sfsrodb serve -db fs.sfsro -listen :4656
+//	sfsrodb get   -addr ADDR -path SELFCERT_PATH -file F
+//
+// "build" is the only step needing the private key; "serve" runs
+// anywhere — the replica proves nothing, clients verify everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/keyfile"
+	"repro/internal/sfsro"
+	"repro/internal/vfs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "get":
+		cmdGet(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sfsrodb build|serve|get [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfsrodb:", err)
+	os.Exit(1)
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	seed := fs.String("seed", "", "directory tree to snapshot")
+	location := fs.String("location", "", "server location")
+	kf := fs.String("keyfile", "", "signing key")
+	out := fs.String("o", "fs.sfsro", "output database")
+	version := fs.Uint64("version", 1, "snapshot version (monotonic)")
+	ttl := fs.Duration("ttl", 24*time.Hour, "validity period")
+	fs.Parse(args) //nolint:errcheck
+	if *seed == "" || *location == "" || *kf == "" {
+		die(fmt.Errorf("-seed, -location, and -keyfile are required"))
+	}
+	key, err := keyfile.Load(*kf)
+	if err != nil {
+		die(err)
+	}
+	fsys := vfs.New()
+	if err := fsys.SeedFromHost(vfs.Cred{UID: 0}, *seed); err != nil {
+		die(err)
+	}
+	rng := prng.New()
+	db, err := sfsro.BuildFromVFS(fsys, *location, key, *version, *ttl, rng, time.Now())
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out, db.Marshal(), 0o644); err != nil {
+		die(err)
+	}
+	p := core.MakePath(*location, key.PublicKey.Bytes())
+	fmt.Printf("signed %d blobs (version %d) into %s\n", len(db.Blobs), *version, *out)
+	fmt.Printf("serve it anywhere; clients verify against %s\n", p.String())
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dbPath := fs.String("db", "fs.sfsro", "database file")
+	listen := fs.String("listen", ":4656", "TCP listen address")
+	fs.Parse(args) //nolint:errcheck
+	data, err := os.ReadFile(*dbPath)
+	if err != nil {
+		die(err)
+	}
+	db, err := sfsro.ParseDB(data)
+	if err != nil {
+		die(err)
+	}
+	rep, err := sfsro.NewReplica(db)
+	if err != nil {
+		die(err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("replica (no private key on this machine) serving %s on %s\n",
+		rep.Path().String(), l.Addr())
+	die(rep.ListenAndServe(l))
+}
+
+func cmdGet(args []string) {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	addr := fs.String("addr", "", "replica TCP address")
+	pathStr := fs.String("path", "", "self-certifying pathname to verify against")
+	file := fs.String("file", "", "file to fetch (relative to the root)")
+	fs.Parse(args) //nolint:errcheck
+	if *addr == "" || *pathStr == "" {
+		die(fmt.Errorf("-addr and -path are required"))
+	}
+	p, err := core.Parse(*pathStr)
+	if err != nil {
+		die(err)
+	}
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	cl, err := sfsro.DialClient(conn, p, 0)
+	if err != nil {
+		die(err)
+	}
+	defer cl.Close()
+	if *file == "" {
+		ents, err := cl.ReadDir("")
+		if err != nil {
+			die(err)
+		}
+		for _, e := range ents {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+	data, err := cl.ReadFile(*file)
+	if err != nil {
+		die(err)
+	}
+	os.Stdout.Write(data) //nolint:errcheck
+}

@@ -1,0 +1,123 @@
+// Command sfssd is the SFS server master (paper §3.2): it serves a
+// file system under a self-certifying pathname, answers connect
+// requests, negotiates secure channels, and runs the authserver
+// alongside the file service.
+//
+// Usage:
+//
+//	sfssd -listen :4655 -location files.example.com -keyfile srv.sfs \
+//	      [-seed DIR] [-lease 60000] [-user name:uid:password:keyfile]...
+//
+// -seed copies a host directory tree into the served (in-memory)
+// substrate file system. Each -user registers a user with the
+// authserver: a key pair is generated and written to the named file,
+// and, when a password is given, SRP data plus an encrypted copy of
+// the private key are stored so "sfskey fetch" works against this
+// server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/authserv"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/keyfile"
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+type userFlag []string
+
+func (u *userFlag) String() string     { return strings.Join(*u, ",") }
+func (u *userFlag) Set(s string) error { *u = append(*u, s); return nil }
+
+func main() {
+	listen := flag.String("listen", ":4655", "TCP listen address")
+	location := flag.String("location", "", "server location (DNS name in pathnames)")
+	kf := flag.String("keyfile", "", "server private key (sfskey gen)")
+	seed := flag.String("seed", "", "host directory to copy into the served file system")
+	lease := flag.Uint("lease", 60000, "attribute lease in ms (0 disables SFS caching extensions)")
+	var users userFlag
+	flag.Var(&users, "user", "register user name:uid:password:keyfile (repeatable)")
+	flag.Parse()
+	if *location == "" || *kf == "" {
+		fmt.Fprintln(os.Stderr, "sfssd: -location and -keyfile are required")
+		os.Exit(2)
+	}
+	key, err := keyfile.Load(*kf)
+	if err != nil {
+		die(err)
+	}
+	rng := prng.New()
+	fsys := vfs.New()
+	if *seed != "" {
+		if err := fsys.SeedFromHost(vfs.Cred{UID: 0}, *seed); err != nil {
+			die(err)
+		}
+	}
+	path := core.MakePath(*location, key.PublicKey.Bytes())
+	auth := authserv.New(path.String(), rng)
+	db := authserv.NewDB("local", true)
+	auth.AddDB(db)
+	for _, spec := range users {
+		if err := registerUser(auth, db, rng, spec); err != nil {
+			die(err)
+		}
+	}
+	master := server.New(rng)
+	if _, err := master.Serve(server.ServedConfig{
+		Location: *location, Key: key, FS: fsys, Auth: auth, LeaseMS: uint32(*lease),
+	}); err != nil {
+		die(err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("sfssd: serving %s on %s\n", path.String(), l.Addr())
+	die(master.ListenAndServe(l))
+}
+
+func registerUser(auth *authserv.Server, db *authserv.DB, rng *prng.Generator, spec string) error {
+	parts := strings.SplitN(spec, ":", 4)
+	if len(parts) != 4 {
+		return fmt.Errorf("bad -user %q (want name:uid:password:keyfile)", spec)
+	}
+	name, uidStr, password, kf := parts[0], parts[1], parts[2], parts[3]
+	uid, err := strconv.ParseUint(uidStr, 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad uid in -user %q: %w", spec, err)
+	}
+	var key *rabin.PrivateKey
+	if _, err := os.Stat(kf); err == nil {
+		key, err = keyfile.Load(kf)
+		if err != nil {
+			return err
+		}
+	} else {
+		key, err = rabin.GenerateKey(rng, 1024)
+		if err != nil {
+			return err
+		}
+		if err := keyfile.Save(kf, key); err != nil {
+			return err
+		}
+		fmt.Printf("sfssd: generated key for %s in %s\n", name, kf)
+	}
+	return auth.Register(db, name, uint32(uid), []uint32{uint32(uid)}, authserv.RegisterOptions{
+		Password:   password,
+		PrivateKey: key,
+	})
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "sfssd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package agent
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/sfsrpc"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// Proxy agents (paper §2.5.1): "Proxy agents could forward
+// authentication requests to other SFS agents. We hope to build a
+// remote login utility similar to ssh that acts as a proxy SFS agent.
+// That way, users can automatically access their files when logging
+// in to a remote machine."
+//
+// The protocol is a single signing RPC. The home agent keeps the
+// private keys and its audit trail (every request carries the path of
+// machines it traveled through); the remote agent holds no key
+// material at all, so compromising the remote machine after the
+// session ends reveals nothing.
+
+// AgentProgram is the agent↔agent RPC program.
+const AgentProgram = 344445
+
+// Agent proxy procedures.
+const (
+	// ProcSign asks the serving agent to sign an authentication
+	// request.
+	ProcSign = 1
+)
+
+type signArgs struct {
+	AuthInfo sfsrpc.AuthInfo
+	SeqNo    uint32
+	AuthPath string
+	Attempt  uint32
+}
+
+type signRes struct {
+	OK  bool
+	Msg []byte
+}
+
+// ServeSigner serves signing requests from a proxy agent on conn
+// (typically a channel of an ssh-like remote login session). It
+// returns when the connection fails. The serving agent appends the
+// proxy hop to the audit path of every request it signs.
+func (a *Agent) ServeSigner(conn io.ReadWriteCloser) error {
+	rpc := sunrpc.NewServer()
+	rpc.Register(AgentProgram, sfsrpc.Version, func(proc uint32, _ sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+		if proc != ProcSign {
+			return nil, sunrpc.ErrProcUnavail
+		}
+		var sa signArgs
+		if err := args.Decode(&sa); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		msg, ok := a.Authenticate(sa.AuthInfo, sa.SeqNo, sa.AuthPath, int(sa.Attempt))
+		if !ok {
+			return signRes{OK: false, Msg: []byte{}}, nil
+		}
+		return signRes{OK: true, Msg: msg}, nil
+	})
+	return rpc.ServeConn(conn)
+}
+
+// remoteSigner forwards signing to a home agent.
+type remoteSigner struct {
+	mu  sync.Mutex
+	rpc *sunrpc.Client
+	hop string
+}
+
+// UseRemoteSigner switches this agent into proxy mode: Authenticate
+// forwards requests over conn to the agent served by ServeSigner at
+// the other end, prefixing hop (e.g. "lab-host") to the audit path.
+// Local keys, links, certification paths, and revocation state keep
+// working as before — only signing is delegated.
+func (a *Agent) UseRemoteSigner(conn io.ReadWriteCloser, hop string) {
+	rs := &remoteSigner{rpc: sunrpc.NewClient(conn), hop: hop}
+	a.mu.Lock()
+	a.remote = rs
+	a.mu.Unlock()
+}
+
+// ClearRemoteSigner returns the agent to local signing.
+func (a *Agent) ClearRemoteSigner() {
+	a.mu.Lock()
+	rs := a.remote
+	a.remote = nil
+	a.mu.Unlock()
+	if rs != nil {
+		rs.rpc.Close()
+	}
+}
+
+// proxyAuthenticate forwards one request; called by Authenticate when
+// a remote signer is installed.
+func (rs *remoteSigner) authenticate(ai sfsrpc.AuthInfo, seqNo uint32, authPath string, attempt int) ([]byte, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	path := rs.hop
+	if authPath != "" {
+		path = rs.hop + "!" + authPath
+	}
+	var res signRes
+	err := rs.rpc.Call(AgentProgram, sfsrpc.Version, ProcSign, sunrpc.NoAuth(),
+		signArgs{AuthInfo: ai, SeqNo: seqNo, AuthPath: path, Attempt: uint32(attempt)}, &res)
+	if err != nil || !res.OK {
+		return nil, false
+	}
+	return res.Msg, true
+}

@@ -1,0 +1,73 @@
+package authserv
+
+import (
+	"errors"
+
+	"repro/internal/crypto/arc4"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/crypto/sha1mac"
+	"repro/internal/xdr"
+)
+
+// sealedKey is the stored form of an encrypted private key.
+type sealedKey struct {
+	Nonce  []byte // freshens the stream per sealing
+	Cipher []byte
+	MAC    []byte
+}
+
+// SealBytes encrypts-and-MACs plain under a 20-byte key: an ARC4
+// stream keyed by key||nonce provides the MAC key (32 bytes) and the
+// encryption keystream.
+func SealBytes(key, plain []byte, rng *prng.Generator) ([]byte, error) {
+	nonce := rng.Bytes(16)
+	stream, err := arc4.New(append(append([]byte{}, key...), nonce...))
+	if err != nil {
+		return nil, err
+	}
+	macKey := stream.KeyStream(sha1mac.KeySize)
+	mac := sha1mac.Sum(macKey, plain)
+	ct := make([]byte, len(plain))
+	stream.XORKeyStream(ct, plain)
+	return xdr.MustMarshal(sealedKey{Nonce: nonce, Cipher: ct, MAC: mac[:]}), nil
+}
+
+// OpenBytes inverts SealBytes, failing cleanly on a wrong key or
+// tampered ciphertext.
+func OpenBytes(key, sealed []byte) ([]byte, error) {
+	var sk sealedKey
+	if err := xdr.Unmarshal(sealed, &sk); err != nil {
+		return nil, errors.New("authserv: bad sealed encoding")
+	}
+	stream, err := arc4.New(append(append([]byte{}, key...), sk.Nonce...))
+	if err != nil {
+		return nil, err
+	}
+	macKey := stream.KeyStream(sha1mac.KeySize)
+	plain := make([]byte, len(sk.Cipher))
+	stream.XORKeyStream(plain, sk.Cipher)
+	if !sha1mac.Verify(macKey, plain, sk.MAC) {
+		return nil, ErrBadAuth
+	}
+	return plain, nil
+}
+
+// SealKey encrypts a private key under a 20-byte password-derived key
+// (blowfish.PasswordKey). The server stores only this sealed form;
+// decrypting it requires the expensive password transformation, so the
+// password never becomes server-verifiable data beyond the SRP
+// verifier.
+func SealKey(passKey []byte, priv *rabin.PrivateKey, rng *prng.Generator) ([]byte, error) {
+	return SealBytes(passKey, priv.PrivateBytes(), rng)
+}
+
+// OpenKey decrypts a sealed private key; it fails cleanly on a wrong
+// password key or tampered ciphertext.
+func OpenKey(passKey, sealed []byte) (*rabin.PrivateKey, error) {
+	plain, err := OpenBytes(passKey, sealed)
+	if err != nil {
+		return nil, err
+	}
+	return rabin.ParsePrivateKey(plain)
+}

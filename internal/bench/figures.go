@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vfs"
+)
+
+// StackKind names one benchmarkable configuration.
+type StackKind string
+
+// The configurations of the paper's evaluation.
+const (
+	KindLocal      StackKind = "local"
+	KindNFSUDP     StackKind = "nfs-udp"
+	KindNFSTCP     StackKind = "nfs-tcp"
+	KindSFS        StackKind = "sfs"
+	KindSFSNoEnc   StackKind = "sfs-noenc"
+	KindSFSNoCache StackKind = "sfs-nocache"
+)
+
+// Build constructs a fresh stack of the given kind over its own
+// substrate file system with the calibrated disk model.
+func Build(kind StackKind) (Stack, error) {
+	fs := vfs.New()
+	fs.SetDisk(netsim.NewDisk())
+	switch kind {
+	case KindLocal:
+		return NewLocal(fs), nil
+	case KindNFSUDP:
+		return NewNFS(fs, "udp", netsim.NFSUDP())
+	case KindNFSTCP:
+		return NewNFS(fs, "tcp", netsim.NFSTCP())
+	case KindSFS:
+		return NewSFS(fs, SFSOptions{Encrypt: true, EnhancedCaching: true})
+	case KindSFSNoEnc:
+		return NewSFS(fs, SFSOptions{Encrypt: false, EnhancedCaching: true})
+	case KindSFSNoCache:
+		return NewSFS(fs, SFSOptions{Encrypt: true, EnhancedCaching: false})
+	default:
+		return nil, fmt.Errorf("bench: unknown stack kind %q", kind)
+	}
+}
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks workload sizes for fast smoke runs; reported
+	// shapes still hold, absolute numbers shrink.
+	Quick bool
+	// Out receives the rendered tables (nil discards them).
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// FigureRow is one line of a rendered figure: measured value plus the
+// paper's reference number where the paper states one.
+type FigureRow struct {
+	Stack string
+	Phase string
+	// Measured value and unit ("us", "MB/s", "s").
+	Value float64
+	Unit  string
+	// Paper is the paper's reported value in the same unit, or 0
+	// when the paper gives only a bar chart.
+	Paper float64
+	RPCs  uint64
+}
+
+// Figure is one reproduced table/figure.
+type Figure struct {
+	ID    string
+	Title string
+	Rows  []FigureRow
+}
+
+func (f *Figure) render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-26s %-16s %12s %12s %8s\n", "stack", "phase", "measured", "paper", "RPCs")
+	for _, r := range f.Rows {
+		paper := "-"
+		if r.Paper != 0 {
+			paper = fmt.Sprintf("%.1f %s", r.Paper, r.Unit)
+		}
+		fmt.Fprintf(w, "%-26s %-16s %9.1f %s %12s %8d\n",
+			r.Stack, r.Phase, r.Value, r.Unit, paper, r.RPCs)
+	}
+}
+
+// Fig5 reproduces Figure 5: micro-benchmarks for basic operations —
+// the latency of an unauthorized chown and the throughput of a sparse
+// sequential read, for NFS/UDP, NFS/TCP, SFS, and SFS w/o encryption.
+func Fig5(opts Options) (*Figure, error) {
+	iters := 500
+	size := int64(64 << 20)
+	if opts.Quick {
+		iters, size = 100, 16<<20
+	}
+	fig := &Figure{ID: "Figure 5", Title: "micro-benchmarks for basic operations"}
+	paperLat := map[StackKind]float64{KindNFSUDP: 200, KindNFSTCP: 220, KindSFS: 790, KindSFSNoEnc: 770}
+	paperTput := map[StackKind]float64{KindNFSUDP: 9.3, KindNFSTCP: 7.6, KindSFS: 4.1, KindSFSNoEnc: 7.1}
+	for _, kind := range []StackKind{KindNFSUDP, KindNFSTCP, KindSFS, KindSFSNoEnc} {
+		st, err := Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := LatencyMicro(st, iters)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, FigureRow{
+			Stack: st.Name(), Phase: "latency",
+			Value: float64(lat.Elapsed.Microseconds()), Unit: "us",
+			Paper: paperLat[kind], RPCs: lat.RPCs,
+		})
+		tput, err := ThroughputMicro(st, size)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, FigureRow{
+			Stack: st.Name(), Phase: "throughput",
+			Value: tput.MBps(), Unit: "MB/s",
+			Paper: paperTput[kind], RPCs: tput.RPCs,
+		})
+		st.Close()
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
+// Fig6 reproduces Figure 6: the Modified Andrew Benchmark phases on
+// Local, NFS/UDP, NFS/TCP, and SFS, plus the paper's enhanced-caching
+// ablation (SFS without leases/access caching, total 6.6 s vs 5.9 s).
+func Fig6(opts Options) (*Figure, error) {
+	fig := &Figure{ID: "Figure 6", Title: "Modified Andrew Benchmark (wall seconds per phase)"}
+	paperTotal := map[StackKind]float64{
+		KindNFSUDP: 5.3, KindSFS: 5.9, KindSFSNoCache: 6.6,
+	}
+	kinds := []StackKind{KindLocal, KindNFSUDP, KindNFSTCP, KindSFS, KindSFSNoCache}
+	if opts.Quick {
+		kinds = []StackKind{KindLocal, KindNFSUDP, KindSFS}
+	}
+	for _, kind := range kinds {
+		st, err := Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		results, err := MABPhases(st)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		for _, r := range results {
+			row := FigureRow{
+				Stack: st.Name(), Phase: r.Phase,
+				Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
+			}
+			if r.Phase == "total" {
+				row.Paper = paperTotal[kind]
+			}
+			fig.Rows = append(fig.Rows, row)
+		}
+		st.Close()
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: compiling the GENERIC FreeBSD kernel.
+// The workload is scaled: the paper's Local run takes 140 s; the
+// default here runs 1/10th of the units so Local lands near 14 s, and
+// Quick shrinks further. Ratios between stacks are the reproduced
+// quantity.
+func Fig7(opts Options) (*Figure, error) {
+	units, burn := 100, 110*time.Millisecond
+	scale := 10.0
+	if opts.Quick {
+		units, burn = 20, 55*time.Millisecond
+		scale = 70.0
+	}
+	fig := &Figure{ID: "Figure 7", Title: fmt.Sprintf("GENERIC kernel compile (scaled 1/%g; paper values also scaled)", scale)}
+	paper := map[StackKind]float64{
+		KindLocal: 140, KindNFSUDP: 178, KindNFSTCP: 207, KindSFS: 197,
+	}
+	kinds := []StackKind{KindLocal, KindNFSUDP, KindNFSTCP, KindSFS, KindSFSNoEnc}
+	if opts.Quick {
+		kinds = []StackKind{KindLocal, KindNFSUDP, KindSFS}
+	}
+	for _, kind := range kinds {
+		st, err := Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CompileWorkload(st, units, burn)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, FigureRow{
+			Stack: st.Name(), Phase: "compile",
+			Value: r.Elapsed.Seconds(), Unit: "s",
+			Paper: paper[kind] / scale, RPCs: r.RPCs,
+		})
+		st.Close()
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
+// Fig8 reproduces Figure 8: the Sprite LFS small-file benchmark
+// (create/read/unlink 1,000 1 KB files), including the paper's note
+// that SFS without attribute caching loses ≈1 s on the create phase.
+func Fig8(opts Options) (*Figure, error) {
+	n := 1000
+	if opts.Quick {
+		n = 200
+	}
+	fig := &Figure{ID: "Figure 8", Title: fmt.Sprintf("Sprite LFS small-file benchmark (%d x 1 KB files)", n)}
+	kinds := []StackKind{KindLocal, KindNFSUDP, KindNFSTCP, KindSFS, KindSFSNoCache}
+	if opts.Quick {
+		kinds = []StackKind{KindLocal, KindNFSUDP, KindSFS}
+	}
+	for _, kind := range kinds {
+		st, err := Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		results, err := SpriteSmall(st, n, 1024)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		for _, r := range results {
+			fig.Rows = append(fig.Rows, FigureRow{
+				Stack: st.Name(), Phase: r.Phase,
+				Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
+			})
+		}
+		st.Close()
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
+// Fig9 reproduces Figure 9: the Sprite LFS large-file benchmark
+// (sequential/random writes and reads of a 40,000 KB file in 8 KB
+// chunks).
+func Fig9(opts Options) (*Figure, error) {
+	size := int64(40000 << 10)
+	if opts.Quick {
+		size = 8 << 20
+	}
+	fig := &Figure{ID: "Figure 9", Title: fmt.Sprintf("Sprite LFS large-file benchmark (%d MB file, 8 KB chunks)", size>>20)}
+	kinds := []StackKind{KindLocal, KindNFSUDP, KindNFSTCP, KindSFS, KindSFSNoEnc}
+	if opts.Quick {
+		kinds = []StackKind{KindLocal, KindNFSUDP, KindSFS}
+	}
+	for _, kind := range kinds {
+		st, err := Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		results, err := SpriteLarge(st, size)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		for _, r := range results {
+			fig.Rows = append(fig.Rows, FigureRow{
+				Stack: st.Name(), Phase: r.Phase,
+				Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
+			})
+		}
+		st.Close()
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
+// All runs every figure in order.
+func All(opts Options) ([]*Figure, error) {
+	var figs []*Figure
+	for _, f := range []func(Options) (*Figure, error){Fig5, Fig6, Fig7, Fig8, Fig9} {
+		fig, err := f(opts)
+		if err != nil {
+			return figs, err
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// RowFor returns the row for (stack, phase), for tests and
+// EXPERIMENTS.md tooling.
+func (f *Figure) RowFor(stack, phase string) (FigureRow, bool) {
+	for _, r := range f.Rows {
+		if r.Stack == stack && r.Phase == phase {
+			return r, true
+		}
+	}
+	return FigureRow{}, false
+}

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/nfs"
+)
+
+// File is an open file: a handle plus the authenticated view it was
+// opened through. It supports streaming reads and writes at a cursor.
+type File struct {
+	node *node
+	off  uint64
+}
+
+// Stat resolves path (following symbolic links) and returns its
+// attributes.
+func (c *Client) Stat(user, path string) (nfs.Fattr, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return nfs.Fattr{}, err
+	}
+	return n.view.GetAttr(n.fh)
+}
+
+// Lstat is Stat without following a final symbolic link.
+func (c *Client) Lstat(user, path string) (nfs.Fattr, error) {
+	n, err := c.resolve(user, path, false, 0)
+	if err != nil {
+		return nfs.Fattr{}, err
+	}
+	return n.attr, nil
+}
+
+// Open resolves path to an open file.
+func (c *Client) Open(user, path string) (*File, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &File{node: n}, nil
+}
+
+// Access checks permissions on path for user (the ACCESS RPC, served
+// from the access cache when enabled).
+func (c *Client) Access(user, path string, mode uint32) (uint32, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return 0, err
+	}
+	return n.view.Access(n.fh, mode)
+}
+
+// resolveParent resolves the directory part of path and returns the
+// final name component.
+func (c *Client) resolveParent(user, path string) (*node, string, error) {
+	trimmed := strings.TrimSuffix(path, "/")
+	i := strings.LastIndexByte(trimmed, '/')
+	if i <= 0 {
+		return nil, "", ErrNotSFS
+	}
+	dir, name := trimmed[:i], trimmed[i+1:]
+	if name == "" {
+		return nil, "", errors.New("client: empty file name")
+	}
+	n, err := c.resolve(user, dir, true, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	return n, name, nil
+}
+
+// Create makes (or truncates) a regular file and returns it open.
+func (c *Client) Create(user, path string, mode uint32) (*File, error) {
+	dir, name, err := c.resolveParent(user, path)
+	if err != nil {
+		return nil, err
+	}
+	fh, attr, err := dir.view.Create(dir.fh, name, mode, false)
+	if err != nil {
+		return nil, err
+	}
+	return &File{node: &node{view: dir.view, mount: dir.mount, fh: fh, attr: attr}}, nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(user, path string, mode uint32) error {
+	dir, name, err := c.resolveParent(user, path)
+	if err != nil {
+		return err
+	}
+	_, _, err = dir.view.Mkdir(dir.fh, name, mode)
+	return err
+}
+
+// Symlink creates a symbolic link at path pointing to target. A
+// target that is a self-certifying pathname forms a secure link
+// (paper §2.4).
+func (c *Client) Symlink(user, path, target string) error {
+	dir, name, err := c.resolveParent(user, path)
+	if err != nil {
+		return err
+	}
+	_, _, err = dir.view.Symlink(dir.fh, name, target)
+	return err
+}
+
+// ReadLink returns the target of the symbolic link at path.
+func (c *Client) ReadLink(user, path string) (string, error) {
+	n, err := c.resolve(user, path, false, 0)
+	if err != nil {
+		return "", err
+	}
+	if n.attr.Type != nfs.TypeSymlink {
+		return "", errors.New("client: not a symbolic link")
+	}
+	return n.view.Readlink(n.fh)
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(user, path string) error {
+	dir, name, err := c.resolveParent(user, path)
+	if err != nil {
+		return err
+	}
+	return dir.view.Remove(dir.fh, name)
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(user, path string) error {
+	dir, name, err := c.resolveParent(user, path)
+	if err != nil {
+		return err
+	}
+	return dir.view.Rmdir(dir.fh, name)
+}
+
+// Rename moves from to to. Both must resolve into the same mount.
+func (c *Client) Rename(user, from, to string) error {
+	fromDir, fromName, err := c.resolveParent(user, from)
+	if err != nil {
+		return err
+	}
+	toDir, toName, err := c.resolveParent(user, to)
+	if err != nil {
+		return err
+	}
+	if fromDir.mount != toDir.mount {
+		return errors.New("client: cross-server rename")
+	}
+	return fromDir.view.Rename(fromDir.fh, fromName, toDir.fh, toName)
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(user, path string) ([]nfs.Entry, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []nfs.Entry
+	cookie := uint64(0)
+	for {
+		ents, eof, err := n.view.ReadDir(n.fh, cookie, 256)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ents...)
+		if len(ents) > 0 {
+			cookie = ents[len(ents)-1].Cookie
+		}
+		if eof {
+			return out, nil
+		}
+	}
+}
+
+// ReadFile returns the entire contents of the file at path.
+func (c *Client) ReadFile(user, path string) ([]byte, error) {
+	f, err := c.Open(user, path)
+	if err != nil {
+		return nil, err
+	}
+	return f.node.view.ReadAll(f.node.fh, 8192)
+}
+
+// WriteFile creates path with the given contents.
+func (c *Client) WriteFile(user, path string, data []byte) error {
+	f, err := c.Create(user, path, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, 0)
+	return err
+}
+
+// Truncate sets the file size.
+func (c *Client) Truncate(user, path string, size uint64) error {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return err
+	}
+	_, err = n.view.SetAttr(nfs.SetAttrArgs{FH: n.fh, SetSize: &size})
+	return err
+}
+
+// Chmod changes permission bits.
+func (c *Client) Chmod(user, path string, mode uint32) error {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return err
+	}
+	_, err = n.view.SetAttr(nfs.SetAttrArgs{FH: n.fh, SetMode: &mode})
+	return err
+}
+
+// SelfPath returns the full self-certifying pathname of the mount
+// containing path — what pwd prints inside an SFS file system, the
+// basis of secure bookmarks (paper §2.4).
+func (c *Client) SelfPath(user, path string) (string, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return "", err
+	}
+	return n.mount.path.String(), nil
+}
+
+// Stats returns RPC/cache statistics for the mount containing path.
+func (c *Client) Stats(user, path string) (nfs.Stats, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return nfs.Stats{}, err
+	}
+	return n.view.Stats(), nil
+}
+
+// Attr returns the attributes the file was opened with.
+func (f *File) Attr() nfs.Fattr { return f.node.attr }
+
+// ReadAt reads up to len(p) bytes at offset off.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	data, eof, err := f.node.view.Read(f.node.fh, off, uint32(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	if eof && n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Read reads from the cursor.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.off)
+	f.off += uint64(n)
+	if n == 0 && err == nil {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// WriteAt writes p at offset off (unstable; call Sync for stability).
+func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	const chunk = 32 << 10
+	written := 0
+	for written < len(p) {
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := f.node.view.Write(f.node.fh, off+uint64(written), p[written:end], nfs.Unstable)
+		written += int(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Write writes at the cursor.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.off)
+	f.off += uint64(n)
+	return n, err
+}
+
+// Seek sets the cursor (whence 0 only).
+func (f *File) Seek(off uint64) { f.off = off }
+
+// Sync commits unstable writes to stable storage.
+func (f *File) Sync() error { return f.node.view.Commit(f.node.fh) }
+
+// Chmod changes the open file's permission bits — one RPC on the
+// already-resolved handle, like fchmod/fchown on a file descriptor.
+func (f *File) Chmod(mode uint32) error {
+	_, err := f.node.view.SetAttr(nfs.SetAttrArgs{FH: f.node.fh, SetMode: &mode})
+	return err
+}
+
+// Chown changes the open file's owner.
+func (f *File) Chown(uid uint32) error {
+	_, err := f.node.view.SetAttr(nfs.SetAttrArgs{FH: f.node.fh, SetUID: &uid})
+	return err
+}
+
+// UserName maps a numeric user ID from attributes under path to a
+// human-readable name via the libsfs ID-mapping service (paper §3.3).
+// Names relative to the remote server are prefixed with "%"; when the
+// client's own idea of the ID (Config.LocalUsers) agrees with the
+// server's, the percent sign is omitted — e.g. on a LAN where client
+// and server share accounts.
+func (c *Client) UserName(user, path string, uid uint32) (string, error) {
+	n, err := c.resolve(user, path, true, 0)
+	if err != nil {
+		return "", err
+	}
+	names, _, err := n.view.IDNames([]uint32{uid}, nil)
+	if err != nil {
+		return "", err
+	}
+	remote := names[0]
+	if remote == "" {
+		return fmt.Sprintf("%d", uid), nil
+	}
+	if c.cfg.LocalUsers != nil && c.cfg.LocalUsers[uid] == remote {
+		return remote, nil
+	}
+	return "%" + remote, nil
+}

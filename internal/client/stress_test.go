@@ -1,0 +1,83 @@
+package client_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// TestConcurrentUsersOneMount hammers a single shared mount from
+// several users concurrently — the shared attribute cache, per-user
+// access caches, and authentication tables must all hold up under the
+// race detector.
+func TestConcurrentUsersOneMount(t *testing.T) {
+	w, s, cl := newWorld(t, "stress")
+	const users = 4
+	for i := 0; i < users; i++ {
+		name := fmt.Sprintf("u%d", i)
+		if _, err := w.NewUser(cl, s, name, uint32(1000+i), ""); err != nil {
+			t.Fatal(err)
+		}
+		dir := fmt.Sprintf("home/u%d", i)
+		if _, err := s.FS.MkdirAll(rootCred(), dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		id, _, _ := s.FS.Resolve(rootCred(), dir)
+		uid := uint32(1000 + i)
+		if _, err := s.FS.SetAttrs(rootCred(), id, vfs.SetAttr{UID: &uid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FS.WriteFile(rootCred(), "shared.txt", []byte("everyone reads this"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Path.String()
+	var wg sync.WaitGroup
+	errs := make(chan error, users*40)
+	for i := 0; i < users; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", i)
+			home := fmt.Sprintf("%s/home/u%d", base, i)
+			for j := 0; j < 10; j++ {
+				if _, err := cl.ReadFile(user, base+"/shared.txt"); err != nil {
+					errs <- fmt.Errorf("%s read shared: %w", user, err)
+					return
+				}
+				own := fmt.Sprintf("%s/f%d", home, j)
+				if err := cl.WriteFile(user, own, []byte(user)); err != nil {
+					errs <- fmt.Errorf("%s write: %w", user, err)
+					return
+				}
+				if _, err := cl.Stat(user, own); err != nil {
+					errs <- fmt.Errorf("%s stat: %w", user, err)
+					return
+				}
+				if _, err := cl.ReadDir(user, home); err != nil {
+					errs <- fmt.Errorf("%s readdir: %w", user, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Cross-check isolation after the storm: each file is owned by
+	// its writer.
+	for i := 0; i < users; i++ {
+		attr, err := cl.Stat("u0", fmt.Sprintf("%s/home/u%d/f0", base, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.UID != uint32(1000+i) {
+			t.Errorf("home/u%d/f0 owned by %d", i, attr.UID)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package client
+
+import (
+	"repro/internal/nfs"
+)
+
+// View is the file system interface the path walker and the file
+// operations drive. The read-write client (*nfs.Client, over a secure
+// channel) implements all of it; read-only mounts (the sfsro dialect)
+// implement the read side and fail mutations with EROFS-style errors.
+type View interface {
+	GetAttr(fh nfs.FH) (nfs.Fattr, error)
+	Lookup(dir nfs.FH, name string) (nfs.FH, nfs.Fattr, error)
+	Access(fh nfs.FH, want uint32) (uint32, error)
+	Readlink(fh nfs.FH) (string, error)
+	Read(fh nfs.FH, offset uint64, count uint32) ([]byte, bool, error)
+	ReadDir(dir nfs.FH, cookie uint64, count uint32) ([]nfs.Entry, bool, error)
+	ReadAll(fh nfs.FH, chunk uint32) ([]byte, error)
+	IDNames(uids, gids []uint32) ([]string, []string, error)
+	Stats() nfs.Stats
+
+	SetAttr(args nfs.SetAttrArgs) (nfs.Fattr, error)
+	Write(fh nfs.FH, offset uint64, data []byte, stable uint32) (uint32, error)
+	Create(dir nfs.FH, name string, mode uint32, exclusive bool) (nfs.FH, nfs.Fattr, error)
+	Mkdir(dir nfs.FH, name string, mode uint32) (nfs.FH, nfs.Fattr, error)
+	Symlink(dir nfs.FH, name, target string) (nfs.FH, nfs.Fattr, error)
+	Remove(dir nfs.FH, name string) error
+	Rmdir(dir nfs.FH, name string) error
+	Rename(fromDir nfs.FH, fromName string, toDir nfs.FH, toName string) error
+	Commit(fh nfs.FH) error
+}
+
+// compile-time check: the read-write client satisfies View.
+var _ View = (*nfs.Client)(nil)

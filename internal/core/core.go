@@ -1,0 +1,232 @@
+// Package core implements SFS's central idea: self-certifying
+// pathnames (paper §2.2) and the self-authenticating revocation
+// machinery built on them (paper §2.6).
+//
+// Every SFS file system is accessible under a pathname of the form
+//
+//	/sfs/Location:HostID
+//
+// Location tells a client where to look for the file system's server
+// (a DNS name or IP address); HostID tells the client how to certify a
+// secure channel to that server. HostID is a SHA-1 hash of the
+// server's Location and public key, so the pathname itself suffices to
+// communicate securely with the server: no key management inside the
+// file system is needed. HostIDs are spelled in base 32 using digits
+// and lower-case letters, omitting "l", "1", "0" and "o" to avoid
+// confusion.
+package core
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/xdr"
+)
+
+// Root is the directory under which all remote SFS file systems live.
+const Root = "/sfs"
+
+// HostIDSize is the size of a HostID in bytes (SHA-1 output).
+const HostIDSize = sha1.Size
+
+// HostID identifies a (Location, public key) pair. It effectively
+// specifies a unique, verifiable public key: no computationally
+// bounded attacker can produce two public keys with the same HostID.
+type HostID [HostIDSize]byte
+
+// hostInfo is the XDR structure hashed into a HostID.
+type hostInfo struct {
+	Tag      string // "HostInfo"
+	Location string
+	Key      []byte
+}
+
+// ComputeHostID derives the HostID for a server at location with the
+// given canonical public key encoding. Following the paper, the input
+// to SHA-1 is duplicated: any collision of the duplicated-input hash
+// is also a collision of plain SHA-1, so duplication cannot harm
+// security and could conceivably help if simple SHA-1 falls to
+// cryptanalysis.
+func ComputeHostID(location string, publicKey []byte) HostID {
+	one := xdr.MustMarshal(hostInfo{Tag: "HostInfo", Location: location, Key: publicKey})
+	h := sha1.New()
+	h.Write(one)
+	h.Write(one)
+	var id HostID
+	copy(id[:], h.Sum(nil))
+	return id
+}
+
+// base32Alphabet spells HostIDs: 32 digits and lower-case letters,
+// omitting "l" (lower-case L), "1" (one), "0" and "o".
+const base32Alphabet = "23456789abcdefghijkmnpqrstuvwxyz"
+
+var base32Rev = func() [256]int8 {
+	var rev [256]int8
+	for i := range rev {
+		rev[i] = -1
+	}
+	for i := 0; i < len(base32Alphabet); i++ {
+		rev[base32Alphabet[i]] = int8(i)
+	}
+	return rev
+}()
+
+// encodedIDLen is the length of a base-32 encoded HostID: 160 bits in
+// 5-bit digits.
+const encodedIDLen = (HostIDSize*8 + 4) / 5 // 32
+
+// String encodes the HostID in SFS base 32.
+func (id HostID) String() string {
+	var sb strings.Builder
+	sb.Grow(encodedIDLen)
+	var acc uint32
+	var bits uint
+	for _, b := range id {
+		acc = acc<<8 | uint32(b)
+		bits += 8
+		for bits >= 5 {
+			bits -= 5
+			sb.WriteByte(base32Alphabet[acc>>bits&31])
+		}
+	}
+	// 160 = 32*5 exactly: no leftover bits.
+	return sb.String()
+}
+
+// ParseHostID decodes a base-32 HostID string.
+func ParseHostID(s string) (HostID, error) {
+	var id HostID
+	if len(s) != encodedIDLen {
+		return id, fmt.Errorf("core: HostID must be %d characters, got %d", encodedIDLen, len(s))
+	}
+	var acc uint32
+	var bits uint
+	j := 0
+	for i := 0; i < len(s); i++ {
+		v := base32Rev[s[i]]
+		if v < 0 {
+			return id, fmt.Errorf("core: invalid HostID character %q", s[i])
+		}
+		acc = acc<<5 | uint32(v)
+		bits += 5
+		if bits >= 8 {
+			bits -= 8
+			id[j] = byte(acc >> bits)
+			j++
+		}
+	}
+	return id, nil
+}
+
+// Path is a parsed self-certifying pathname.
+type Path struct {
+	// Location names the server: a DNS hostname or IP address.
+	Location string
+	// HostID certifies the server's public key.
+	HostID HostID
+	// Rest is the path on the remote server, without a leading
+	// slash; empty for the file system root.
+	Rest string
+}
+
+// ErrNotSelfCertifying is returned by Parse for names under /sfs that
+// are not of the Location:HostID form — these are the names agents
+// resolve with dynamic symbolic links (paper §2.3).
+var ErrNotSelfCertifying = errors.New("core: not a self-certifying pathname")
+
+// ParseName parses the first component of a name relative to /sfs
+// (i.e. "Location:HostID") into a Path with empty Rest.
+func ParseName(name string) (Path, error) {
+	var p Path
+	colon := strings.LastIndexByte(name, ':')
+	if colon < 0 {
+		return p, ErrNotSelfCertifying
+	}
+	loc, idStr := name[:colon], name[colon+1:]
+	if err := ValidateLocation(loc); err != nil {
+		return p, ErrNotSelfCertifying
+	}
+	id, err := ParseHostID(idStr)
+	if err != nil {
+		return p, ErrNotSelfCertifying
+	}
+	p.Location = loc
+	p.HostID = id
+	return p, nil
+}
+
+// Parse parses a full self-certifying pathname such as
+// "/sfs/sfs.lcs.mit.edu:vefvsv5wd4hz9isc3rb2x648ish742hy/pub/links".
+func Parse(pathname string) (Path, error) {
+	var p Path
+	if pathname != Root && !strings.HasPrefix(pathname, Root+"/") {
+		return p, fmt.Errorf("core: %q is not under %s", pathname, Root)
+	}
+	rest := strings.TrimPrefix(pathname, Root)
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		return p, ErrNotSelfCertifying
+	}
+	var first string
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		first, rest = rest[:i], rest[i+1:]
+	} else {
+		first, rest = rest, ""
+	}
+	p, err := ParseName(first)
+	if err != nil {
+		return p, err
+	}
+	p.Rest = strings.Trim(rest, "/")
+	return p, nil
+}
+
+// Name returns the Location:HostID form of the path's first component.
+func (p Path) Name() string {
+	return p.Location + ":" + p.HostID.String()
+}
+
+// String returns the full self-certifying pathname.
+func (p Path) String() string {
+	s := Root + "/" + p.Name()
+	if p.Rest != "" {
+		s += "/" + p.Rest
+	}
+	return s
+}
+
+// Root returns the path with Rest cleared — the mount point itself.
+func (p Path) Root() Path {
+	p.Rest = ""
+	return p
+}
+
+// ValidateLocation performs a light syntactic check on a Location: a
+// non-empty DNS name or IP address with no path separators or colons.
+func ValidateLocation(loc string) error {
+	if loc == "" {
+		return errors.New("core: empty location")
+	}
+	if len(loc) > 255 {
+		return errors.New("core: location too long")
+	}
+	for i := 0; i < len(loc); i++ {
+		c := loc[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_':
+		default:
+			return fmt.Errorf("core: invalid location character %q", c)
+		}
+	}
+	return nil
+}
+
+// MakePath constructs the self-certifying pathname for a server at
+// location with the given public key encoding.
+func MakePath(location string, publicKey []byte) Path {
+	return Path{Location: location, HostID: ComputeHostID(location, publicKey)}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHostIDDeterministic(t *testing.T) {
+	a := ComputeHostID("sfs.lcs.mit.edu", []byte("key"))
+	b := ComputeHostID("sfs.lcs.mit.edu", []byte("key"))
+	if a != b {
+		t.Fatal("HostID not deterministic")
+	}
+}
+
+func TestHostIDBindsLocationAndKey(t *testing.T) {
+	base := ComputeHostID("host.example.com", []byte("key"))
+	if ComputeHostID("other.example.com", []byte("key")) == base {
+		t.Fatal("HostID ignores location")
+	}
+	if ComputeHostID("host.example.com", []byte("key2")) == base {
+		t.Fatal("HostID ignores key")
+	}
+}
+
+func TestBase32Alphabet(t *testing.T) {
+	if len(base32Alphabet) != 32 {
+		t.Fatalf("alphabet has %d characters", len(base32Alphabet))
+	}
+	for _, banned := range "l1o0" {
+		if strings.ContainsRune(base32Alphabet, banned) {
+			t.Errorf("alphabet contains confusable %q", banned)
+		}
+	}
+	seen := map[rune]bool{}
+	for _, c := range base32Alphabet {
+		if seen[c] {
+			t.Errorf("duplicate alphabet character %q", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestHostIDStringRoundTrip(t *testing.T) {
+	f := func(id HostID) bool {
+		s := id.String()
+		if len(s) != encodedIDLen {
+			return false
+		}
+		got, err := ParseHostID(s)
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHostIDErrors(t *testing.T) {
+	if _, err := ParseHostID("short"); err == nil {
+		t.Fatal("short HostID accepted")
+	}
+	bad := strings.Repeat("2", encodedIDLen-1) + "l" // banned char
+	if _, err := ParseHostID(bad); err == nil {
+		t.Fatal("banned character accepted")
+	}
+	upper := strings.Repeat("A", encodedIDLen)
+	if _, err := ParseHostID(upper); err == nil {
+		t.Fatal("upper-case HostID accepted")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	id := ComputeHostID("sfs.lcs.mit.edu", []byte("k"))
+	name := "/sfs/sfs.lcs.mit.edu:" + id.String() + "/pub/links/verisign"
+	p, err := Parse(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Location != "sfs.lcs.mit.edu" {
+		t.Errorf("location = %q", p.Location)
+	}
+	if p.HostID != id {
+		t.Error("HostID mismatch")
+	}
+	if p.Rest != "pub/links/verisign" {
+		t.Errorf("rest = %q", p.Rest)
+	}
+	if p.String() != name {
+		t.Errorf("String() = %q, want %q", p.String(), name)
+	}
+}
+
+func TestParsePathRoot(t *testing.T) {
+	id := ComputeHostID("host", []byte("k"))
+	p, err := Parse("/sfs/host:" + id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rest != "" {
+		t.Errorf("rest = %q, want empty", p.Rest)
+	}
+	if p.Root() != p {
+		t.Error("Root() of a root path differs")
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	id := ComputeHostID("h", []byte("k")).String()
+	cases := []string{
+		"/etc/passwd",
+		"/sfs",
+		"/sfs/",
+		"/sfs/nocolonhere",
+		"/sfs/host:" + strings.Repeat("x", 10),
+		"/sfs/:" + id,
+		"/sfs/bad host:" + id,
+		"/sfs/host:" + strings.ToUpper(id),
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseNameNotSelfCertifying(t *testing.T) {
+	// Human-readable names under /sfs are resolved by agents, not
+	// parsed as self-certifying.
+	if _, err := ParseName("verisign"); err != ErrNotSelfCertifying {
+		t.Fatalf("got %v, want ErrNotSelfCertifying", err)
+	}
+}
+
+func TestMakePathConsistent(t *testing.T) {
+	key := []byte("public key bytes")
+	p := MakePath("server.example.com", key)
+	if p.HostID != ComputeHostID("server.example.com", key) {
+		t.Fatal("MakePath HostID mismatch")
+	}
+	rt, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != p.Name() {
+		t.Fatal("round trip through string failed")
+	}
+}
+
+func TestValidateLocation(t *testing.T) {
+	good := []string{"a", "host.example.com", "10.0.0.1", "my-host_2"}
+	for _, g := range good {
+		if err := ValidateLocation(g); err != nil {
+			t.Errorf("ValidateLocation(%q) = %v", g, err)
+		}
+	}
+	bad := []string{"", "host/../../etc", "host:port", "host name", strings.Repeat("x", 300)}
+	for _, b := range bad {
+		if err := ValidateLocation(b); err == nil {
+			t.Errorf("ValidateLocation(%q) succeeded", b)
+		}
+	}
+}
+
+func TestHostIDCaseSensitivity(t *testing.T) {
+	// Locations are used verbatim: the HostID for a differently-
+	// cased location differs, so clients cannot be confused by case
+	// games.
+	if ComputeHostID("Host", []byte("k")) == ComputeHostID("host", []byte("k")) {
+		t.Fatal("location case ignored in HostID")
+	}
+}

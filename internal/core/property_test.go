@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: every (valid location, key bytes) pair yields a pathname
+// that parses back to the same Location and HostID.
+func TestQuickPathRoundTrip(t *testing.T) {
+	locs := []string{"a", "host.example.com", "10.1.2.3", "x-y_z.example.org"}
+	f := func(pick uint8, key []byte) bool {
+		loc := locs[int(pick)%len(locs)]
+		p := MakePath(loc, key)
+		got, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return got.Location == loc && got.HostID == p.HostID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pathnames with a Rest component round-trip too.
+func TestQuickPathRestRoundTrip(t *testing.T) {
+	f := func(key []byte, a, b uint8) bool {
+		rest := ""
+		switch a % 3 {
+		case 1:
+			rest = "pub"
+		case 2:
+			rest = "pub/links/verisign"
+		}
+		p := MakePath("host.example.com", key)
+		p.Rest = rest
+		got, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return got.Rest == rest && got.Name() == p.Name()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct keys essentially never collide on HostID, and the
+// base-32 encoding is injective over random IDs.
+func TestQuickHostIDInjective(t *testing.T) {
+	f := func(k1, k2 []byte) bool {
+		if string(k1) == string(k2) {
+			return true
+		}
+		a := ComputeHostID("h", k1)
+		b := ComputeHostID("h", k2)
+		if a == b {
+			return false // SHA-1 collision: not today
+		}
+		return a.String() != b.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

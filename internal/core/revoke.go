@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/xdr"
+)
+
+// RevokedTarget is the symlink destination used for revoked and
+// blocked self-certifying pathnames. Accessing a revoked path results
+// in a file-not-found error, but users who investigate can easily
+// notice that the pathname has actually been revoked (paper §2.6).
+const RevokedTarget = ":REVOKED:"
+
+// pathMessage is the signed body shared by revocation certificates and
+// forwarding pointers. A revocation certificate is
+//
+//	{ K, Sign_{K^-1}("PathRevoke", Location, K, NULL) }
+//
+// and a forwarding pointer carries a new self-certifying pathname in
+// place of NULL. A revocation certificate always overrules a
+// forwarding pointer for the same HostID.
+type pathMessage struct {
+	Tag      string // "PathRevoke"
+	Location string
+	Key      []byte
+	Target   *string // nil for revocation, new pathname for forwarding
+}
+
+// PathRevoke is a self-authenticating certificate that revokes or
+// forwards a self-certifying pathname. Because it is verifiable from
+// its own contents, anyone may distribute it — certification
+// authorities need not check the identity of people submitting
+// revocations.
+type PathRevoke struct {
+	Location string
+	Key      []byte
+	Target   *string
+	Sig      rabin.Signature
+}
+
+// NewRevocation creates a revocation certificate for the pathname
+// served by key at location. Key revocation happens only by
+// permission of the file server's owner: it requires the private key.
+func NewRevocation(priv *rabin.PrivateKey, location string, rng *prng.Generator) (*PathRevoke, error) {
+	return newPathMessage(priv, location, nil, rng)
+}
+
+// NewForward creates a forwarding pointer from the pathname served by
+// key at location to a new self-certifying pathname. Servers use
+// forwarding pointers when they change domain names or keys and the
+// old key is still trustworthy.
+func NewForward(priv *rabin.PrivateKey, location string, target Path, rng *prng.Generator) (*PathRevoke, error) {
+	t := target.String()
+	return newPathMessage(priv, location, &t, rng)
+}
+
+func newPathMessage(priv *rabin.PrivateKey, location string, target *string, rng *prng.Generator) (*PathRevoke, error) {
+	if err := ValidateLocation(location); err != nil {
+		return nil, err
+	}
+	pub := priv.PublicKey.Bytes()
+	body := xdr.MustMarshal(pathMessage{Tag: "PathRevoke", Location: location, Key: pub, Target: target})
+	sig, err := priv.SignMessage(rng, body)
+	if err != nil {
+		return nil, err
+	}
+	return &PathRevoke{Location: location, Key: pub, Target: target, Sig: *sig}, nil
+}
+
+// IsRevocation reports whether r revokes (rather than forwards) its
+// pathname.
+func (r *PathRevoke) IsRevocation() bool { return r.Target == nil }
+
+// HostID returns the HostID the certificate applies to, derived from
+// the embedded Location and key.
+func (r *PathRevoke) HostID() HostID {
+	return ComputeHostID(r.Location, r.Key)
+}
+
+// Verify checks the certificate's self-authentication: the signature
+// must verify under the embedded key. It returns the HostID the
+// certificate revokes or forwards.
+func (r *PathRevoke) Verify() (HostID, error) {
+	var id HostID
+	pub, err := rabin.ParsePublicKey(r.Key)
+	if err != nil {
+		return id, fmt.Errorf("core: revocation key: %w", err)
+	}
+	body := xdr.MustMarshal(pathMessage{Tag: "PathRevoke", Location: r.Location, Key: r.Key, Target: r.Target})
+	if err := pub.VerifyMessage(body, &r.Sig); err != nil {
+		return id, errors.New("core: revocation signature invalid")
+	}
+	if r.Target != nil {
+		if _, err := Parse(*r.Target); err != nil {
+			return id, fmt.Errorf("core: forwarding target: %w", err)
+		}
+	}
+	return r.HostID(), nil
+}
+
+// ForwardTarget returns the parsed target of a forwarding pointer.
+func (r *PathRevoke) ForwardTarget() (Path, error) {
+	if r.Target == nil {
+		return Path{}, errors.New("core: certificate is a revocation, not a forwarding pointer")
+	}
+	return Parse(*r.Target)
+}
+
+// Marshal returns the certificate's wire encoding.
+func (r *PathRevoke) Marshal() []byte { return xdr.MustMarshal(*r) }
+
+// ParsePathRevoke decodes and verifies a certificate from its wire
+// encoding, returning the certificate and the HostID it governs.
+func ParsePathRevoke(b []byte) (*PathRevoke, HostID, error) {
+	var r PathRevoke
+	var id HostID
+	if err := xdr.Unmarshal(b, &r); err != nil {
+		return nil, id, fmt.Errorf("core: bad revocation encoding: %w", err)
+	}
+	id, err := r.Verify()
+	if err != nil {
+		return nil, id, err
+	}
+	return &r, id, nil
+}

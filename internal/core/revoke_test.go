@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+)
+
+var (
+	revKeyOnce sync.Once
+	revKey     *rabin.PrivateKey
+	revKey2    *rabin.PrivateKey
+)
+
+func revTestKeys(t *testing.T) (*rabin.PrivateKey, *rabin.PrivateKey) {
+	t.Helper()
+	revKeyOnce.Do(func() {
+		g := prng.NewSeeded([]byte("revoke-test"))
+		var err error
+		revKey, err = rabin.GenerateKey(g, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revKey2, err = rabin.GenerateKey(g, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return revKey, revKey2
+}
+
+func TestRevocationRoundTrip(t *testing.T) {
+	k, _ := revTestKeys(t)
+	g := prng.NewSeeded([]byte("r1"))
+	rev, err := NewRevocation(k, "compromised.example.com", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rev.IsRevocation() {
+		t.Fatal("revocation reports as forwarding pointer")
+	}
+	wire := rev.Marshal()
+	got, id, err := ParsePathRevoke(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeHostID("compromised.example.com", k.PublicKey.Bytes())
+	if id != want {
+		t.Fatal("revocation HostID mismatch")
+	}
+	if !got.IsRevocation() {
+		t.Fatal("parsed certificate lost revocation-ness")
+	}
+}
+
+func TestForwardingPointer(t *testing.T) {
+	k, k2 := revTestKeys(t)
+	g := prng.NewSeeded([]byte("f1"))
+	target := MakePath("new-home.example.com", k2.PublicKey.Bytes())
+	fwd, err := NewForward(k, "old-home.example.com", target, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.IsRevocation() {
+		t.Fatal("forwarding pointer reports as revocation")
+	}
+	_, id, err := ParsePathRevoke(fwd.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ComputeHostID("old-home.example.com", k.PublicKey.Bytes()) {
+		t.Fatal("forward HostID mismatch")
+	}
+	got, err := fwd.ForwardTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != target.Name() {
+		t.Fatalf("target = %q, want %q", got.Name(), target.Name())
+	}
+}
+
+func TestRevocationHasNoForwardTarget(t *testing.T) {
+	k, _ := revTestKeys(t)
+	g := prng.NewSeeded([]byte("r2"))
+	rev, _ := NewRevocation(k, "h.example.com", g)
+	if _, err := rev.ForwardTarget(); err == nil {
+		t.Fatal("ForwardTarget succeeded on a revocation")
+	}
+}
+
+func TestTamperedRevocationRejected(t *testing.T) {
+	k, _ := revTestKeys(t)
+	g := prng.NewSeeded([]byte("r3"))
+	rev, _ := NewRevocation(k, "h.example.com", g)
+
+	// Change the location: the signature must no longer verify, so
+	// an attacker cannot transplant a revocation onto a different
+	// pathname.
+	tampered := *rev
+	tampered.Location = "other.example.com"
+	if _, err := tampered.Verify(); err == nil {
+		t.Fatal("location-tampered certificate verified")
+	}
+
+	// Convert a revocation into a forwarding pointer: also caught.
+	k2target := MakePath("evil.example.com", []byte("evil key"))
+	s := k2target.String()
+	tampered2 := *rev
+	tampered2.Target = &s
+	if _, err := tampered2.Verify(); err == nil {
+		t.Fatal("revocation converted to forwarding pointer verified")
+	}
+
+	// Corrupt the signature root.
+	tampered3 := *rev
+	tampered3.Sig.Root = append([]byte(nil), rev.Sig.Root...)
+	tampered3.Sig.Root[0] ^= 1
+	if _, err := tampered3.Verify(); err == nil {
+		t.Fatal("signature-corrupted certificate verified")
+	}
+}
+
+func TestWrongKeyCannotRevoke(t *testing.T) {
+	k, k2 := revTestKeys(t)
+	g := prng.NewSeeded([]byte("r4"))
+	// k2 signs a revocation naming k's location, but the embedded
+	// key is k2's: the HostID it revokes is its own, not k's.
+	rev, err := NewRevocation(k2, "victim.example.com", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rev.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimID := ComputeHostID("victim.example.com", k.PublicKey.Bytes())
+	if id == victimID {
+		t.Fatal("attacker revoked someone else's HostID")
+	}
+}
+
+func TestForwardToGarbageRejected(t *testing.T) {
+	k, _ := revTestKeys(t)
+	g := prng.NewSeeded([]byte("r5"))
+	bad := "not-a-self-certifying-path"
+	fwd, err := newPathMessage(k, "h.example.com", &bad, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwd.Verify(); err == nil {
+		t.Fatal("forwarding pointer to garbage verified")
+	}
+}
+
+func TestParsePathRevokeGarbage(t *testing.T) {
+	if _, _, err := ParsePathRevoke([]byte("garbage")); err == nil {
+		t.Fatal("garbage revocation parsed")
+	}
+}

@@ -1,0 +1,66 @@
+// Package arc4 implements the alleged RC4 stream cipher as used by SFS.
+//
+// SFS assumes ARC4 is a pseudo-random generator and uses it both to
+// encrypt file system traffic and as a keystream source for re-keying
+// the per-message MAC (paper §3.1.3). The implementation differs from
+// textbook RC4 in one deliberate way the paper calls out: it supports
+// 20-byte keys by spinning the key schedule once for each 128 bits of
+// key data, and the keystream is kept running for the duration of a
+// session rather than being reset per message.
+package arc4
+
+import "fmt"
+
+// Cipher is an ARC4 keystream generator. It is not safe for concurrent
+// use; the secure channel serializes access.
+type Cipher struct {
+	s    [256]byte
+	i, j uint8
+}
+
+// New initializes a cipher from key, spinning the key schedule once per
+// 128 bits (16 bytes) of key material, rounded up, so a 20-byte session
+// key mixes the state twice.
+func New(key []byte) (*Cipher, error) {
+	if len(key) == 0 || len(key) > 256 {
+		return nil, fmt.Errorf("arc4: invalid key size %d", len(key))
+	}
+	c := &Cipher{}
+	for i := range c.s {
+		c.s[i] = byte(i)
+	}
+	spins := (len(key) + 15) / 16
+	var j uint8
+	for spin := 0; spin < spins; spin++ {
+		for i := 0; i < 256; i++ {
+			j += c.s[i] + key[i%len(key)]
+			c.s[i], c.s[j] = c.s[j], c.s[i]
+		}
+	}
+	return c, nil
+}
+
+// XORKeyStream XORs src with the next len(src) keystream bytes into
+// dst, which must be at least as long as src and may alias it.
+func (c *Cipher) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("arc4: output shorter than input")
+	}
+	i, j := c.i, c.j
+	for k, v := range src {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+		dst[k] = v ^ c.s[uint8(c.s[i]+c.s[j])]
+	}
+	c.i, c.j = i, j
+}
+
+// KeyStream writes the next n keystream bytes into a fresh slice. SFS
+// pulls 32 bytes from the session stream (not used for encryption) to
+// re-key the MAC for each message.
+func (c *Cipher) KeyStream(n int) []byte {
+	out := make([]byte, n)
+	c.XORKeyStream(out, out)
+	return out
+}

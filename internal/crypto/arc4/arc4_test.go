@@ -1,0 +1,138 @@
+package arc4
+
+import (
+	"bytes"
+	"crypto/rc4"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 6229-style known-answer vectors for standard (single-spin) RC4.
+// Keys of 16 bytes or fewer get exactly one spin, so our cipher must
+// match the stdlib's RC4 for them.
+func TestMatchesRC4ForShortKeys(t *testing.T) {
+	for _, keyLen := range []int{1, 5, 8, 13, 16} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(i*7 + 3)
+		}
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := rc4.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]byte, 512)
+		b := make([]byte, 512)
+		ours.XORKeyStream(a, a)
+		ref.XORKeyStream(b, b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("key len %d: keystream diverges from RC4", keyLen)
+		}
+	}
+}
+
+func TestTwentyByteKeyDiffersFromSingleSpin(t *testing.T) {
+	key := make([]byte, 20)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	ours, _ := New(key)
+	ref, _ := rc4.NewCipher(key)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	ours.XORKeyStream(a, a)
+	ref.XORKeyStream(b, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("20-byte key did not get the second key-schedule spin")
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	key := []byte("session-key-twenty!!")
+	enc, _ := New(key)
+	dec, _ := New(key)
+	msg := []byte("attack at dawn, flush the attribute cache")
+	ct := make([]byte, len(msg))
+	enc.XORKeyStream(ct, msg)
+	if bytes.Equal(ct, msg) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	pt := make([]byte, len(ct))
+	dec.XORKeyStream(pt, ct)
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("decryption failed")
+	}
+}
+
+func TestStreamContinuity(t *testing.T) {
+	// Encrypting in two chunks must match encrypting at once: the
+	// stream runs for the whole session.
+	key := []byte("0123456789abcdefghij")
+	a, _ := New(key)
+	b, _ := New(key)
+	msg := bytes.Repeat([]byte("xyzzy"), 20)
+	one := make([]byte, len(msg))
+	a.XORKeyStream(one, msg)
+	two := make([]byte, len(msg))
+	b.XORKeyStream(two[:33], msg[:33])
+	b.XORKeyStream(two[33:], msg[33:])
+	if !bytes.Equal(one, two) {
+		t.Fatal("chunked keystream diverges")
+	}
+}
+
+func TestKeyStreamTap(t *testing.T) {
+	key := []byte("0123456789abcdefghij")
+	a, _ := New(key)
+	b, _ := New(key)
+	tap := a.KeyStream(32)
+	zero := make([]byte, 32)
+	direct := make([]byte, 32)
+	b.XORKeyStream(direct, zero)
+	if !bytes.Equal(tap, direct) {
+		t.Fatal("KeyStream disagrees with XOR of zeros")
+	}
+	if bytes.Equal(tap, zero) {
+		t.Fatal("keystream is all zeros")
+	}
+}
+
+func TestInvalidKeySizes(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	if _, err := New(make([]byte, 257)); err == nil {
+		t.Fatal("257-byte key accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(key [20]byte, msg []byte) bool {
+		enc, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		dec, _ := New(key[:])
+		ct := make([]byte, len(msg))
+		enc.XORKeyStream(ct, msg)
+		pt := make([]byte, len(ct))
+		dec.XORKeyStream(pt, ct)
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXORKeyStream(b *testing.B) {
+	c, _ := New(make([]byte, 20))
+	buf := make([]byte, 8192)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.XORKeyStream(buf, buf)
+	}
+}

@@ -1,0 +1,98 @@
+package sha1mac
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func key(b byte) []byte {
+	k := make([]byte, KeySize)
+	for i := range k {
+		k[i] = b + byte(i)
+	}
+	return k
+}
+
+func TestDeterministic(t *testing.T) {
+	m1 := Sum(key(1), []byte("hello"))
+	m2 := Sum(key(1), []byte("hello"))
+	if m1 != m2 {
+		t.Fatal("MAC is not deterministic")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	if Sum(key(1), []byte("hello")) == Sum(key(2), []byte("hello")) {
+		t.Fatal("different keys produced the same MAC")
+	}
+}
+
+func TestDataSeparation(t *testing.T) {
+	if Sum(key(1), []byte("hello")) == Sum(key(1), []byte("hellp")) {
+		t.Fatal("different messages produced the same MAC")
+	}
+}
+
+func TestLengthBinding(t *testing.T) {
+	// Messages that would collide without length framing must not.
+	a := Sum(key(1), []byte{0, 0})
+	b := Sum(key(1), []byte{0, 0, 0})
+	if a == b {
+		t.Fatal("length not bound into MAC")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	k := key(9)
+	data := []byte("rpc payload")
+	m := Sum(k, data)
+	if !Verify(k, data, m[:]) {
+		t.Fatal("valid MAC rejected")
+	}
+	bad := m
+	bad[0] ^= 1
+	if Verify(k, data, bad[:]) {
+		t.Fatal("corrupted MAC accepted")
+	}
+	if Verify(k, data, m[:Size-1]) {
+		t.Fatal("short MAC accepted")
+	}
+	if Verify(k, append([]byte("x"), data...), m[:]) {
+		t.Fatal("MAC accepted for different data")
+	}
+}
+
+func TestBadKeySizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short key did not panic")
+		}
+	}()
+	Sum([]byte("short"), nil)
+}
+
+func TestQuickNoCollisionsOnFlip(t *testing.T) {
+	f := func(k [KeySize]byte, data []byte, flip uint) bool {
+		if len(data) == 0 {
+			return true
+		}
+		m1 := Sum(k[:], data)
+		mut := bytes.Clone(data)
+		mut[flip%uint(len(mut))] ^= 0x01
+		m2 := Sum(k[:], mut)
+		return m1 != m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSum8K(b *testing.B) {
+	k := key(3)
+	data := make([]byte, 8192)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(k, data)
+	}
+}

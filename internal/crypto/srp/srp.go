@@ -1,0 +1,250 @@
+// Package srp implements the Secure Remote Password protocol (Wu,
+// NDSS 1998) that sfskey and the authserver use for password
+// authentication of servers (paper §2.4).
+//
+// SRP lets a client and server sharing a weak secret negotiate a
+// strong session key without exposing the weak secret to off-line
+// guessing attacks. SFS uses it so a user can securely download a
+// server's self-certifying pathname (and an encrypted copy of her
+// private key) given only a password. The verifier stored by the
+// server is derived from an eksblowfish-transformed password, so even
+// a stolen verifier forces an attacker to pay the expensive password
+// transformation per guess.
+//
+// The protocol follows the modern SRP-6a refinement of Wu's design
+// (the multiplier k = H(N, g) forecloses the two-for-one guessing
+// attack against SRP-3, which the paper's reference would permit):
+//
+//	x = H(salt, inner)        inner = eksblowfish(password) by callers
+//	v = g^x                   (verifier, stored by server)
+//	client: A = g^a
+//	server: B = k·v + g^b
+//	u = H(A, B)
+//	client: S = (B − k·g^x)^(a + u·x)
+//	server: S = (A·v^u)^b
+//	K = H(S)                  session key
+//	M1 = H(A, B, K), M2 = H(A, M1, K)   key confirmation
+package srp
+
+import (
+	"crypto/sha1"
+	"crypto/subtle"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// Group parameters: a 1024-bit safe prime p = 2q+1 with primitive
+// root 2, generated for this implementation and verified by init.
+const groupPHex = "ddfa1fe5463e1d8887fbe613b1190837b52daa6b231d94b7d25b5e01854c07deb7156b9b3a8a2f6d3c5457c71324c18c00ac5b07748e953232142de71384bef3ce2fc18de510d01bbbe86469672e6b6938a2ffb6a4f98fe6db5981e2177e79f4b7eb6f47fa9a865b15070a13b2a4e446924dca7210264347515e45229b84c7f3"
+
+var (
+	groupP *big.Int
+	groupQ *big.Int // (p-1)/2
+	groupG = big.NewInt(2)
+	multK  *big.Int // k = H(p, g)
+)
+
+func init() {
+	groupP, _ = new(big.Int).SetString(groupPHex, 16)
+	if groupP == nil || groupP.BitLen() != 1024 {
+		panic("srp: bad group constant")
+	}
+	groupQ = new(big.Int).Rsh(groupP, 1)
+	if !groupP.ProbablyPrime(20) || !groupQ.ProbablyPrime(20) {
+		panic("srp: group modulus not a safe prime")
+	}
+	h := sha1.New()
+	h.Write(groupP.Bytes())
+	h.Write(groupG.Bytes())
+	multK = new(big.Int).SetBytes(h.Sum(nil))
+}
+
+// KeySize is the size of the negotiated session key.
+const KeySize = sha1.Size
+
+var (
+	// ErrAuth is returned when key confirmation fails — a wrong
+	// password, a corrupted verifier, or an active attack.
+	ErrAuth = errors.New("srp: authentication failed")
+	// ErrProtocol is returned for out-of-range protocol values.
+	ErrProtocol = errors.New("srp: protocol violation")
+)
+
+func hashInts(vals ...*big.Int) *big.Int {
+	h := sha1.New()
+	for _, v := range vals {
+		b := v.Bytes()
+		h.Write([]byte{byte(len(b) >> 8), byte(len(b))})
+		h.Write(b)
+	}
+	return new(big.Int).SetBytes(h.Sum(nil))
+}
+
+// deriveX computes the private exponent from salt and the (already
+// hardened) password bytes.
+func deriveX(salt, secret []byte) *big.Int {
+	h := sha1.New()
+	h.Write(salt)
+	h.Write(secret)
+	return new(big.Int).SetBytes(h.Sum(nil))
+}
+
+// Verifier computes the value v = g^x the server stores for a user.
+// secret should be the eksblowfish-hardened password, not the raw
+// password, so stolen verifiers stay expensive to attack.
+func Verifier(salt, secret []byte) []byte {
+	x := deriveX(salt, secret)
+	return new(big.Int).Exp(groupG, x, groupP).Bytes()
+}
+
+// randExponent picks a uniform nonzero exponent below q.
+func randExponent(r io.Reader) (*big.Int, error) {
+	buf := make([]byte, 32)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		e := new(big.Int).SetBytes(buf)
+		if e.Sign() > 0 {
+			return e, nil
+		}
+	}
+}
+
+// checkGroupElement rejects values an attacker could use to force a
+// degenerate session key (0, ±1 mod p, or out of range).
+func checkGroupElement(v *big.Int) error {
+	if v.Sign() <= 0 || v.Cmp(groupP) >= 0 {
+		return ErrProtocol
+	}
+	m := new(big.Int).Mod(v, groupP)
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(groupP, one)
+	if m.Sign() == 0 || m.Cmp(one) == 0 || m.Cmp(pm1) == 0 {
+		return ErrProtocol
+	}
+	return nil
+}
+
+// Client holds the client side of one SRP exchange.
+type Client struct {
+	secret []byte
+	a      *big.Int
+	bigA   *big.Int
+	key    []byte
+	m1     *big.Int
+}
+
+// SetSecret replaces the client's hardened password bytes. It must be
+// called before React. sfskey uses it because the eksblowfish salt and
+// cost needed to harden the password only arrive in the server's first
+// response, after A has been sent.
+func (c *Client) SetSecret(secret []byte) { c.secret = secret }
+
+// NewClient starts an exchange for the given hardened password bytes.
+// It returns the client and the value A to send to the server.
+func NewClient(rand io.Reader, secret []byte) (*Client, []byte, error) {
+	a, err := randExponent(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	bigA := new(big.Int).Exp(groupG, a, groupP)
+	return &Client{secret: secret, a: a, bigA: bigA}, bigA.Bytes(), nil
+}
+
+// React processes the server's (salt, B) message and returns the key
+// confirmation value M1 to send back.
+func (c *Client) React(salt, bBytes []byte) ([]byte, error) {
+	bigB := new(big.Int).SetBytes(bBytes)
+	if err := checkGroupElement(bigB); err != nil {
+		return nil, err
+	}
+	u := hashInts(c.bigA, bigB)
+	if u.Sign() == 0 {
+		return nil, ErrProtocol
+	}
+	x := deriveX(salt, c.secret)
+	// S = (B - k*g^x) ^ (a + u*x) mod p
+	gx := new(big.Int).Exp(groupG, x, groupP)
+	kgx := new(big.Int).Mul(multK, gx)
+	base := new(big.Int).Sub(bigB, kgx)
+	base.Mod(base, groupP)
+	exp := new(big.Int).Mul(u, x)
+	exp.Add(exp, c.a)
+	s := new(big.Int).Exp(base, exp, groupP)
+	kh := sha1.Sum(s.Bytes())
+	c.key = kh[:]
+	c.m1 = hashInts(c.bigA, bigB, new(big.Int).SetBytes(c.key))
+	return c.m1.Bytes(), nil
+}
+
+// Finish verifies the server's confirmation M2 and returns the shared
+// session key.
+func (c *Client) Finish(m2 []byte) ([]byte, error) {
+	if c.key == nil {
+		return nil, ErrProtocol
+	}
+	want := hashInts(c.bigA, c.m1, new(big.Int).SetBytes(c.key))
+	if subtle.ConstantTimeCompare(want.Bytes(), m2) != 1 {
+		return nil, ErrAuth
+	}
+	return c.key, nil
+}
+
+// Server holds the server side of one SRP exchange.
+type Server struct {
+	v    *big.Int
+	b    *big.Int
+	bigB *big.Int
+	bigA *big.Int
+	key  []byte
+}
+
+// NewServer starts the server side for a stored (salt, verifier) pair
+// after receiving the client's A. It returns the server state and the
+// value B to send to the client.
+func NewServer(rand io.Reader, verifier, aBytes []byte) (*Server, []byte, error) {
+	bigA := new(big.Int).SetBytes(aBytes)
+	if err := checkGroupElement(bigA); err != nil {
+		return nil, nil, err
+	}
+	v := new(big.Int).SetBytes(verifier)
+	if v.Sign() <= 0 || v.Cmp(groupP) >= 0 {
+		return nil, nil, ErrProtocol
+	}
+	b, err := randExponent(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	// B = k*v + g^b mod p
+	bigB := new(big.Int).Exp(groupG, b, groupP)
+	kv := new(big.Int).Mul(multK, v)
+	bigB.Add(bigB, kv)
+	bigB.Mod(bigB, groupP)
+	u := hashInts(bigA, bigB)
+	if u.Sign() == 0 {
+		return nil, nil, ErrProtocol
+	}
+	// S = (A * v^u) ^ b mod p
+	vu := new(big.Int).Exp(v, u, groupP)
+	base := new(big.Int).Mul(bigA, vu)
+	base.Mod(base, groupP)
+	s := new(big.Int).Exp(base, b, groupP)
+	kh := sha1.Sum(s.Bytes())
+	srv := &Server{v: v, b: b, bigB: bigB, bigA: bigA, key: kh[:]}
+	return srv, bigB.Bytes(), nil
+}
+
+// Confirm checks the client's M1 and, if the password was right,
+// returns the server confirmation M2 and the shared session key.
+// On a wrong password it returns ErrAuth and learns nothing usable
+// for an off-line guess.
+func (s *Server) Confirm(m1 []byte) (m2, key []byte, err error) {
+	want := hashInts(s.bigA, s.bigB, new(big.Int).SetBytes(s.key))
+	if subtle.ConstantTimeCompare(want.Bytes(), m1) != 1 {
+		return nil, nil, ErrAuth
+	}
+	m2i := hashInts(s.bigA, want, new(big.Int).SetBytes(s.key))
+	return m2i.Bytes(), s.key, nil
+}

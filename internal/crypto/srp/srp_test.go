@@ -1,0 +1,218 @@
+package srp
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/prng"
+)
+
+func runExchange(t *testing.T, clientSecret, serverSecret []byte, seed string) ([]byte, []byte, error) {
+	t.Helper()
+	g := prng.NewSeeded([]byte("srp-test-" + seed))
+	salt := g.Bytes(16)
+	verifier := Verifier(salt, serverSecret)
+
+	cl, a, err := NewClient(g, clientSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, b, err := NewServer(g, verifier, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cl.React(salt, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, serverKey, err := srv.Confirm(m1)
+	if err != nil {
+		return nil, nil, err
+	}
+	clientKey, err := cl.Finish(m2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clientKey, serverKey, nil
+}
+
+func TestSuccessfulExchange(t *testing.T) {
+	secret := []byte("hardened-password-bytes")
+	ck, sk, err := runExchange(t, secret, secret, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ck, sk) {
+		t.Fatal("client and server derived different keys")
+	}
+	if len(ck) != KeySize {
+		t.Fatalf("key size %d, want %d", len(ck), KeySize)
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	_, _, err := runExchange(t, []byte("wrong"), []byte("right"), "reject")
+	if err != ErrAuth {
+		t.Fatalf("got %v, want ErrAuth", err)
+	}
+}
+
+func TestSessionKeysFresh(t *testing.T) {
+	secret := []byte("same password")
+	k1, _, err := runExchange(t, secret, secret, "fresh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _, err := runExchange(t, secret, secret, "fresh-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("two exchanges produced the same session key")
+	}
+}
+
+func TestDegenerateAValuesRejected(t *testing.T) {
+	g := prng.NewSeeded([]byte("degen"))
+	salt := g.Bytes(16)
+	verifier := Verifier(salt, []byte("pw"))
+	bad := [][]byte{
+		{},             // zero
+		{1},            // one
+		groupP.Bytes(), // p ≡ 0
+		new(big.Int).Sub(groupP, big.NewInt(1)).Bytes(), // p-1
+		new(big.Int).Add(groupP, big.NewInt(5)).Bytes(), // out of range
+	}
+	for i, a := range bad {
+		if _, _, err := NewServer(g, verifier, a); err == nil {
+			t.Errorf("degenerate A #%d accepted", i)
+		}
+	}
+}
+
+func TestDegenerateBValuesRejected(t *testing.T) {
+	g := prng.NewSeeded([]byte("degen-b"))
+	cl, _, err := NewClient(g, []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	salt := g.Bytes(16)
+	for i, b := range [][]byte{{}, {1}, groupP.Bytes()} {
+		if _, err := cl.React(salt, b); err == nil {
+			t.Errorf("degenerate B #%d accepted", i)
+		}
+	}
+}
+
+func TestTamperedM1Rejected(t *testing.T) {
+	g := prng.NewSeeded([]byte("tamper"))
+	salt := g.Bytes(16)
+	secret := []byte("pw")
+	verifier := Verifier(salt, secret)
+	cl, a, _ := NewClient(g, secret)
+	srv, b, err := NewServer(g, verifier, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cl.React(salt, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1[0] ^= 1
+	if _, _, err := srv.Confirm(m1); err != ErrAuth {
+		t.Fatalf("got %v, want ErrAuth", err)
+	}
+}
+
+func TestTamperedM2Rejected(t *testing.T) {
+	g := prng.NewSeeded([]byte("tamper2"))
+	salt := g.Bytes(16)
+	secret := []byte("pw")
+	verifier := Verifier(salt, secret)
+	cl, a, _ := NewClient(g, secret)
+	srv, b, _ := NewServer(g, verifier, a)
+	m1, _ := cl.React(salt, b)
+	m2, _, err := srv.Confirm(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2[3] ^= 1
+	if _, err := cl.Finish(m2); err != ErrAuth {
+		t.Fatalf("got %v, want ErrAuth", err)
+	}
+}
+
+func TestFinishBeforeReact(t *testing.T) {
+	g := prng.NewSeeded([]byte("order"))
+	cl, _, _ := NewClient(g, []byte("pw"))
+	if _, err := cl.Finish([]byte("m2")); err != ErrProtocol {
+		t.Fatalf("got %v, want ErrProtocol", err)
+	}
+}
+
+func TestVerifierDependsOnSaltAndSecret(t *testing.T) {
+	v1 := Verifier([]byte("salt1"), []byte("pw"))
+	v2 := Verifier([]byte("salt2"), []byte("pw"))
+	v3 := Verifier([]byte("salt1"), []byte("pw2"))
+	if bytes.Equal(v1, v2) || bytes.Equal(v1, v3) {
+		t.Fatal("verifier collisions")
+	}
+}
+
+// A passive attacker sees salt, A, B, M1, M2. Check that a guessed
+// password cannot be confirmed off line from that transcript alone:
+// recomputing the verifier and the client computation with the guess
+// requires the discrete log of A or B. This test documents the shape
+// by confirming that M1 for a wrong guess (with a fresh a') differs —
+// i.e. the transcript is not a password oracle.
+func TestTranscriptNotAnOracle(t *testing.T) {
+	g := prng.NewSeeded([]byte("oracle"))
+	salt := g.Bytes(16)
+	secret := []byte("right password")
+	verifier := Verifier(salt, secret)
+	cl, a, _ := NewClient(g, secret)
+	srv, b, _ := NewServer(g, verifier, a)
+	m1, _ := cl.React(salt, b)
+	if _, _, err := srv.Confirm(m1); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker replays A but guesses the password.
+	guessCl := &Client{secret: []byte("guessed password"), a: cl.a, bigA: cl.bigA}
+	gm1, err := guessCl.React(salt, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(gm1, m1) {
+		t.Fatal("wrong-password M1 matched the transcript")
+	}
+}
+
+func BenchmarkFullExchange(b *testing.B) {
+	g := prng.NewSeeded([]byte("bench"))
+	salt := g.Bytes(16)
+	secret := []byte("hardened")
+	verifier := Verifier(salt, secret)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, a, err := NewClient(g, secret)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, bb, err := NewServer(g, verifier, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m1, err := cl.React(salt, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, _, err := srv.Confirm(m1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Finish(m2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

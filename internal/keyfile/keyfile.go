@@ -1,0 +1,40 @@
+// Package keyfile persists Rabin key pairs for the command-line
+// tools. The format is a single hex line tagged with a version, with
+// restrictive file permissions — tools that want password protection
+// wrap the key with authserv.SealKey instead.
+package keyfile
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/crypto/rabin"
+)
+
+const header = "sfs-rabin-private-v1:"
+
+// Save writes priv to path with mode 0600.
+func Save(path string, priv *rabin.PrivateKey) error {
+	data := header + hex.EncodeToString(priv.PrivateBytes()) + "\n"
+	return os.WriteFile(path, []byte(data), 0o600)
+}
+
+// Load reads a key written by Save.
+func Load(path string) (*rabin.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(s, header) {
+		return nil, errors.New("keyfile: not an SFS private key file")
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(s, header))
+	if err != nil {
+		return nil, fmt.Errorf("keyfile: %w", err)
+	}
+	return rabin.ParsePrivateKey(raw)
+}

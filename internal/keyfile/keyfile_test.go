@@ -1,0 +1,57 @@
+package keyfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := prng.NewSeeded([]byte("keyfile"))
+	key, err := rabin.GenerateKey(g, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "k.sfs")
+	if err := Save(path, key); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode %o, want 0600", info.Mode().Perm())
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.PublicKey.Equal(&key.PublicKey) {
+		t.Fatal("loaded key differs")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty":   "",
+		"text":    "not a key\n",
+		"badhex":  "sfs-rabin-private-v1:zzzz\n",
+		"badbody": "sfs-rabin-private-v1:deadbeef\n",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: garbage accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package lab assembles complete SFS deployments — server master,
+// authservers, file systems, client daemons, and agents — on loopback
+// TCP. Integration tests, the example programs, and the benchmark
+// harness all build their worlds with it.
+package lab
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/authserv"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/secchan"
+	"repro/internal/server"
+	"repro/internal/sfsro"
+	"repro/internal/vfs"
+)
+
+// KeyBits is the key size used by lab worlds. Real deployments used
+// 1024-bit keys; 768 keeps handshakes fast while exercising identical
+// code paths.
+const KeyBits = 768
+
+// World is one self-contained SFS deployment.
+type World struct {
+	RNG    *prng.Generator
+	Server *server.Server
+
+	mu         sync.Mutex
+	listeners  []net.Listener
+	locs       map[string]string // Location -> TCP address
+	served     map[string]*Served
+	roRegistry *sfsro.Registry
+}
+
+// Served describes one file system in the world.
+type Served struct {
+	Location string
+	Path     core.Path
+	Key      *rabin.PrivateKey
+	FS       *vfs.FS
+	Auth     *authserv.Server
+	DB       *authserv.DB
+}
+
+// NewWorld starts a server master listening on loopback.
+func NewWorld(seed string) (*World, error) {
+	rng := prng.NewSeeded([]byte("lab-" + seed))
+	w := &World{
+		RNG:    rng,
+		Server: server.New(rng),
+		locs:   make(map[string]string),
+		served: make(map[string]*Served),
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	w.listeners = append(w.listeners, l)
+	go w.Server.ListenAndServe(l) //nolint:errcheck
+	return w, nil
+}
+
+// Close shuts the world's listeners down.
+func (w *World) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, l := range w.listeners {
+		l.Close()
+	}
+}
+
+// addr returns the master's address.
+func (w *World) addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.listeners[0].Addr().String()
+}
+
+// ServeFS creates a key pair, substrate file system, and authserver
+// for location and registers them with the server master. leaseMS
+// enables the SFS caching extensions.
+func (w *World) ServeFS(location string, leaseMS uint32) (*Served, error) {
+	key, err := rabin.GenerateKey(w.RNG, KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	fs := vfs.New()
+	path := core.MakePath(location, key.PublicKey.Bytes())
+	auth := authserv.New(path.String(), w.RNG)
+	db := authserv.NewDB("local", true)
+	auth.AddDB(db)
+	if _, err := w.Server.Serve(server.ServedConfig{
+		Location: location, Key: key, FS: fs, Auth: auth, LeaseMS: leaseMS,
+	}); err != nil {
+		return nil, err
+	}
+	s := &Served{Location: location, Path: path, Key: key, FS: fs, Auth: auth, DB: db}
+	w.mu.Lock()
+	w.locs[location] = w.listeners[0].Addr().String()
+	w.served[location] = s
+	w.mu.Unlock()
+	return s, nil
+}
+
+// ServeReadOnly publishes a signed database through the world's
+// server master under the read-only dialect and returns its
+// self-certifying pathname. The master never sees the private key;
+// only the signed database is installed.
+func (w *World) ServeReadOnly(db *sfsro.DB) (core.Path, error) {
+	w.mu.Lock()
+	if w.roRegistry == nil {
+		w.roRegistry = sfsro.NewRegistry()
+		w.Server.RegisterExtension(secchan.ServiceFileRO, w.roRegistry.HandleConn)
+	}
+	reg := w.roRegistry
+	w.mu.Unlock()
+	rep, err := sfsro.NewReplica(db)
+	if err != nil {
+		return core.Path{}, err
+	}
+	reg.Add(rep)
+	p := rep.Path()
+	w.mu.Lock()
+	w.locs[p.Location] = w.listeners[0].Addr().String()
+	w.mu.Unlock()
+	return p, nil
+}
+
+// Dial implements the client Dialer over the world's location map.
+func (w *World) Dial(location string) (net.Conn, error) {
+	w.mu.Lock()
+	addr, ok := w.locs[location]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown location %q", location)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// ClientOptions tune NewClient.
+type ClientOptions struct {
+	// EnhancedCaching enables the SFS attribute/access caching
+	// extensions (the default client configuration).
+	EnhancedCaching bool
+	// AttrTimeout is the fallback cache TTL when enhanced caching
+	// is off.
+	AttrTimeout time.Duration
+	// Seed differentiates RNGs of multiple clients.
+	Seed string
+}
+
+// NewClient starts a client daemon wired to this world.
+func (w *World) NewClient(opts ClientOptions) (*client.Client, error) {
+	return client.New(client.Config{
+		Dial:            w.Dial,
+		RNG:             prng.NewSeeded([]byte("lab-client-" + opts.Seed)),
+		TempKeyBits:     KeyBits,
+		EnhancedCaching: opts.EnhancedCaching,
+		AttrTimeout:     opts.AttrTimeout,
+	})
+}
+
+// NewUser creates a key pair and agent for a user, registers the user
+// with the served file system's authserver, and attaches the agent to
+// cl. Returns the agent.
+func (w *World) NewUser(cl *client.Client, s *Served, user string, uid uint32, password string) (*agent.Agent, error) {
+	key, err := rabin.GenerateKey(w.RNG, KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	err = s.Auth.Register(s.DB, user, uid, []uint32{uid}, authserv.RegisterOptions{
+		Password: password, PrivateKey: key, EksCost: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := agent.New(user, w.RNG)
+	a.AddKey(key)
+	cl.RegisterAgent(user, a)
+	return a, nil
+}
+
+// NewAnonymousUser attaches a keyless agent: all accesses proceed with
+// anonymous permissions.
+func (w *World) NewAnonymousUser(cl *client.Client, user string) *agent.Agent {
+	a := agent.New(user, w.RNG)
+	cl.RegisterAgent(user, a)
+	return a
+}

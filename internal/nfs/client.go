@@ -1,0 +1,566 @@
+package nfs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// ClientConfig selects the caching behaviour of a client.
+type ClientConfig struct {
+	// AttrTimeout is the client-side attribute cache lifetime when
+	// the server grants no lease — standard NFS 3 behaviour. Zero
+	// disables client-side attribute caching entirely.
+	AttrTimeout time.Duration
+	// UseLeases honors server-granted attribute leases, caching
+	// attributes for the full lease instead of AttrTimeout. This is
+	// the SFS enhanced-caching mode (paper §3.3).
+	UseLeases bool
+	// AccessCache caches ACCESS results per principal — the second
+	// SFS caching enhancement.
+	AccessCache bool
+	// Auth supplies per-call credentials; nil means anonymous.
+	Auth func() sunrpc.OpaqueAuth
+}
+
+// Stats counts the RPCs that actually crossed the wire, and the cache
+// hits that avoided one. The paper attributes much of SFS's MAB
+// performance to caching that "reduces the number of RPCs that need
+// to travel over the network".
+type Stats struct {
+	Calls      uint64 // RPCs sent
+	AttrHits   uint64 // GETATTRs avoided
+	AccessHits uint64 // ACCESSes avoided
+	Invals     uint64 // callbacks received
+}
+
+type attrEntry struct {
+	attr    Fattr
+	expires time.Time
+}
+
+type accessEntry struct {
+	granted uint32 // bits known granted
+	checked uint32 // bits known (granted or denied)
+	expires time.Time
+}
+
+type nameEntry struct {
+	fh      FH
+	expires time.Time
+}
+
+// clientCore is the state shared by every per-user view of one
+// connection: the transport, the attribute cache (safe to share
+// between mutually distrustful users because the pathname's HostID
+// already names the server key — the point of §5.1's AFS
+// comparison), and the statistics.
+type clientCore struct {
+	cfg  ClientConfig
+	peer *sunrpc.Client
+
+	mu     sync.Mutex
+	attrs  map[string]attrEntry
+	access map[string]accessEntry // keyed by principal + handle
+	// names caches LOOKUP results under leases (dir handle + name →
+	// child handle). Entries die with the directory's cached state:
+	// any mutation or callback on the directory forgets them, so the
+	// cache stays as consistent as the attribute cache.
+	names map[string]nameEntry
+
+	calls      atomic.Uint64
+	attrHits   atomic.Uint64
+	accessHits atomic.Uint64
+	invals     atomic.Uint64
+}
+
+// Client is one principal's view of a connection. Views created with
+// WithAuth share the transport and attribute cache but carry their
+// own credentials and access-cache namespace.
+type Client struct {
+	core *clientCore
+	// principal namespaces the access cache; views for different
+	// users must never share access-check results.
+	principal string
+	auth      func() sunrpc.OpaqueAuth
+}
+
+// Dial starts a client on conn. The connection also receives
+// invalidation callbacks from SFS-enhanced servers.
+func Dial(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
+	core := &clientCore{
+		cfg:    cfg,
+		attrs:  make(map[string]attrEntry),
+		access: make(map[string]accessEntry),
+		names:  make(map[string]nameEntry),
+	}
+	cb := sunrpc.NewServer()
+	cb.Register(Program, Version, func(proc uint32, _ sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+		if proc != ProcInvalidate {
+			return nil, sunrpc.ErrProcUnavail
+		}
+		var a InvalidateArgs
+		if err := args.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		core.invals.Add(1)
+		core.forget(a.FH)
+		return StatusRes{Status: OK}, nil
+	})
+	core.peer = sunrpc.NewPeer(conn, cb)
+	auth := cfg.Auth
+	if auth == nil {
+		auth = sunrpc.NoAuth
+	}
+	return &Client{core: core, principal: "", auth: auth}
+}
+
+// WithAuth returns a view of the same connection for another
+// principal: shared transport, shared attribute cache, separate
+// access cache and credentials.
+func (c *Client) WithAuth(principal string, auth func() sunrpc.OpaqueAuth) *Client {
+	if auth == nil {
+		auth = sunrpc.NoAuth
+	}
+	return &Client{core: c.core, principal: principal, auth: auth}
+}
+
+// Close tears down the transport (affects all views).
+func (c *Client) Close() error { return c.core.peer.Close() }
+
+// Done is closed when the transport fails.
+func (c *Client) Done() <-chan struct{} { return c.core.peer.Done() }
+
+// Stats returns a snapshot of the connection-wide counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Calls:      c.core.calls.Load(),
+		AttrHits:   c.core.attrHits.Load(),
+		AccessHits: c.core.accessHits.Load(),
+		Invals:     c.core.invals.Load(),
+	}
+}
+
+func (c *Client) call(proc uint32, args, res interface{}) error {
+	c.core.calls.Add(1)
+	return c.core.peer.Call(Program, Version, proc, c.auth(), args, res)
+}
+
+// forget drops cached state for a handle across all principals,
+// including any name-cache entries under it (when it is a directory).
+func (core *clientCore) forget(fh FH) {
+	core.mu.Lock()
+	delete(core.attrs, string(fh))
+	for k := range core.access {
+		if len(k) >= len(fh) && k[len(k)-len(fh):] == string(fh) {
+			delete(core.access, k)
+		}
+	}
+	prefix := string(fh) + "\x00"
+	for k := range core.names {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(core.names, k)
+		}
+	}
+	core.mu.Unlock()
+}
+
+func nameKey(dir FH, name string) string { return string(dir) + "\x00" + name }
+
+// dropName removes one name-cache entry.
+func (core *clientCore) dropName(dir FH, name string) {
+	core.mu.Lock()
+	delete(core.names, nameKey(dir, name))
+	core.mu.Unlock()
+}
+
+// refreshDir applies post-operation directory attributes from a
+// mutating reply (NFS3 wcc_data): when present the directory's
+// attribute entry is refreshed in place; when absent the whole
+// directory state is dropped.
+func (c *Client) refreshDir(dir FH, attr *Fattr) {
+	if attr == nil {
+		c.core.forget(dir)
+		return
+	}
+	c.remember(dir, attr)
+}
+
+func (c *Client) accessKey(fh FH) string { return c.principal + "\x00" + string(fh) }
+
+// remember stores attributes under the cache policy: the server lease
+// when enabled and granted, else the fixed client timeout.
+func (c *Client) remember(fh FH, attr *Fattr) {
+	if attr == nil {
+		c.core.forget(fh)
+		return
+	}
+	ttl := c.ttlFor(attr)
+	if ttl <= 0 {
+		return
+	}
+	c.core.mu.Lock()
+	c.core.attrs[string(fh)] = attrEntry{attr: *attr, expires: time.Now().Add(ttl)}
+	c.core.mu.Unlock()
+}
+
+func (c *Client) ttlFor(attr *Fattr) time.Duration {
+	if c.core.cfg.UseLeases && attr != nil && attr.LeaseMS > 0 {
+		return time.Duration(attr.LeaseMS) * time.Millisecond
+	}
+	return c.core.cfg.AttrTimeout
+}
+
+// MountRoot fetches the root file handle.
+func (c *Client) MountRoot() (FH, Fattr, error) {
+	var res MountRootRes
+	if err := c.call(ProcMountRoot, nil, &res); err != nil {
+		return nil, Fattr{}, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return nil, Fattr{}, err
+	}
+	c.remember(res.Root, res.Attr)
+	return res.Root, deref(res.Attr), nil
+}
+
+func deref(a *Fattr) Fattr {
+	if a == nil {
+		return Fattr{}
+	}
+	return *a
+}
+
+// GetAttr returns attributes, from cache when fresh.
+func (c *Client) GetAttr(fh FH) (Fattr, error) {
+	c.core.mu.Lock()
+	if e, ok := c.core.attrs[string(fh)]; ok && time.Now().Before(e.expires) {
+		c.core.mu.Unlock()
+		c.core.attrHits.Add(1)
+		return e.attr, nil
+	}
+	c.core.mu.Unlock()
+	var res AttrRes
+	if err := c.call(ProcGetAttr, FHArgs{FH: fh}, &res); err != nil {
+		return Fattr{}, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return Fattr{}, err
+	}
+	c.remember(fh, res.Attr)
+	return deref(res.Attr), nil
+}
+
+// SetAttr applies attribute changes.
+func (c *Client) SetAttr(args SetAttrArgs) (Fattr, error) {
+	var res AttrRes
+	if err := c.call(ProcSetAttr, args, &res); err != nil {
+		return Fattr{}, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(args.FH)
+		return Fattr{}, err
+	}
+	c.remember(args.FH, res.Attr)
+	return deref(res.Attr), nil
+}
+
+// Lookup resolves name in dir. In lease mode, repeat lookups are
+// served from the name cache together with the attribute cache, so a
+// warm pathname walk needs no RPCs at all.
+func (c *Client) Lookup(dir FH, name string) (FH, Fattr, error) {
+	if c.core.cfg.UseLeases {
+		key := nameKey(dir, name)
+		c.core.mu.Lock()
+		if e, ok := c.core.names[key]; ok && time.Now().Before(e.expires) {
+			if a, ok := c.core.attrs[string(e.fh)]; ok && time.Now().Before(a.expires) {
+				c.core.mu.Unlock()
+				c.core.attrHits.Add(1)
+				return e.fh, a.attr, nil
+			}
+		}
+		c.core.mu.Unlock()
+	}
+	var res LookupRes
+	if err := c.call(ProcLookup, DirOpArgs{Dir: dir, Name: name}, &res); err != nil {
+		return nil, Fattr{}, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return nil, Fattr{}, err
+	}
+	c.remember(res.FH, res.Attr)
+	if c.core.cfg.UseLeases {
+		if ttl := c.ttlFor(res.Attr); ttl > 0 {
+			c.core.mu.Lock()
+			c.core.names[nameKey(dir, name)] = nameEntry{fh: res.FH, expires: time.Now().Add(ttl)}
+			c.core.mu.Unlock()
+		}
+	}
+	return res.FH, deref(res.Attr), nil
+}
+
+// Access checks permission bits, using the per-principal access cache
+// when enabled.
+func (c *Client) Access(fh FH, want uint32) (uint32, error) {
+	if c.core.cfg.AccessCache {
+		key := c.accessKey(fh)
+		c.core.mu.Lock()
+		if e, ok := c.core.access[key]; ok && time.Now().Before(e.expires) && e.checked&want == want {
+			granted := e.granted & want
+			c.core.mu.Unlock()
+			c.core.accessHits.Add(1)
+			return granted, nil
+		}
+		c.core.mu.Unlock()
+	}
+	var res AccessRes
+	if err := c.call(ProcAccess, AccessArgs{FH: fh, Access: want}, &res); err != nil {
+		return 0, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return 0, err
+	}
+	c.remember(fh, res.Attr)
+	if c.core.cfg.AccessCache {
+		if ttl := c.ttlFor(res.Attr); ttl > 0 {
+			key := c.accessKey(fh)
+			c.core.mu.Lock()
+			e := c.core.access[key]
+			e.granted |= res.Access & want
+			e.granted &^= want &^ res.Access
+			e.checked |= want
+			e.expires = time.Now().Add(ttl)
+			c.core.access[key] = e
+			c.core.mu.Unlock()
+		}
+	}
+	return res.Access, nil
+}
+
+// Readlink fetches a symbolic link target.
+func (c *Client) Readlink(fh FH) (string, error) {
+	var res ReadlinkRes
+	if err := c.call(ProcReadlink, FHArgs{FH: fh}, &res); err != nil {
+		return "", err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return "", err
+	}
+	return res.Target, nil
+}
+
+// Read fetches up to count bytes at offset.
+func (c *Client) Read(fh FH, offset uint64, count uint32) ([]byte, bool, error) {
+	var res ReadRes
+	if err := c.call(ProcRead, ReadArgs{FH: fh, Offset: offset, Count: count}, &res); err != nil {
+		return nil, false, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return nil, false, err
+	}
+	c.remember(fh, res.Attr)
+	return res.Data, res.EOF, nil
+}
+
+// Write stores data at offset with the given stability.
+func (c *Client) Write(fh FH, offset uint64, data []byte, stable uint32) (uint32, error) {
+	var res WriteRes
+	if err := c.call(ProcWrite, WriteArgs{FH: fh, Offset: offset, Stable: stable, Data: data}, &res); err != nil {
+		return 0, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(fh)
+		return 0, err
+	}
+	c.remember(fh, res.Attr)
+	return res.Count, nil
+}
+
+// Create makes a regular file.
+func (c *Client) Create(dir FH, name string, mode uint32, exclusive bool) (FH, Fattr, error) {
+	var res LookupRes
+	if err := c.call(ProcCreate, CreateArgs{Dir: dir, Name: name, Mode: mode, Exclusive: exclusive}, &res); err != nil {
+		return nil, Fattr{}, err
+	}
+	c.core.dropName(dir, name)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return nil, Fattr{}, err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	c.remember(res.FH, res.Attr)
+	return res.FH, deref(res.Attr), nil
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir FH, name string, mode uint32) (FH, Fattr, error) {
+	var res LookupRes
+	if err := c.call(ProcMkdir, MkdirArgs{Dir: dir, Name: name, Mode: mode}, &res); err != nil {
+		return nil, Fattr{}, err
+	}
+	c.core.dropName(dir, name)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return nil, Fattr{}, err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	c.remember(res.FH, res.Attr)
+	return res.FH, deref(res.Attr), nil
+}
+
+// Symlink creates a symbolic link.
+func (c *Client) Symlink(dir FH, name, target string) (FH, Fattr, error) {
+	var res LookupRes
+	if err := c.call(ProcSymlink, SymlinkArgs{Dir: dir, Name: name, Target: target}, &res); err != nil {
+		return nil, Fattr{}, err
+	}
+	c.core.dropName(dir, name)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return nil, Fattr{}, err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	c.remember(res.FH, res.Attr)
+	return res.FH, deref(res.Attr), nil
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(dir FH, name string) error {
+	var res StatusRes
+	if err := c.call(ProcRemove, DirOpArgs{Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	c.core.dropName(dir, name)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	return nil
+}
+
+// Rmdir removes a directory.
+func (c *Client) Rmdir(dir FH, name string) error {
+	var res StatusRes
+	if err := c.call(ProcRmdir, DirOpArgs{Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	c.core.dropName(dir, name)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	return nil
+}
+
+// Rename moves a name.
+func (c *Client) Rename(fromDir FH, fromName string, toDir FH, toName string) error {
+	var res StatusRes
+	if err := c.call(ProcRename, RenameArgs{FromDir: fromDir, FromName: fromName, ToDir: toDir, ToName: toName}, &res); err != nil {
+		return err
+	}
+	c.core.dropName(fromDir, fromName)
+	c.core.dropName(toDir, toName)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(fromDir)
+		c.core.forget(toDir)
+		return err
+	}
+	c.refreshDir(fromDir, res.DirAttr)
+	c.refreshDir(toDir, res.DirAttr2)
+	return nil
+}
+
+// Link creates a hard link.
+func (c *Client) Link(file, dir FH, name string) error {
+	var res StatusRes
+	if err := c.call(ProcLink, LinkArgs{File: file, Dir: dir, Name: name}, &res); err != nil {
+		return err
+	}
+	c.core.dropName(dir, name)
+	c.core.forget(file)
+	if err := StatusErr(res.Status); err != nil {
+		c.core.forget(dir)
+		return err
+	}
+	c.refreshDir(dir, res.DirAttr)
+	return nil
+}
+
+// ReadDir lists entries after cookie.
+func (c *Client) ReadDir(dir FH, cookie uint64, count uint32) ([]Entry, bool, error) {
+	var res ReadDirRes
+	if err := c.call(ProcReadDir, ReadDirArgs{Dir: dir, Cookie: cookie, Count: count}, &res); err != nil {
+		return nil, false, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return nil, false, err
+	}
+	for _, e := range res.Entries {
+		c.remember(e.FH, e.Attr)
+	}
+	return res.Entries, res.EOF, nil
+}
+
+// Commit flushes unstable writes.
+func (c *Client) Commit(fh FH) error {
+	var res StatusRes
+	if err := c.call(ProcCommit, FHArgs{FH: fh}, &res); err != nil {
+		return err
+	}
+	return StatusErr(res.Status)
+}
+
+// Null performs a no-op round trip, for latency measurement.
+func (c *Client) Null() error {
+	return c.call(ProcNull, nil, &struct{}{})
+}
+
+// IDNames maps numeric IDs to the server's user and group names (the
+// libsfs mapping service). Unknown IDs come back as empty strings.
+func (c *Client) IDNames(uids, gids []uint32) ([]string, []string, error) {
+	if uids == nil {
+		uids = []uint32{}
+	}
+	if gids == nil {
+		gids = []uint32{}
+	}
+	var res IDNamesRes
+	if err := c.call(ProcIDNames, IDNamesArgs{UIDs: uids, GIDs: gids}, &res); err != nil {
+		return nil, nil, err
+	}
+	if err := StatusErr(res.Status); err != nil {
+		return nil, nil, err
+	}
+	return res.UserNames, res.GroupNames, nil
+}
+
+// Call issues a raw RPC on the shared transport with this view's
+// credentials; the SFS client uses it for the login protocol that
+// shares the file connection.
+func (c *Client) Call(prog, vers, proc uint32, args, res interface{}) error {
+	c.core.calls.Add(1)
+	return c.core.peer.Call(prog, vers, proc, c.auth(), args, res)
+}
+
+// ReadAll reads an entire file in chunked RPCs.
+func (c *Client) ReadAll(fh FH, chunk uint32) ([]byte, error) {
+	var out []byte
+	var off uint64
+	for {
+		data, eof, err := c.Read(fh, off, chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+		off += uint64(len(data))
+		if eof || len(data) == 0 {
+			return out, nil
+		}
+	}
+}

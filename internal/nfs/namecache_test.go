@@ -1,0 +1,106 @@
+package nfs
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func TestNameCacheServesWarmWalks(t *testing.T) {
+	_, _, cl := newPair(t, sfsServerConfig(), sfsClientConfig())
+	root, _, _ := cl.MountRoot()
+	d, _, err := cl.Mkdir(root, "dir", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Create(d, "f", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the path.
+	if _, _, err := cl.Lookup(root, "dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Lookup(d, "f"); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Stats().Calls
+	for i := 0; i < 10; i++ {
+		dd, _, err := cl.Lookup(root, "dir")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Lookup(dd, "f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Stats().Calls - before; got != 0 {
+		t.Fatalf("warm walk sent %d RPCs over the wire", got)
+	}
+}
+
+func TestNameCacheInvalidatedByOwnMutation(t *testing.T) {
+	_, _, cl := newPair(t, sfsServerConfig(), sfsClientConfig())
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	_ = fh
+	if _, _, err := cl.Lookup(root, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(root, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Lookup(root, "f"); err == nil {
+		t.Fatal("stale name entry served after Remove")
+	}
+}
+
+func TestNameCacheInvalidatedByCallback(t *testing.T) {
+	fsys := vfs.New()
+	srv := NewServer(fsys, sfsServerConfig())
+	mk := func() *Client {
+		a, b := net.Pipe()
+		srv.ServeConn(b)
+		cl := Dial(a, ClientConfig{UseLeases: true, AccessCache: true, Auth: rootAuth})
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	cl1, cl2 := mk(), mk()
+	root1, _, _ := cl1.MountRoot()
+	root2, _, _ := cl2.MountRoot()
+	cl1.Create(root1, "old", 0o644, true) //nolint:errcheck
+	// Client 2 warms its name cache.
+	if _, _, err := cl2.Lookup(root2, "old"); err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 renames; client 2 should get a directory callback
+	// and stop serving the stale name.
+	if err := cl1.Rename(root1, "old", root1, "new"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := cl2.Lookup(root2, "old"); err != nil {
+			break // stale entry gone, server says ENOENT
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale name served after rename callback")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNoNameCacheWithoutLeases(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	cl.Create(root, "f", 0o644, true) //nolint:errcheck
+	cl.Lookup(root, "f")              //nolint:errcheck
+	before := cl.Stats().Calls
+	for i := 0; i < 5; i++ {
+		cl.Lookup(root, "f") //nolint:errcheck
+	}
+	if got := cl.Stats().Calls - before; got != 5 {
+		t.Fatalf("plain NFS mode cached lookups: %d wire calls, want 5", got)
+	}
+}

@@ -1,0 +1,434 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+func rootAuth() sunrpc.OpaqueAuth { return sunrpc.UnixAuth(0, []uint32{0}) }
+
+func newPair(t *testing.T, srvCfg ServerConfig, clCfg ClientConfig) (*vfs.FS, *Server, *Client) {
+	t.Helper()
+	fs := vfs.New()
+	srv := NewServer(fs, srvCfg)
+	c1, c2 := net.Pipe()
+	sess := srv.ServeConn(c2)
+	t.Cleanup(func() { sess.Close() })
+	if clCfg.Auth == nil {
+		clCfg.Auth = rootAuth
+	}
+	cl := Dial(c1, clCfg)
+	t.Cleanup(func() { cl.Close() })
+	return fs, srv, cl
+}
+
+func sfsServerConfig() ServerConfig {
+	return ServerConfig{LeaseMS: 60000, Callbacks: true}
+}
+
+func sfsClientConfig() ClientConfig {
+	return ClientConfig{UseLeases: true, AccessCache: true, AttrTimeout: 3 * time.Second}
+}
+
+func TestMountAndBasicOps(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, attr, err := cl.MountRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != TypeDir {
+		t.Fatal("root is not a dir")
+	}
+	fh, _, err := cl.Create(root, "f.txt", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(fh, 0, []byte("hello over the wire"), Unstable); err != nil {
+		t.Fatal(err)
+	}
+	got, eof, err := cl.Read(fh, 0, 100)
+	if err != nil || !eof {
+		t.Fatalf("read: %v eof=%v", err, eof)
+	}
+	if string(got) != "hello over the wire" {
+		t.Fatalf("got %q", got)
+	}
+	lfh, lattr, err := cl.Lookup(root, "f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lfh, fh) || lattr.Size != 19 {
+		t.Fatalf("lookup: %x size=%d", lfh, lattr.Size)
+	}
+}
+
+func TestErrorsMapped(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	if _, _, err := cl.Lookup(root, "missing"); !errors.Is(err, Error(ErrNoEnt)) {
+		t.Fatalf("lookup missing: %v", err)
+	}
+	cl.Create(root, "f", 0o644, true) //nolint:errcheck
+	if _, _, err := cl.Create(root, "f", 0o644, true); !errors.Is(err, Error(ErrExist)) {
+		t.Fatalf("exclusive create: %v", err)
+	}
+	if err := cl.Rmdir(root, "f"); !errors.Is(err, Error(ErrNotDir)) {
+		t.Fatalf("rmdir on file: %v", err)
+	}
+	if _, _, err := cl.Lookup(FH("bogus handle..................."), "x"); err == nil {
+		t.Fatal("bogus handle accepted")
+	}
+}
+
+func TestDirOpsOverWire(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	d, _, err := cl.Mkdir(root, "dir", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if _, _, err := cl.Create(d, n, 0o644, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, eof, err := cl.ReadDir(d, 0, 100)
+	if err != nil || !eof || len(ents) != 3 {
+		t.Fatalf("readdir: %d entries eof=%v err=%v", len(ents), eof, err)
+	}
+	// READDIRPLUS-style handles and attrs present.
+	for _, e := range ents {
+		if len(e.FH) == 0 || e.Attr == nil {
+			t.Fatalf("entry %q missing fh/attr", e.Name)
+		}
+	}
+	if err := cl.Rename(d, "a", root, "a-moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(d, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove(d, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Rmdir(root, "dir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymlinkOverWire(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, attr, err := cl.Symlink(root, "link", "/sfs/host:abc/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != TypeSymlink {
+		t.Fatal("wrong type")
+	}
+	target, err := cl.Readlink(fh)
+	if err != nil || target != "/sfs/host:abc/file" {
+		t.Fatalf("readlink: %q %v", target, err)
+	}
+}
+
+func TestSetAttrOverWire(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	cl.Write(fh, 0, []byte("0123456789"), Unstable) //nolint:errcheck
+	sz := uint64(4)
+	attr, err := cl.SetAttr(SetAttrArgs{FH: fh, SetSize: &sz})
+	if err != nil || attr.Size != 4 {
+		t.Fatalf("truncate: %+v %v", attr, err)
+	}
+	mode := uint32(0o600)
+	attr, err = cl.SetAttr(SetAttrArgs{FH: fh, SetMode: &mode})
+	if err != nil || attr.Mode != 0o600 {
+		t.Fatalf("chmod: %+v %v", attr, err)
+	}
+}
+
+func TestCredentialEnforcementOverWire(t *testing.T) {
+	fsys, _, cl := newPair(t, ServerConfig{}, ClientConfig{
+		Auth: func() sunrpc.OpaqueAuth { return sunrpc.UnixAuth(1001, []uint32{1001}) },
+	})
+	// Server-side: make a root-owned 0600 file.
+	id, _, err := fsys.Create(vfs.Cred{UID: 0}, fsys.Root(), "secret", 0o600, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Write(vfs.Cred{UID: 0}, id, 0, []byte("top"), false); err != nil {
+		t.Fatal(err)
+	}
+	root, _, _ := cl.MountRoot()
+	fh, _, err := cl.Lookup(root, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Read(fh, 0, 10); !errors.Is(err, Error(ErrAcces)) {
+		t.Fatalf("unauthorized read: %v", err)
+	}
+}
+
+func TestAttrCachingReducesRPCs(t *testing.T) {
+	_, _, cl := newPair(t, sfsServerConfig(), sfsClientConfig())
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	before := cl.Stats().Calls
+	for i := 0; i < 10; i++ {
+		if _, err := cl.GetAttr(fh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cl.Stats()
+	if st.Calls != before {
+		t.Fatalf("leased GETATTRs went over the wire: %d calls", st.Calls-before)
+	}
+	if st.AttrHits < 10 {
+		t.Fatalf("attr hits = %d", st.AttrHits)
+	}
+}
+
+func TestNoCachingWithoutLeases(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{}) // plain NFS, AttrTimeout 0
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	before := cl.Stats().Calls
+	for i := 0; i < 5; i++ {
+		cl.GetAttr(fh) //nolint:errcheck
+	}
+	if got := cl.Stats().Calls - before; got != 5 {
+		t.Fatalf("expected 5 wire GETATTRs, got %d", got)
+	}
+}
+
+func TestAccessCache(t *testing.T) {
+	_, _, cl := newPair(t, sfsServerConfig(), sfsClientConfig())
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	if _, err := cl.Access(fh, AccessRead); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.Stats().Calls
+	for i := 0; i < 10; i++ {
+		got, err := cl.Access(fh, AccessRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got&AccessRead == 0 {
+			t.Fatal("cached access lost the grant")
+		}
+	}
+	if cl.Stats().Calls != before {
+		t.Fatal("cached ACCESS checks went over the wire")
+	}
+}
+
+func TestInvalidationCallback(t *testing.T) {
+	fsys := vfs.New()
+	srv := NewServer(fsys, sfsServerConfig())
+	mk := func() *Client {
+		a, b := net.Pipe()
+		srv.ServeConn(b)
+		cl := Dial(a, ClientConfig{UseLeases: true, AccessCache: true, Auth: rootAuth})
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	cl1, cl2 := mk(), mk()
+	root1, _, err := cl1.MountRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, _, _ := cl2.MountRoot()
+	fh1, _, _ := cl1.Create(root1, "shared", 0o666, true)
+	// Client 2 caches the attributes.
+	fh2, _, err := cl2.Lookup(root2, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.GetAttr(fh2); err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 writes; server should call back to client 2. Earlier
+	// directory operations may already have produced callbacks, so
+	// wait for the file-level one by polling the cache contents.
+	before := cl2.Stats().Invals
+	if _, err := cl1.Write(fh1, 0, []byte("invalidate me"), Unstable); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for cl2.Stats().Invals == before {
+		if time.Now().After(deadline) {
+			t.Fatal("no invalidation callback arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Next GetAttr must go to the server and see the new size. The
+	// write-callback races only with itself here: poll until the
+	// stale entry is gone.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		attr, err := cl2.GetAttr(fh2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attr.Size == 13 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale size %d after invalidation", attr.Size)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMutationInvalidatesOwnCache(t *testing.T) {
+	_, _, cl := newPair(t, sfsServerConfig(), sfsClientConfig())
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	cl.GetAttr(fh) //nolint:errcheck
+	if _, err := cl.Write(fh, 0, []byte("xyz"), Unstable); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := cl.GetAttr(fh)
+	if err != nil || attr.Size != 3 {
+		t.Fatalf("size %d err %v after write", attr.Size, err)
+	}
+}
+
+func TestReadAllChunks(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "big", 0o644, true)
+	want := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16 KB
+	if _, err := cl.Write(fh, 0, want, Unstable); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadAll(fh, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReadAll returned %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestWriteSizeLimit(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{MaxIO: 1024}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	if _, err := cl.Write(fh, 0, make([]byte, 2048), Unstable); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestStaleAfterRemove(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	if err := cl.Remove(root, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetAttr(fh); !errors.Is(err, Error(ErrStale)) {
+		t.Fatalf("got %v, want stale", err)
+	}
+}
+
+func TestCommit(t *testing.T) {
+	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	if _, err := cl.Write(fh, 0, []byte("unstable"), Unstable); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Commit(fh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPHandlerMode(t *testing.T) {
+	fsys := vfs.New()
+	srv := NewServer(fsys, ServerConfig{})
+	rpc := sunrpc.NewServer()
+	rpc.Register(Program, Version, srv.Handler())
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go rpc.ServePacket(pc) //nolint:errcheck
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Dial(sunrpc.NewDatagramConn(conn), ClientConfig{Auth: rootAuth})
+	defer cl.Close()
+	root, _, err := cl.MountRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, _, err := cl.Create(root, "udp.txt", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(fh, 0, []byte("datagram"), Unstable); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := cl.Read(fh, 0, 100)
+	if err != nil || string(data) != "datagram" {
+		t.Fatalf("read over UDP: %q %v", data, err)
+	}
+}
+
+func TestPlainCodecRoundTrip(t *testing.T) {
+	c := PlainCodec{}
+	fh := c.Encode(12345)
+	id, err := c.Decode(fh)
+	if err != nil || id != 12345 {
+		t.Fatalf("round trip: %d %v", id, err)
+	}
+	if _, err := c.Decode(FH("short")); err == nil {
+		t.Fatal("short handle accepted")
+	}
+}
+
+func BenchmarkNullRPC(b *testing.B) {
+	fsys := vfs.New()
+	srv := NewServer(fsys, ServerConfig{})
+	c1, c2 := net.Pipe()
+	srv.ServeConn(c2)
+	cl := Dial(c1, ClientConfig{Auth: rootAuth})
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Null(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead8K(b *testing.B) {
+	fsys := vfs.New()
+	srv := NewServer(fsys, ServerConfig{})
+	c1, c2 := net.Pipe()
+	srv.ServeConn(c2)
+	cl := Dial(c1, ClientConfig{Auth: rootAuth})
+	defer cl.Close()
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	cl.Write(fh, 0, make([]byte, 8192), Unstable) //nolint:errcheck
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.Read(fh, 0, 8192); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

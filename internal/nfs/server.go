@@ -1,0 +1,586 @@
+package nfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// HandleCodec converts between substrate file IDs and wire handles.
+// The plain codec produces guessable handles (the weakness the paper
+// warns about in kernel NFS); the SFS server installs an encrypting
+// codec from internal/server.
+type HandleCodec interface {
+	Encode(id vfs.FileID) FH
+	Decode(fh FH) (vfs.FileID, error)
+}
+
+// PlainCodec is the baseline codec: a 32-byte handle whose first 8
+// bytes are the file ID, the rest constant — like a factory-installed
+// NFS server without fsirand.
+type PlainCodec struct{}
+
+// Encode implements HandleCodec.
+func (PlainCodec) Encode(id vfs.FileID) FH {
+	fh := make(FH, 32)
+	binary.BigEndian.PutUint64(fh, uint64(id))
+	copy(fh[8:], "nfs3-plain-handle-pad...")
+	return fh
+}
+
+// Decode implements HandleCodec.
+func (PlainCodec) Decode(fh FH) (vfs.FileID, error) {
+	if len(fh) != 32 {
+		return 0, errors.New("nfs: bad handle length")
+	}
+	return vfs.FileID(binary.BigEndian.Uint64(fh)), nil
+}
+
+// CredFunc maps an RPC authenticator to substrate credentials.
+type CredFunc func(sunrpc.OpaqueAuth) vfs.Cred
+
+// UnixCreds is the baseline NFS credential mapping: trust AUTH_UNIX.
+func UnixCreds(a sunrpc.OpaqueAuth) vfs.Cred {
+	if uid, gids, ok := sunrpc.ParseUnixAuth(a); ok {
+		return vfs.Cred{UID: uid, GIDs: gids}
+	}
+	return vfs.Anonymous
+}
+
+// ServerConfig carries the tunables distinguishing the plain NFS 3
+// baseline from the SFS-enhanced server.
+type ServerConfig struct {
+	// LeaseMS enables the SFS attribute-lease extension when > 0.
+	LeaseMS uint32
+	// Callbacks enables server→client invalidations before lease
+	// expiry. Meaningless without LeaseMS.
+	Callbacks bool
+	// Codec converts handles; nil means PlainCodec.
+	Codec HandleCodec
+	// Creds maps authenticators to credentials; nil means UnixCreds.
+	Creds CredFunc
+	// MaxIO bounds read/write transfer sizes; 0 means 64 KiB.
+	MaxIO uint32
+	// IDNames maps a numeric user/group ID to a name for the libsfs
+	// mapping service (paper §3.3). Nil disables the service.
+	IDNames func(uid uint32, group bool) string
+}
+
+// Server serves the NFS-style protocol over a vfs.FS.
+type Server struct {
+	fs    *vfs.FS
+	cfg   ServerConfig
+	codec HandleCodec
+	creds CredFunc
+	maxIO uint32
+
+	mu       sync.Mutex
+	sessions map[*Session]struct{}
+	// leases tracks which sessions hold cacheable attributes for
+	// which files, so mutations can trigger callbacks.
+	leases map[vfs.FileID]map[*Session]time.Time
+}
+
+// NewServer wraps fs with the given configuration.
+func NewServer(fs *vfs.FS, cfg ServerConfig) *Server {
+	s := &Server{
+		fs:       fs,
+		cfg:      cfg,
+		codec:    cfg.Codec,
+		creds:    cfg.Creds,
+		maxIO:    cfg.MaxIO,
+		sessions: make(map[*Session]struct{}),
+		leases:   make(map[vfs.FileID]map[*Session]time.Time),
+	}
+	if s.codec == nil {
+		s.codec = PlainCodec{}
+	}
+	if s.creds == nil {
+		s.creds = UnixCreds
+	}
+	if s.maxIO == 0 {
+		s.maxIO = 64 << 10
+	}
+	return s
+}
+
+// Handler returns a stateless RPC handler for datagram transports
+// (the NFS-over-UDP baseline), where no session exists and therefore
+// no leases or callbacks apply.
+func (s *Server) Handler() sunrpc.Handler {
+	return func(proc uint32, cred sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+		return s.dispatch(nil, proc, cred, args)
+	}
+}
+
+// Session is one client connection.
+type Session struct {
+	srv   *Server
+	peer  *sunrpc.Client
+	creds CredFunc // per-session override; nil uses the server's
+}
+
+// SetCreds overrides the credential mapping for this session. The SFS
+// server installs a mapping from authentication numbers assigned by
+// its login protocol.
+func (sess *Session) SetCreds(f CredFunc) { sess.creds = f }
+
+// ServeConn starts serving NFS calls on conn and returns the session.
+// The connection is also used for invalidation callbacks.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) *Session {
+	return s.ServeConnWith(conn, nil)
+}
+
+// ServeConnWith is ServeConn with a hook that may register additional
+// RPC programs (e.g. the SFS user-authentication service) on the same
+// connection before traffic starts.
+func (s *Server) ServeConnWith(conn io.ReadWriteCloser, setup func(rpc *sunrpc.Server, sess *Session)) *Session {
+	sess := &Session{srv: s}
+	rpc := sunrpc.NewServer()
+	rpc.Register(Program, Version, func(proc uint32, cred sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+		return s.dispatch(sess, proc, cred, args)
+	})
+	if setup != nil {
+		setup(rpc, sess)
+	}
+	sess.peer = sunrpc.NewPeer(conn, rpc)
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	go func() {
+		<-sess.peer.Done()
+		s.dropSession(sess)
+	}()
+	return sess
+}
+
+func (s *Server) dropSession(sess *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess)
+	for id, m := range s.leases {
+		delete(m, sess)
+		if len(m) == 0 {
+			delete(s.leases, id)
+		}
+	}
+}
+
+// Close shuts down the session.
+func (sess *Session) Close() error { return sess.peer.Close() }
+
+// grantLease records that sess may cache attributes of id.
+func (s *Server) grantLease(sess *Session, id vfs.FileID) uint32 {
+	if s.cfg.LeaseMS == 0 || sess == nil {
+		return 0
+	}
+	if s.cfg.Callbacks {
+		s.mu.Lock()
+		m := s.leases[id]
+		if m == nil {
+			m = make(map[*Session]time.Time)
+			s.leases[id] = m
+		}
+		m[sess] = time.Now().Add(time.Duration(s.cfg.LeaseMS) * time.Millisecond)
+		s.mu.Unlock()
+	}
+	return s.cfg.LeaseMS
+}
+
+// invalidate notifies every session other than actor holding a live
+// lease on id. The server does not wait for acknowledgments;
+// consistency does not need to be perfect, just better than NFS 3
+// (paper §3.3).
+func (s *Server) invalidate(actor *Session, ids ...vfs.FileID) {
+	if !s.cfg.Callbacks || s.cfg.LeaseMS == 0 {
+		return
+	}
+	now := time.Now()
+	type target struct {
+		sess *Session
+		fh   FH
+	}
+	var targets []target
+	s.mu.Lock()
+	for _, id := range ids {
+		m := s.leases[id]
+		for sess, exp := range m {
+			if sess == actor {
+				continue
+			}
+			if exp.After(now) {
+				targets = append(targets, target{sess, s.codec.Encode(id)})
+			}
+			delete(m, sess)
+		}
+		if m != nil && len(m) == 0 {
+			delete(s.leases, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		t := t
+		go func() {
+			//nolint:errcheck // fire and forget by design
+			t.sess.peer.Call(Program, Version, ProcInvalidate, sunrpc.NoAuth(),
+				InvalidateArgs{FH: t.fh}, &StatusRes{})
+		}()
+	}
+}
+
+// attrFor loads attributes and grants a lease in one step.
+func (s *Server) attrFor(sess *Session, id vfs.FileID) *Fattr {
+	a, err := s.fs.GetAttr(id)
+	if err != nil {
+		return nil
+	}
+	fa := fattrFromVFS(a, s.grantLease(sess, id))
+	return &fa
+}
+
+func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d *xdr.Decoder) (interface{}, error) {
+	credFn := s.creds
+	if sess != nil && sess.creds != nil {
+		credFn = sess.creds
+	}
+	cred := credFn(auth)
+	switch proc {
+	case ProcNull:
+		return struct{}{}, nil
+	case ProcMountRoot:
+		root := s.fs.Root()
+		return MountRootRes{Status: OK, Root: s.codec.Encode(root), Attr: s.attrFor(sess, root)}, nil
+	case ProcGetAttr, ProcGetAttrSync:
+		var a FHArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		id, err := s.codec.Decode(a.FH)
+		if err != nil {
+			return AttrRes{Status: ErrBadHandle}, nil
+		}
+		if _, err := s.fs.GetAttr(id); err != nil {
+			return AttrRes{Status: statusFromErr(err)}, nil
+		}
+		return AttrRes{Status: OK, Attr: s.attrFor(sess, id)}, nil
+	case ProcSetAttr:
+		var a SetAttrArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		return s.setattr(sess, cred, a), nil
+	case ProcLookup:
+		var a DirOpArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return LookupRes{Status: ErrBadHandle}, nil
+		}
+		id, _, err := s.fs.Lookup(cred, dir, a.Name)
+		if err != nil {
+			return LookupRes{Status: statusFromErr(err)}, nil
+		}
+		// The client may cache the (dir, name) → handle binding, so
+		// it must hold a lease on the directory too: mutations of
+		// the directory then trigger a callback that clears the
+		// name-cache entry.
+		s.grantLease(sess, dir)
+		return LookupRes{Status: OK, FH: s.codec.Encode(id), Attr: s.attrFor(sess, id)}, nil
+	case ProcAccess:
+		var a AccessArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		return s.access(sess, cred, a), nil
+	case ProcReadlink:
+		var a FHArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		id, err := s.codec.Decode(a.FH)
+		if err != nil {
+			return ReadlinkRes{Status: ErrBadHandle}, nil
+		}
+		target, err := s.fs.Readlink(id)
+		if err != nil {
+			return ReadlinkRes{Status: statusFromErr(err)}, nil
+		}
+		return ReadlinkRes{Status: OK, Target: target}, nil
+	case ProcRead:
+		var a ReadArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		id, err := s.codec.Decode(a.FH)
+		if err != nil {
+			return ReadRes{Status: ErrBadHandle}, nil
+		}
+		count := a.Count
+		if count > s.maxIO {
+			count = s.maxIO
+		}
+		data, eof, err := s.fs.Read(cred, id, a.Offset, count)
+		if err != nil {
+			return ReadRes{Status: statusFromErr(err)}, nil
+		}
+		return ReadRes{Status: OK, Attr: s.attrFor(sess, id), Count: uint32(len(data)), EOF: eof, Data: data}, nil
+	case ProcWrite:
+		var a WriteArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		id, err := s.codec.Decode(a.FH)
+		if err != nil {
+			return WriteRes{Status: ErrBadHandle}, nil
+		}
+		if uint32(len(a.Data)) > s.maxIO {
+			return WriteRes{Status: ErrInval}, nil
+		}
+		attr, err := s.fs.Write(cred, id, a.Offset, a.Data, a.Stable == FileSync)
+		if err != nil {
+			return WriteRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, id)
+		fa := fattrFromVFS(attr, s.grantLease(sess, id))
+		return WriteRes{Status: OK, Attr: &fa, Count: uint32(len(a.Data))}, nil
+	case ProcCreate:
+		var a CreateArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return LookupRes{Status: ErrBadHandle}, nil
+		}
+		id, _, err := s.fs.Create(cred, dir, a.Name, a.Mode, a.Exclusive)
+		if err != nil {
+			return LookupRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir)
+		return LookupRes{Status: OK, FH: s.codec.Encode(id), Attr: s.attrFor(sess, id), DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcMkdir:
+		var a MkdirArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return LookupRes{Status: ErrBadHandle}, nil
+		}
+		id, _, err := s.fs.Mkdir(cred, dir, a.Name, a.Mode)
+		if err != nil {
+			return LookupRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir)
+		return LookupRes{Status: OK, FH: s.codec.Encode(id), Attr: s.attrFor(sess, id), DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcSymlink:
+		var a SymlinkArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return LookupRes{Status: ErrBadHandle}, nil
+		}
+		id, _, err := s.fs.Symlink(cred, dir, a.Name, a.Target)
+		if err != nil {
+			return LookupRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir)
+		return LookupRes{Status: OK, FH: s.codec.Encode(id), Attr: s.attrFor(sess, id), DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcRemove:
+		var a DirOpArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		var victim vfs.FileID
+		if id, _, err := s.fs.Lookup(cred, dir, a.Name); err == nil {
+			victim = id
+		}
+		if err := s.fs.Remove(cred, dir, a.Name); err != nil {
+			return StatusRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir, victim)
+		return StatusRes{Status: OK, DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcRmdir:
+		var a DirOpArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		if err := s.fs.Rmdir(cred, dir, a.Name); err != nil {
+			return StatusRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir)
+		return StatusRes{Status: OK, DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcRename:
+		var a RenameArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		from, err := s.codec.Decode(a.FromDir)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		to, err := s.codec.Decode(a.ToDir)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		if err := s.fs.Rename(cred, from, a.FromName, to, a.ToName); err != nil {
+			return StatusRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, from, to)
+		return StatusRes{Status: OK, DirAttr: s.attrFor(sess, from), DirAttr2: s.attrFor(sess, to)}, nil
+	case ProcLink:
+		var a LinkArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		file, err := s.codec.Decode(a.File)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		if err := s.fs.Link(cred, file, dir, a.Name); err != nil {
+			return StatusRes{Status: statusFromErr(err)}, nil
+		}
+		s.invalidate(sess, dir, file)
+		return StatusRes{Status: OK, DirAttr: s.attrFor(sess, dir)}, nil
+	case ProcReadDir:
+		var a ReadDirArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		dir, err := s.codec.Decode(a.Dir)
+		if err != nil {
+			return ReadDirRes{Status: ErrBadHandle}, nil
+		}
+		ents, eof, err := s.fs.ReadDir(cred, dir, a.Cookie, int(a.Count))
+		if err != nil {
+			return ReadDirRes{Status: statusFromErr(err)}, nil
+		}
+		s.grantLease(sess, dir)
+		out := make([]Entry, len(ents))
+		for i, e := range ents {
+			out[i] = Entry{
+				FileID: uint64(e.FileID),
+				Name:   e.Name,
+				Cookie: e.Cookie,
+				FH:     s.codec.Encode(e.FileID),
+				Attr:   s.attrFor(sess, e.FileID),
+			}
+		}
+		return ReadDirRes{Status: OK, Entries: out, EOF: eof}, nil
+	case ProcIDNames:
+		var a IDNamesArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		if s.cfg.IDNames == nil {
+			return IDNamesRes{Status: ErrNotSupp, UserNames: []string{}, GroupNames: []string{}}, nil
+		}
+		res := IDNamesRes{Status: OK, UserNames: make([]string, len(a.UIDs)), GroupNames: make([]string, len(a.GIDs))}
+		for i, uid := range a.UIDs {
+			res.UserNames[i] = s.cfg.IDNames(uid, false)
+		}
+		for i, gid := range a.GIDs {
+			res.GroupNames[i] = s.cfg.IDNames(gid, true)
+		}
+		return res, nil
+	case ProcFSInfo:
+		return FSInfoRes{Status: OK, RTMax: s.maxIO, WTMax: s.maxIO, TimeDelta: uint64(time.Millisecond)}, nil
+	case ProcCommit:
+		var a FHArgs
+		if err := d.Decode(&a); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		id, err := s.codec.Decode(a.FH)
+		if err != nil {
+			return StatusRes{Status: ErrBadHandle}, nil
+		}
+		if err := s.fs.Commit(id); err != nil {
+			return StatusRes{Status: statusFromErr(err)}, nil
+		}
+		return StatusRes{Status: OK}, nil
+	default:
+		return nil, sunrpc.ErrProcUnavail
+	}
+}
+
+// access implements the ACCESS procedure: for each requested bit,
+// report whether the credential holds the corresponding permission.
+func (s *Server) access(sess *Session, cred vfs.Cred, a AccessArgs) AccessRes {
+	id, err := s.codec.Decode(a.FH)
+	if err != nil {
+		return AccessRes{Status: ErrBadHandle}
+	}
+	if _, err := s.fs.GetAttr(id); err != nil {
+		return AccessRes{Status: statusFromErr(err)}
+	}
+	var granted uint32
+	checks := []struct {
+		bit  uint32
+		mode uint32
+	}{
+		{AccessRead, vfs.ModeRead},
+		{AccessLookup, vfs.ModeExec},
+		{AccessExecute, vfs.ModeExec},
+		{AccessModify, vfs.ModeWrite},
+		{AccessExtend, vfs.ModeWrite},
+		{AccessDelete, vfs.ModeWrite},
+	}
+	for _, c := range checks {
+		if a.Access&c.bit == 0 {
+			continue
+		}
+		if s.fs.Access(cred, id, c.mode) == nil {
+			granted |= c.bit
+		}
+	}
+	return AccessRes{Status: OK, Attr: s.attrFor(sess, id), Access: granted}
+}
+
+func (s *Server) setattr(sess *Session, cred vfs.Cred, a SetAttrArgs) AttrRes {
+	id, err := s.codec.Decode(a.FH)
+	if err != nil {
+		return AttrRes{Status: ErrBadHandle}
+	}
+	var sa vfs.SetAttr
+	sa.Mode = a.SetMode
+	sa.UID = a.SetUID
+	sa.GID = a.SetGID
+	sa.Size = a.SetSize
+	if a.SetMtime != nil {
+		t := time.Unix(0, int64(*a.SetMtime))
+		sa.Mtime = &t
+	}
+	if a.SetAtime != nil {
+		t := time.Unix(0, int64(*a.SetAtime))
+		sa.Atime = &t
+	}
+	attr, err := s.fs.SetAttrs(cred, id, sa)
+	if err != nil {
+		return AttrRes{Status: statusFromErr(err)}
+	}
+	s.invalidate(sess, id)
+	fa := fattrFromVFS(attr, s.grantLease(sess, id))
+	return AttrRes{Status: OK, Attr: &fa}
+}

@@ -1,0 +1,85 @@
+package secchan
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+)
+
+func testRNG(seed string) *prng.Generator { return prng.NewSeeded([]byte(seed)) }
+
+func TestPlainConnectAccept(t *testing.T) {
+	sk, _, _ := testKeys(t)
+	path := core.MakePath("ro.example.com", sk.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		req, err := ReadConnect(c2)
+		if err != nil || req.Service != ServiceFileRO {
+			return
+		}
+		AcceptPlain(c2, sk.PublicKey.Bytes()) //nolint:errcheck
+	}()
+	if _, err := ClientConnectPlain(c1, ServiceFileRO, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainConnectWrongKey(t *testing.T) {
+	sk, _, ok := testKeys(t)
+	path := core.MakePath("ro.example.com", sk.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if _, err := ReadConnect(c2); err != nil {
+			return
+		}
+		AcceptPlain(c2, ok.PublicKey.Bytes()) //nolint:errcheck
+	}()
+	if _, err := ClientConnectPlain(c1, ServiceFileRO, path); !errors.Is(err, ErrHostIDMismatch) {
+		t.Fatalf("got %v, want ErrHostIDMismatch", err)
+	}
+}
+
+func TestPlainConnectRevoked(t *testing.T) {
+	sk, _, _ := testKeys(t)
+	path := core.MakePath("ro.example.com", sk.PublicKey.Bytes())
+	cert, err := core.NewRevocation(sk, "ro.example.com", testRNG("plain-rev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if _, err := ReadConnect(c2); err != nil {
+			return
+		}
+		RejectRevoked(c2, cert) //nolint:errcheck
+	}()
+	got, err := ClientConnectPlain(c1, ServiceFileRO, path)
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("got %v, want ErrRevoked", err)
+	}
+	if got == nil {
+		t.Fatal("certificate not returned")
+	}
+}
+
+func TestReadConnectRejectsBadTag(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ReadConnect(c2)
+		errCh <- err
+	}()
+	if err := writeMsg(c1, ConnectRequest{Tag: "NOT_SFS", Extensions: []string{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("bad tag accepted")
+	}
+}

@@ -1,0 +1,498 @@
+// Package secchan implements SFS's low-level secure channel: the key
+// negotiation protocol of paper §3.1.1 (Figure 3) and the encrypted,
+// MACed record framing of §3.1.3.
+//
+// Connection establishment proceeds in the clear:
+//
+//  1. the client announces the Location and HostID it wants, plus the
+//     service (file server or authserver) and protocol extensions;
+//  2. the server responds with its public key K_S — or with a signed
+//     revocation certificate for that HostID;
+//  3. the client checks SHA-1("HostInfo", Location, K_S, ...) against
+//     the pathname's HostID. A matching key is the correct key, by the
+//     collision resistance of SHA-1; no external trust is involved.
+//
+// Key negotiation then provides forward secrecy: the client sends a
+// short-lived public key K_C' and the key halves k_C1, k_C2 encrypted
+// under K_S; the server replies with k_S1, k_S2 encrypted under K_C'.
+// Both sides compute
+//
+//	KeyCS = SHA-1("KCS", K_S, k_S1, K_C', k_C1)
+//	KeySC = SHA-1("KSC", K_S, k_S2, K_C', k_C2)
+//
+// and use one 20-byte ARC4 stream per direction. Every record's MAC
+// is keyed with 32 bytes pulled from that direction's stream (bytes
+// never used for encryption), computed over the length and plaintext,
+// and the length, message, and MAC are all encrypted. An attacker who
+// later compromises the server's long-lived key cannot decrypt
+// recorded sessions: the client discards K_C' regularly.
+package secchan
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crypto/arc4"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/crypto/sha1mac"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// Services a client can request from the server master, which
+// dispatches connections by service, version, and pathname (§3.2).
+const (
+	ServiceFile = 1
+	ServiceAuth = 2
+	// ServiceFileRO selects the read-only dialect (§2.4): servers
+	// prove file system contents with precomputed signatures.
+	ServiceFileRO = 3
+)
+
+// Connect response status codes.
+const (
+	connectOK      = 0
+	connectRevoked = 1
+	connectNoSuch  = 2
+)
+
+// Errors.
+var (
+	// ErrHostIDMismatch means the server presented a key that does
+	// not hash to the requested HostID: a wrong or malicious server.
+	ErrHostIDMismatch = errors.New("secchan: server key does not match HostID")
+	// ErrRevoked means the server answered with a valid revocation
+	// certificate for the requested HostID.
+	ErrRevoked = errors.New("secchan: self-certifying pathname has been revoked")
+	// ErrNoSuchFS means the server does not serve the requested
+	// pathname.
+	ErrNoSuchFS = errors.New("secchan: server does not serve this file system")
+	// ErrBadMAC means record authentication failed; the channel is
+	// dead.
+	ErrBadMAC = errors.New("secchan: message authentication failed")
+)
+
+const keyHalf = 20 // bytes per key half
+
+// ConnectRequest is the clear-text connection announcement.
+type ConnectRequest struct {
+	Tag        string // "SFS_CONNECT"
+	Service    uint32
+	Version    uint32
+	Location   string
+	HostID     [core.HostIDSize]byte
+	Extensions []string
+}
+
+// connectResponse carries the server key or a revocation certificate.
+type connectResponse struct {
+	Status     uint32
+	ServerKey  []byte
+	Revocation []byte // marshaled core.PathRevoke when Status == connectRevoked
+}
+
+// keyNegRequest is the client half of Figure 3 step 3.
+type keyNegRequest struct {
+	Tag       string // "SFS_KEYNEG"
+	TempKey   []byte // K_C' canonical encoding
+	KeyHalves []byte // {k_C1, k_C2} encrypted under K_S
+}
+
+// keyNegResponse is the server half, step 4.
+type keyNegResponse struct {
+	KeyHalves []byte // {k_S1, k_S2} encrypted under K_C'
+}
+
+// Info describes an established channel.
+type Info struct {
+	// SessionID = SHA-1("SessionInfo", KeyCS, KeySC); user
+	// authentication binds signatures to it (§3.1.2).
+	SessionID [sha1.Size]byte
+	// Location and HostID of the server end.
+	Location string
+	HostID   core.HostID
+	// Service the client requested.
+	Service uint32
+	// Version the client requested.
+	Version uint32
+	// Extensions from the connect request.
+	Extensions []string
+}
+
+func sessionKeys(serverKey, tempKey []byte, cHalves, sHalves []byte) (cs, sc [keyHalf]byte, sessionID [sha1.Size]byte) {
+	kcs := sha1.New()
+	kcs.Write([]byte("KCS"))
+	kcs.Write(serverKey)
+	kcs.Write(sHalves[:keyHalf])
+	kcs.Write(tempKey)
+	kcs.Write(cHalves[:keyHalf])
+	copy(cs[:], kcs.Sum(nil))
+	ksc := sha1.New()
+	ksc.Write([]byte("KSC"))
+	ksc.Write(serverKey)
+	ksc.Write(sHalves[keyHalf:])
+	ksc.Write(tempKey)
+	ksc.Write(cHalves[keyHalf:])
+	copy(sc[:], ksc.Sum(nil))
+	sid := sha1.New()
+	sid.Write([]byte("SessionInfo"))
+	sid.Write(cs[:])
+	sid.Write(sc[:])
+	copy(sessionID[:], sid.Sum(nil))
+	return cs, sc, sessionID
+}
+
+func writeMsg(w io.Writer, v interface{}) error {
+	b, err := xdr.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return sunrpc.WriteRecord(w, b)
+}
+
+func readMsg(r io.Reader, v interface{}) error {
+	b, err := sunrpc.ReadRecord(r)
+	if err != nil {
+		return err
+	}
+	return xdr.Unmarshal(b, v)
+}
+
+// ClientHandshake establishes a secure channel to the server for path.
+// tempKey is the client's short-lived key K_C'; callers regenerate it
+// on an interval (hourly in the paper) for forward secrecy. If the
+// server answers with a valid revocation certificate, the returned
+// error is ErrRevoked and the certificate is returned for the agent.
+func ClientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, tempKey *rabin.PrivateKey, rng *prng.Generator, extensions ...string) (*Conn, *Info, *core.PathRevoke, error) {
+	if extensions == nil {
+		extensions = []string{}
+	}
+	req := ConnectRequest{
+		Tag: "SFS_CONNECT", Service: service, Version: 1,
+		Location: path.Location, HostID: path.HostID, Extensions: extensions,
+	}
+	if err := writeMsg(conn, req); err != nil {
+		return nil, nil, nil, err
+	}
+	var resp connectResponse
+	if err := readMsg(conn, &resp); err != nil {
+		return nil, nil, nil, err
+	}
+	switch resp.Status {
+	case connectOK:
+	case connectRevoked:
+		cert, id, err := core.ParsePathRevoke(resp.Revocation)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("secchan: server sent invalid revocation: %w", err)
+		}
+		if id != path.HostID {
+			return nil, nil, nil, errors.New("secchan: revocation is for a different HostID")
+		}
+		return nil, nil, cert, ErrRevoked
+	case connectNoSuch:
+		return nil, nil, nil, ErrNoSuchFS
+	default:
+		return nil, nil, nil, fmt.Errorf("secchan: bad connect status %d", resp.Status)
+	}
+	// Verify the key against the pathname: this is the entire trust
+	// decision.
+	if core.ComputeHostID(path.Location, resp.ServerKey) != path.HostID {
+		return nil, nil, nil, ErrHostIDMismatch
+	}
+	serverPub, err := rabin.ParsePublicKey(resp.ServerKey)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("secchan: server key: %w", err)
+	}
+	// Key negotiation.
+	cHalves := rng.Bytes(2 * keyHalf)
+	encC, err := serverPub.Encrypt(rng, cHalves)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tempPub := tempKey.PublicKey.Bytes()
+	if err := writeMsg(conn, keyNegRequest{Tag: "SFS_KEYNEG", TempKey: tempPub, KeyHalves: encC}); err != nil {
+		return nil, nil, nil, err
+	}
+	var negResp keyNegResponse
+	if err := readMsg(conn, &negResp); err != nil {
+		return nil, nil, nil, err
+	}
+	sHalves, err := tempKey.Decrypt(negResp.KeyHalves)
+	if err != nil || len(sHalves) != 2*keyHalf {
+		return nil, nil, nil, errors.New("secchan: bad server key halves")
+	}
+	cs, sc, sid := sessionKeys(resp.ServerKey, tempPub, cHalves, sHalves)
+	sec, err := newConn(conn, cs[:], sc[:], true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info := &Info{
+		SessionID: sid, Location: path.Location, HostID: path.HostID,
+		Service: service, Version: req.Version, Extensions: extensions,
+	}
+	return sec, info, nil, nil
+}
+
+// ClientConnectPlain performs the connect exchange without key
+// negotiation: it announces the pathname, receives the server's
+// public key, and verifies it against the HostID. The read-only
+// dialect uses this — its data is self-certifying block by block, so
+// no secure channel is needed, and replicas hold no private key.
+func ClientConnectPlain(conn io.ReadWriter, service uint32, path core.Path, extensions ...string) (*core.PathRevoke, error) {
+	if extensions == nil {
+		extensions = []string{}
+	}
+	req := ConnectRequest{
+		Tag: "SFS_CONNECT", Service: service, Version: 1,
+		Location: path.Location, HostID: path.HostID, Extensions: extensions,
+	}
+	if err := writeMsg(conn, req); err != nil {
+		return nil, err
+	}
+	var resp connectResponse
+	if err := readMsg(conn, &resp); err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case connectOK:
+	case connectRevoked:
+		cert, id, err := core.ParsePathRevoke(resp.Revocation)
+		if err != nil {
+			return nil, fmt.Errorf("secchan: server sent invalid revocation: %w", err)
+		}
+		if id != path.HostID {
+			return nil, errors.New("secchan: revocation is for a different HostID")
+		}
+		return cert, ErrRevoked
+	case connectNoSuch:
+		return nil, ErrNoSuchFS
+	default:
+		return nil, fmt.Errorf("secchan: bad connect status %d", resp.Status)
+	}
+	if core.ComputeHostID(path.Location, resp.ServerKey) != path.HostID {
+		return nil, ErrHostIDMismatch
+	}
+	return nil, nil
+}
+
+// AcceptPlain answers a connect request with the server's public key
+// and no key negotiation (read-only dialect).
+func AcceptPlain(conn io.Writer, serverKey []byte) error {
+	return writeMsg(conn, connectResponse{Status: connectOK, ServerKey: serverKey, Revocation: []byte{}})
+}
+
+// KeySource supplies the private key serving a (Location, HostID)
+// pair, or nil if this server does not serve it. The server master
+// uses it to dispatch by self-certifying pathname.
+type KeySource func(location string, hostID core.HostID) *rabin.PrivateKey
+
+// RevocationSource optionally supplies a revocation certificate for a
+// HostID, letting servers "get the word out fast" about revoked
+// pathnames (§2.6). May be nil.
+type RevocationSource func(hostID core.HostID) *core.PathRevoke
+
+// ReadConnect reads the client's clear-text connect announcement so a
+// server master can decide how to dispatch the connection.
+func ReadConnect(conn io.Reader) (*ConnectRequest, error) {
+	var req ConnectRequest
+	if err := readMsg(conn, &req); err != nil {
+		return nil, err
+	}
+	if req.Tag != "SFS_CONNECT" {
+		return nil, errors.New("secchan: bad connect tag")
+	}
+	return &req, nil
+}
+
+// RejectNoSuchFS tells the client this server does not serve the
+// requested file system.
+func RejectNoSuchFS(conn io.Writer) error {
+	return writeMsg(conn, connectResponse{Status: connectNoSuch, ServerKey: []byte{}, Revocation: []byte{}})
+}
+
+// RejectRevoked answers the connect with a revocation certificate.
+func RejectRevoked(conn io.Writer, cert *core.PathRevoke) error {
+	return writeMsg(conn, connectResponse{Status: connectRevoked, ServerKey: []byte{}, Revocation: cert.Marshal()})
+}
+
+// ServerHandshake completes the server side of connection setup for a
+// connect request that the caller has matched to priv.
+func ServerHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator) (*Conn, *Info, error) {
+	pub := priv.PublicKey.Bytes()
+	if err := writeMsg(conn, connectResponse{Status: connectOK, ServerKey: pub, Revocation: []byte{}}); err != nil {
+		return nil, nil, err
+	}
+	var neg keyNegRequest
+	if err := readMsg(conn, &neg); err != nil {
+		return nil, nil, err
+	}
+	if neg.Tag != "SFS_KEYNEG" {
+		return nil, nil, errors.New("secchan: bad keyneg tag")
+	}
+	cHalves, err := priv.Decrypt(neg.KeyHalves)
+	if err != nil || len(cHalves) != 2*keyHalf {
+		return nil, nil, errors.New("secchan: bad client key halves")
+	}
+	tempPub, err := rabin.ParsePublicKey(neg.TempKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("secchan: client temp key: %w", err)
+	}
+	sHalves := rng.Bytes(2 * keyHalf)
+	encS, err := tempPub.Encrypt(rng, sHalves)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeMsg(conn, keyNegResponse{KeyHalves: encS}); err != nil {
+		return nil, nil, err
+	}
+	cs, sc, sid := sessionKeys(pub, neg.TempKey, cHalves, sHalves)
+	sec, err := newConn(conn, cs[:], sc[:], false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var hostID core.HostID
+	copy(hostID[:], req.HostID[:])
+	info := &Info{
+		SessionID: sid, Location: req.Location, HostID: hostID,
+		Service: req.Service, Version: req.Version, Extensions: req.Extensions,
+	}
+	return sec, info, nil
+}
+
+// Conn is an established secure channel. It implements
+// io.ReadWriteCloser with record semantics compatible with the RPC
+// layer's record marking: each Write seals one record; Read serves
+// decrypted bytes in order.
+type Conn struct {
+	raw io.ReadWriteCloser
+
+	wmu  sync.Mutex
+	send *arc4.Cipher
+
+	rmu     sync.Mutex
+	recv    *arc4.Cipher
+	readBuf []byte
+	readErr error
+}
+
+// NoEncryption, when set before channel construction (via
+// SetEncryption), MACs records but transmits plaintext — the "SFS
+// w/o encryption" configuration of the paper's Figure 5. It is a
+// package-level benchmark knob, not a production mode.
+type channelMode struct{ encrypt bool }
+
+var mode = channelMode{encrypt: true}
+
+// SetEncryption toggles payload encryption for subsequently created
+// channels (integrity MACs always remain). Benchmarks use this to
+// reproduce the paper's "SFS w/o encryption" rows.
+func SetEncryption(on bool) { mode.encrypt = on }
+
+// EncryptionEnabled reports the current mode.
+func EncryptionEnabled() bool { return mode.encrypt }
+
+func newConn(raw io.ReadWriteCloser, keyCS, keySC []byte, isClient bool) (*Conn, error) {
+	csCipher, err := arc4.New(keyCS)
+	if err != nil {
+		return nil, err
+	}
+	scCipher, err := arc4.New(keySC)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{raw: raw}
+	if isClient {
+		c.send, c.recv = csCipher, scCipher
+	} else {
+		c.send, c.recv = scCipher, csCipher
+	}
+	return c, nil
+}
+
+// Write seals p as one record: MAC keyed from the stream, over the
+// length and plaintext; then length, payload, and MAC encrypted.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	macKey := c.send.KeyStream(sha1mac.KeySize)
+	mac := sha1mac.Sum(macKey, p)
+	rec := make([]byte, 4+len(p)+sha1mac.Size)
+	rec[0] = byte(len(p) >> 24)
+	rec[1] = byte(len(p) >> 16)
+	rec[2] = byte(len(p) >> 8)
+	rec[3] = byte(len(p))
+	copy(rec[4:], p)
+	copy(rec[4+len(p):], mac[:])
+	if mode.encrypt {
+		c.send.XORKeyStream(rec, rec)
+	} else {
+		// Keep the stream position aligned with the peer.
+		c.send.KeyStream(len(rec))
+	}
+	if _, err := c.raw.Write(rec); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// MaxRecord bounds a sealed record's plaintext.
+const MaxRecord = 64 << 20
+
+// Read returns decrypted bytes, unsealing the next record when the
+// buffer is empty.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.readErr != nil {
+		return 0, c.readErr
+	}
+	for len(c.readBuf) == 0 {
+		if err := c.readRecord(); err != nil {
+			c.readErr = err
+			return 0, err
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+func (c *Conn) readRecord() error {
+	macKey := c.recv.KeyStream(sha1mac.KeySize)
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
+		return err
+	}
+	if mode.encrypt {
+		c.recv.XORKeyStream(hdr[:], hdr[:])
+	} else {
+		c.recv.KeyStream(4)
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 0 || n > MaxRecord {
+		return ErrBadMAC // garbled length ≈ tampering
+	}
+	body := make([]byte, n+sha1mac.Size)
+	if _, err := io.ReadFull(c.raw, body); err != nil {
+		return err
+	}
+	if mode.encrypt {
+		c.recv.XORKeyStream(body, body)
+	} else {
+		c.recv.KeyStream(len(body))
+	}
+	payload, mac := body[:n], body[n:]
+	if !sha1mac.Verify(macKey, payload, mac) {
+		return ErrBadMAC
+	}
+	c.readBuf = payload
+	return nil
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }

@@ -1,0 +1,326 @@
+package secchan
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+var (
+	keysOnce  sync.Once
+	serverKey *rabin.PrivateKey
+	tempKey   *rabin.PrivateKey
+	otherKey  *rabin.PrivateKey
+)
+
+func testKeys(t testing.TB) (*rabin.PrivateKey, *rabin.PrivateKey, *rabin.PrivateKey) {
+	t.Helper()
+	keysOnce.Do(func() {
+		g := prng.NewSeeded([]byte("secchan-test"))
+		var err error
+		if serverKey, err = rabin.GenerateKey(g, 768); err != nil {
+			t.Fatal(err)
+		}
+		if tempKey, err = rabin.GenerateKey(g, 768); err != nil {
+			t.Fatal(err)
+		}
+		if otherKey, err = rabin.GenerateKey(g, 768); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return serverKey, tempKey, otherKey
+}
+
+// handshakePair runs both sides of the handshake over a pipe.
+func handshakePair(t *testing.T, seed string) (client, server *Conn, ci, si *Info) {
+	t.Helper()
+	sk, tk, _ := testKeys(t)
+	path := core.MakePath("server.example.com", sk.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+
+	type srvRes struct {
+		conn *Conn
+		info *Info
+		err  error
+	}
+	ch := make(chan srvRes, 1)
+	go func() {
+		rng := prng.NewSeeded([]byte("server-" + seed))
+		req, err := ReadConnect(c2)
+		if err != nil {
+			ch <- srvRes{err: err}
+			return
+		}
+		conn, info, err := ServerHandshake(c2, req, sk, rng)
+		ch <- srvRes{conn: conn, info: info, err: err}
+	}()
+	rng := prng.NewSeeded([]byte("client-" + seed))
+	cc, cinfo, _, err := ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return cc, res.conn, cinfo, res.info
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	cc, sc, ci, si := handshakePair(t, "echo")
+	if ci.SessionID != si.SessionID {
+		t.Fatal("session IDs disagree")
+	}
+	if si.Service != ServiceFile {
+		t.Fatalf("server saw service %d", si.Service)
+	}
+	msg := []byte("sealed RPC payload")
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 100)
+		n, err := sc.Read(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf[:n], msg) {
+			done <- errors.New("server read wrong bytes")
+			return
+		}
+		_, err = sc.Write([]byte("reply"))
+		done <- err
+	}()
+	if _, err := cc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	n, err := cc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "reply" {
+		t.Fatalf("client read %q", buf[:n])
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	sk, tk, ok := testKeys(t)
+	// Pathname names otherKey, but the server will answer with
+	// serverKey: HostID check must fail.
+	path := core.MakePath("server.example.com", ok.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		rng := prng.NewSeeded([]byte("srv-wrong"))
+		req, err := ReadConnect(c2)
+		if err != nil {
+			return
+		}
+		ServerHandshake(c2, req, sk, rng) //nolint:errcheck
+	}()
+	rng := prng.NewSeeded([]byte("cl-wrong"))
+	_, _, _, err := ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if !errors.Is(err, ErrHostIDMismatch) {
+		t.Fatalf("got %v, want ErrHostIDMismatch", err)
+	}
+}
+
+func TestCiphertextLooksRandom(t *testing.T) {
+	cc, sc, _, _ := handshakePair(t, "random")
+	_ = sc
+	// Intercept what goes on the wire by wrapping: simplest check —
+	// encrypting the same plaintext twice yields different bytes
+	// (stream advances), and plaintext never appears.
+	var wire bytes.Buffer
+	tap := &Conn{raw: nopCloser{&wire}, send: cc.send}
+	msg := []byte("THE-SECRET-PLAINTEXT")
+	tap.Write(msg) //nolint:errcheck
+	first := append([]byte(nil), wire.Bytes()...)
+	wire.Reset()
+	tap.Write(msg) //nolint:errcheck
+	second := wire.Bytes()
+	if bytes.Contains(first, msg) || bytes.Contains(second, msg) {
+		t.Fatal("plaintext visible on the wire")
+	}
+	if bytes.Equal(first, second) {
+		t.Fatal("identical ciphertexts for repeated plaintext")
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error                 { return nil }
+func (n nopCloser) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func TestTamperingDetected(t *testing.T) {
+	sk, tk, _ := testKeys(t)
+	path := core.MakePath("server.example.com", sk.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	srvCh := make(chan *Conn, 1)
+	go func() {
+		rng := prng.NewSeeded([]byte("srv-tamper"))
+		req, _ := ReadConnect(c2)
+		conn, _, err := ServerHandshake(c2, req, sk, rng)
+		if err != nil {
+			srvCh <- nil
+			return
+		}
+		srvCh <- conn
+	}()
+	rng := prng.NewSeeded([]byte("cl-tamper"))
+	cc, _, _, err := ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sconn := <-srvCh
+	if sconn == nil {
+		t.Fatal("server handshake failed")
+	}
+	// Client writes a record; we flip one bit in flight by writing
+	// a corrupted copy directly on the raw pipe instead.
+	raw := make(chan []byte, 1)
+	go func() {
+		// Capture the sealed record.
+		var buf bytes.Buffer
+		tap := &Conn{raw: nopCloser{&buf}, send: cc.send}
+		tap.Write([]byte("payload")) //nolint:errcheck
+		rec := buf.Bytes()
+		rec[5] ^= 0x01
+		raw <- rec
+	}()
+	rec := <-raw
+	go c1.Write(rec) //nolint:errcheck
+	buf := make([]byte, 64)
+	if _, err := sconn.Read(buf); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestRevocationResponse(t *testing.T) {
+	sk, tk, _ := testKeys(t)
+	path := core.MakePath("revoked.example.com", sk.PublicKey.Bytes())
+	g := prng.NewSeeded([]byte("rev"))
+	cert, err := core.NewRevocation(sk, "revoked.example.com", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if _, err := ReadConnect(c2); err != nil {
+			return
+		}
+		RejectRevoked(c2, cert) //nolint:errcheck
+	}()
+	rng := prng.NewSeeded([]byte("cl-rev"))
+	_, _, gotCert, err := ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("got %v, want ErrRevoked", err)
+	}
+	if gotCert == nil || !gotCert.IsRevocation() {
+		t.Fatal("revocation certificate not returned")
+	}
+}
+
+func TestBogusRevocationRejected(t *testing.T) {
+	sk, tk, ok := testKeys(t)
+	// Server returns a revocation signed by a DIFFERENT key: the
+	// HostID won't match the requested one, so the client must not
+	// treat the pathname as revoked.
+	path := core.MakePath("victim.example.com", sk.PublicKey.Bytes())
+	g := prng.NewSeeded([]byte("bogus"))
+	cert, err := core.NewRevocation(ok, "victim.example.com", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if _, err := ReadConnect(c2); err != nil {
+			return
+		}
+		RejectRevoked(c2, cert) //nolint:errcheck
+	}()
+	rng := prng.NewSeeded([]byte("cl-bogus"))
+	_, _, _, err = ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if err == nil || errors.Is(err, ErrRevoked) {
+		t.Fatalf("bogus revocation produced %v", err)
+	}
+}
+
+func TestNoSuchFS(t *testing.T) {
+	sk, tk, _ := testKeys(t)
+	path := core.MakePath("elsewhere.example.com", sk.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if _, err := ReadConnect(c2); err != nil {
+			return
+		}
+		RejectNoSuchFS(c2) //nolint:errcheck
+	}()
+	rng := prng.NewSeeded([]byte("cl-nosuch"))
+	_, _, _, err := ClientHandshake(c1, ServiceFile, path, tk, rng)
+	if !errors.Is(err, ErrNoSuchFS) {
+		t.Fatalf("got %v, want ErrNoSuchFS", err)
+	}
+}
+
+func TestRPCOverSecureChannel(t *testing.T) {
+	cc, sc, _, _ := handshakePair(t, "rpc")
+	srv := sunrpc.NewServer()
+	srv.Register(7, 1, func(proc uint32, _ sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+		var s string
+		if err := args.Decode(&s); err != nil {
+			return nil, sunrpc.ErrGarbageArgs
+		}
+		return s + "!", nil
+	})
+	go srv.ServeConn(sc) //nolint:errcheck
+	cl := sunrpc.NewClient(cc)
+	defer cl.Close()
+	var out string
+	if err := cl.Call(7, 1, 0, sunrpc.NoAuth(), "encrypted rpc", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "encrypted rpc!" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestNoEncryptionModeInteroperates(t *testing.T) {
+	SetEncryption(false)
+	defer SetEncryption(true)
+	cc, sc, _, _ := handshakePair(t, "noenc")
+	go func() {
+		buf := make([]byte, 64)
+		n, err := sc.Read(buf)
+		if err != nil {
+			return
+		}
+		sc.Write(buf[:n]) //nolint:errcheck
+	}()
+	if _, err := cc.Write([]byte("clear but MACed")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := cc.Read(buf)
+	if err != nil || string(buf[:n]) != "clear but MACed" {
+		t.Fatalf("round trip: %q %v", buf[:n], err)
+	}
+}

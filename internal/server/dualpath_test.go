@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/nfs"
+	"repro/internal/secchan"
+	"repro/internal/vfs"
+)
+
+// TestSameFSUnderTwoPathnames exercises §2.4's transition strategy:
+// "SFS can serve two copies of the same file system under different
+// self-certifying pathnames" — e.g. while a server changes domain
+// names, the old and new pathnames both work and show the same data.
+func TestSameFSUnderTwoPathnames(t *testing.T) {
+	g := prng.NewSeeded([]byte("dualpath"))
+	oldKey, err := rabin.GenerateKey(g, 768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newKey, err := rabin.GenerateKey(g, 768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := vfs.New()
+	if err := shared.WriteFile(vfs.Cred{UID: 0}, "f", []byte("one fs, two names"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(g)
+	oldPath, err := s.Serve(ServedConfig{Location: "old.example.com", Key: oldKey, FS: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath, err := s.Serve(ServedConfig{Location: "new.example.com", Key: newKey, FS: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPath.HostID == newPath.HostID {
+		t.Fatal("two keys produced one HostID")
+	}
+	for i, p := range []core.Path{oldPath, newPath} {
+		c1, c2 := net.Pipe()
+		go s.HandleConn(&pipeConn{c2})
+		rng := prng.NewSeeded([]byte{byte(i), 'd'})
+		tempKey, err := rabin.GenerateKey(rng, 768)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec, _, _, err := secchan.ClientHandshake(&pipeConn{c1}, secchan.ServiceFile, p, tempKey, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Location, err)
+		}
+		cl := nfs.Dial(sec, nfs.ClientConfig{})
+		root, _, err := cl.MountRoot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh, _, err := cl.Lookup(root, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := cl.Read(fh, 0, 100)
+		if err != nil || string(data) != "one fs, two names" {
+			t.Fatalf("%s read: %q %v", p.Location, data, err)
+		}
+		cl.Close()
+	}
+}

@@ -1,0 +1,402 @@
+// Package server implements the SFS server side: the server master
+// (sfssd) that accepts connections and dispatches them by service and
+// self-certifying pathname, and the read-write file server that tags
+// requests with credentials and relays them to the substrate file
+// system (paper §3.2, §3.3).
+//
+// A single server master can serve multiple file systems, each under
+// its own (Location, HostID) pair, alongside their authservers. For
+// each incoming connection it reads the clear-text connect request,
+// answers with a revocation certificate if one is installed for the
+// requested HostID, completes the key-negotiation handshake otherwise,
+// and hands the resulting secure channel to the subsystem selected by
+// the request: the file service, the authserver key service, or any
+// registered protocol extension (such as the read-only dialect) —
+// "one can add new file system protocols to SFS without changing any
+// of the existing software".
+package server
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/authserv"
+	"repro/internal/core"
+	"repro/internal/crypto/blowfish"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/nfs"
+	"repro/internal/secchan"
+	"repro/internal/sfsrpc"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// encCodec hardens NFS file handles: it adds redundancy to the file ID
+// and encrypts the result with Blowfish in CBC mode under a 20-byte
+// key (paper §3.3). SFS handles are public — anonymous clients see
+// them — so unlike plain NFS handles they must not be guessable.
+type encCodec struct {
+	ciph *blowfish.Cipher
+}
+
+func newEncCodec(key []byte) (*encCodec, error) {
+	c, err := blowfish.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &encCodec{ciph: c}, nil
+}
+
+// Encode produces a 16-byte handle: CBC(fileID || check) where check
+// is derived from the file ID, giving decode a redundancy test.
+func (c *encCodec) Encode(id vfs.FileID) nfs.FH {
+	var plain [16]byte
+	binary.BigEndian.PutUint64(plain[:8], uint64(id))
+	h := sha1.Sum(append([]byte("fh-check"), plain[:8]...))
+	copy(plain[8:], h[:8])
+	ct, err := c.ciph.EncryptCBC(plain[:])
+	if err != nil {
+		panic("server: CBC on aligned block failed: " + err.Error())
+	}
+	return ct
+}
+
+// Decode inverts Encode, rejecting handles whose redundancy does not
+// check — guessed or corrupted handles.
+func (c *encCodec) Decode(fh nfs.FH) (vfs.FileID, error) {
+	if len(fh) != 16 {
+		return 0, errors.New("server: bad handle length")
+	}
+	plain, err := c.ciph.DecryptCBC(fh)
+	if err != nil {
+		return 0, err
+	}
+	h := sha1.Sum(append([]byte("fh-check"), plain[:8]...))
+	for i := 0; i < 8; i++ {
+		if plain[8+i] != h[i] {
+			return 0, errors.New("server: handle redundancy check failed")
+		}
+	}
+	return vfs.FileID(binary.BigEndian.Uint64(plain[:8])), nil
+}
+
+// ServedConfig describes one file system to serve.
+type ServedConfig struct {
+	// Location is the server's DNS name or address as it appears in
+	// self-certifying pathnames.
+	Location string
+	// Key is the server's long-lived private key.
+	Key *rabin.PrivateKey
+	// FS is the substrate file system.
+	FS *vfs.FS
+	// Auth validates user-authentication requests. Nil serves the
+	// file system anonymously only.
+	Auth *authserv.Server
+	// LeaseMS is the attribute lease granted to clients
+	// (0 disables the SFS caching extensions).
+	LeaseMS uint32
+	// AnonUID/AnonGID map anonymous access; zero values use
+	// the substrate's nobody IDs.
+	AnonCred *vfs.Cred
+}
+
+// servedFS is one registered file system.
+type servedFS struct {
+	cfg  ServedConfig
+	path core.Path
+	nfss *nfs.Server
+	anon vfs.Cred
+}
+
+// ExtensionHandler serves a non-file, non-auth service. It receives
+// the raw connection right after the clear-text connect request so
+// dialects that need no key negotiation (like the read-only protocol,
+// whose replicas hold no private key) can run their own exchange. The
+// handler owns the connection.
+type ExtensionHandler func(conn net.Conn, req *secchan.ConnectRequest)
+
+// Server is the server master.
+type Server struct {
+	rng *prng.Generator
+
+	mu     sync.RWMutex
+	byHost map[core.HostID]*servedFS
+	revs   map[core.HostID]*core.PathRevoke
+	exts   map[uint32]ExtensionHandler
+}
+
+// New creates an empty server master.
+func New(rng *prng.Generator) *Server {
+	if rng == nil {
+		rng = prng.New()
+	}
+	return &Server{
+		rng:    rng,
+		byHost: make(map[core.HostID]*servedFS),
+		revs:   make(map[core.HostID]*core.PathRevoke),
+		exts:   make(map[uint32]ExtensionHandler),
+	}
+}
+
+// Serve registers a file system and returns its self-certifying
+// pathname. Anyone with a domain name and a key pair can do this —
+// no authority need be consulted (paper §2.1.3).
+func (s *Server) Serve(cfg ServedConfig) (core.Path, error) {
+	if err := core.ValidateLocation(cfg.Location); err != nil {
+		return core.Path{}, err
+	}
+	if cfg.Key == nil || cfg.FS == nil {
+		return core.Path{}, errors.New("server: config requires a key and a file system")
+	}
+	path := core.MakePath(cfg.Location, cfg.Key.PublicKey.Bytes())
+	// The file-handle key is derived from the server's private key
+	// so handles stay stable across restarts.
+	fhKeyD := sha1.Sum(append([]byte("fh-key"), cfg.Key.PrivateBytes()...))
+	codec, err := newEncCodec(fhKeyD[:])
+	if err != nil {
+		return core.Path{}, err
+	}
+	anon := vfs.Anonymous
+	if cfg.AnonCred != nil {
+		anon = *cfg.AnonCred
+	}
+	sfs := &servedFS{cfg: cfg, path: path, anon: anon}
+	nfsCfg := nfs.ServerConfig{
+		LeaseMS:   cfg.LeaseMS,
+		Callbacks: cfg.LeaseMS > 0,
+		Codec:     codec,
+		Creds:     func(sunrpc.OpaqueAuth) vfs.Cred { return anon },
+	}
+	if cfg.Auth != nil {
+		nfsCfg.IDNames = cfg.Auth.NameOfID
+	}
+	sfs.nfss = nfs.NewServer(cfg.FS, nfsCfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byHost[path.HostID]; dup {
+		return core.Path{}, errors.New("server: file system already served")
+	}
+	s.byHost[path.HostID] = sfs
+	return path, nil
+}
+
+// AddRevocation installs a revocation certificate the server will
+// answer connects with — an unreliable but fast way to get the word
+// out about a revoked pathname (paper §2.6).
+func (s *Server) AddRevocation(cert *core.PathRevoke) error {
+	id, err := cert.Verify()
+	if err != nil {
+		return err
+	}
+	if !cert.IsRevocation() {
+		return errors.New("server: only revocations are served at connect")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revs[id] = cert
+	return nil
+}
+
+// RegisterExtension installs a handler for an additional service
+// number, e.g. the read-only dialect.
+func (s *Server) RegisterExtension(service uint32, h ExtensionHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exts[service] = h
+}
+
+// ListenAndServe accepts connections until the listener closes.
+func (s *Server) ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.HandleConn(conn)
+	}
+}
+
+// HandleConn runs the connect protocol on one raw connection and
+// hands it to the selected subsystem.
+func (s *Server) HandleConn(conn net.Conn) {
+	defer func() {
+		// The file service keeps the connection; other paths close
+		// it via their own lifecycles, and errors close it here.
+	}()
+	req, err := secchan.ReadConnect(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var hostID core.HostID
+	copy(hostID[:], req.HostID[:])
+	s.mu.RLock()
+	rev := s.revs[hostID]
+	sfs := s.byHost[hostID]
+	ext := s.exts[req.Service]
+	s.mu.RUnlock()
+	if rev != nil {
+		secchan.RejectRevoked(conn, rev) //nolint:errcheck
+		conn.Close()
+		return
+	}
+	if ext != nil {
+		// Protocol extensions (e.g. the read-only dialect) own the
+		// connection from here; they run their own exchange.
+		ext(conn, req)
+		return
+	}
+	if sfs == nil || sfs.path.Location != req.Location {
+		secchan.RejectNoSuchFS(conn) //nolint:errcheck
+		conn.Close()
+		return
+	}
+	sec, info, err := secchan.ServerHandshake(conn, req, sfs.cfg.Key, s.rng)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch req.Service {
+	case secchan.ServiceFile:
+		s.serveFile(sec, info, sfs)
+	case secchan.ServiceAuth:
+		s.serveAuth(sec, sfs)
+	default:
+		sec.Close()
+	}
+}
+
+// seqWindow tracks which sequence numbers have appeared in a session,
+// accepting out-of-order numbers within a reasonable window (paper
+// §3.1.2 footnote 4) while rejecting replays.
+type seqWindow struct {
+	highest uint32
+	recent  uint64 // bitmask of highest-1 .. highest-64
+	started bool
+}
+
+// accept reports whether seq is fresh, and records it.
+func (w *seqWindow) accept(seq uint32) bool {
+	if !w.started {
+		w.started = true
+		w.highest = seq
+		return true
+	}
+	switch {
+	case seq == w.highest:
+		return false
+	case seq > w.highest:
+		shift := seq - w.highest
+		if shift >= 64 {
+			w.recent = 0
+		} else {
+			w.recent = w.recent<<shift | 1<<(shift-1)
+		}
+		w.highest = seq
+		return true
+	default:
+		back := w.highest - seq
+		if back > 64 {
+			return false // outside the window
+		}
+		bit := uint64(1) << (back - 1)
+		if w.recent&bit != 0 {
+			return false
+		}
+		w.recent |= bit
+		return true
+	}
+}
+
+// serveFile serves the read-write file protocol plus the user-
+// authentication service on one secure channel.
+func (s *Server) serveFile(sec *secchan.Conn, info *secchan.Info, sfs *servedFS) {
+	authInfo := sfsrpc.NewAuthInfo(info.Location, info.HostID, info.SessionID)
+	wantAuthID := authInfo.AuthID()
+
+	var mu sync.Mutex
+	authNos := map[uint32]vfs.Cred{}
+	nextAuthNo := uint32(1)
+	var seqs seqWindow
+
+	sfs.nfss.ServeConnWith(sec, func(rpc *sunrpc.Server, sess *nfs.Session) {
+		// Credential tagging: the server, not the client, decides
+		// what a given authentication number means.
+		sess.SetCreds(func(a sunrpc.OpaqueAuth) vfs.Cred {
+			no := sunrpc.AuthNumber(a)
+			if no == 0 {
+				return sfs.anon
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if c, ok := authNos[no]; ok {
+				return c
+			}
+			return sfs.anon
+		})
+		rpc.Register(sfsrpc.AuthProgram, sfsrpc.Version, func(proc uint32, _ sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
+			if proc != sfsrpc.ProcLogin {
+				return nil, sunrpc.ErrProcUnavail
+			}
+			var la sfsrpc.LoginArgs
+			if err := args.Decode(&la); err != nil {
+				return nil, sunrpc.ErrGarbageArgs
+			}
+			if sfs.cfg.Auth == nil {
+				return sfsrpc.LoginRes{Status: sfsrpc.LoginNo}, nil
+			}
+			res := sfs.cfg.Auth.Validate(sfsrpc.ValidateArgs{
+				AuthInfo: authInfo, SeqNo: la.SeqNo, AuthMsg: la.AuthMsg,
+			})
+			if !res.OK {
+				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
+			}
+			// The server itself re-checks what the authserver
+			// echoes: the AuthID must match this session and the
+			// sequence number must be fresh (paper §3.1.2).
+			if res.AuthID != wantAuthID {
+				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if !seqs.accept(res.SeqNo) {
+				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
+			}
+			no := nextAuthNo
+			nextAuthNo++
+			authNos[no] = vfs.Cred{UID: res.Creds.UID, GIDs: res.Creds.GIDs}
+			return sfsrpc.LoginRes{Status: sfsrpc.LoginOK, AuthNo: no}, nil
+		})
+	})
+}
+
+// serveAuth serves the sfskey management service (SRP password login
+// and key fetch) on a secure channel.
+func (s *Server) serveAuth(sec *secchan.Conn, sfs *servedFS) {
+	if sfs.cfg.Auth == nil {
+		sec.Close()
+		return
+	}
+	rpc := sunrpc.NewServer()
+	rpc.Register(sfsrpc.KeyProgram, sfsrpc.Version, sfs.cfg.Auth.KeyServiceHandler())
+	go rpc.ServeConn(sec) //nolint:errcheck
+}
+
+// Path returns the self-certifying pathname of a served location, for
+// convenience in tests and tools.
+func (s *Server) Path(location string) (core.Path, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sfs := range s.byHost {
+		if sfs.path.Location == location {
+			return sfs.path, nil
+		}
+	}
+	return core.Path{}, fmt.Errorf("server: location %q not served", location)
+}

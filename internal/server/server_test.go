@@ -1,0 +1,318 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/authserv"
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/nfs"
+	"repro/internal/secchan"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+var (
+	srvKeyOnce sync.Once
+	srvKey     *rabin.PrivateKey
+	srvUserKey *rabin.PrivateKey
+)
+
+func serverKeys(t testing.TB) (*rabin.PrivateKey, *rabin.PrivateKey) {
+	t.Helper()
+	srvKeyOnce.Do(func() {
+		g := prng.NewSeeded([]byte("server-test"))
+		var err error
+		if srvKey, err = rabin.GenerateKey(g, 768); err != nil {
+			t.Fatal(err)
+		}
+		if srvUserKey, err = rabin.GenerateKey(g, 768); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return srvKey, srvUserKey
+}
+
+func TestEncCodecRoundTrip(t *testing.T) {
+	codec, err := newEncCodec(make([]byte, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []vfs.FileID{1, 2, 1 << 40, ^vfs.FileID(0)} {
+		fh := codec.Encode(id)
+		if len(fh) != 16 {
+			t.Fatalf("handle length %d", len(fh))
+		}
+		got, err := codec.Decode(fh)
+		if err != nil || got != id {
+			t.Fatalf("decode(%d): %d %v", id, got, err)
+		}
+	}
+}
+
+func TestEncCodecHandlesNotGuessable(t *testing.T) {
+	codec, _ := newEncCodec(make([]byte, 20))
+	a := codec.Encode(1)
+	b := codec.Encode(2)
+	// Consecutive file IDs must not produce near-identical handles.
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("handles for adjacent IDs share %d/16 bytes", same)
+	}
+	// A guessed/corrupted handle must be rejected.
+	bad := append(nfs.FH(nil), a...)
+	bad[3] ^= 0x10
+	if _, err := codec.Decode(bad); err == nil {
+		t.Fatal("corrupted handle accepted")
+	}
+	if _, err := codec.Decode(bad[:8]); err == nil {
+		t.Fatal("short handle accepted")
+	}
+	// Different keys produce incompatible handles.
+	codec2, _ := newEncCodec(append(make([]byte, 19), 1))
+	if _, err := codec2.Decode(a); err == nil {
+		t.Fatal("handle decoded under a different key")
+	}
+}
+
+func TestSeqWindow(t *testing.T) {
+	var w seqWindow
+	if !w.accept(5) {
+		t.Fatal("first seqno rejected")
+	}
+	if w.accept(5) {
+		t.Fatal("replay accepted")
+	}
+	if !w.accept(6) || !w.accept(8) {
+		t.Fatal("forward seqnos rejected")
+	}
+	if !w.accept(7) {
+		t.Fatal("in-window out-of-order seqno rejected")
+	}
+	if w.accept(7) {
+		t.Fatal("out-of-order replay accepted")
+	}
+	if !w.accept(100) {
+		t.Fatal("big jump rejected")
+	}
+	if w.accept(8) {
+		t.Fatal("stale seqno outside window accepted")
+	}
+	if w.accept(30) {
+		t.Fatal("seqno far outside window accepted")
+	}
+}
+
+func TestSeqWindowBoundary(t *testing.T) {
+	var w seqWindow
+	w.accept(100)
+	if !w.accept(100 - 64) {
+		t.Fatal("seqno exactly 64 back rejected")
+	}
+	if w.accept(100 - 65) {
+		t.Fatal("seqno 65 back accepted")
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	key, _ := serverKeys(t)
+	s := New(prng.NewSeeded([]byte("sv")))
+	if _, err := s.Serve(ServedConfig{Location: "bad host!", Key: key, FS: vfs.New()}); err == nil {
+		t.Fatal("bad location accepted")
+	}
+	if _, err := s.Serve(ServedConfig{Location: "ok.example.com", FS: vfs.New()}); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := s.Serve(ServedConfig{Location: "ok.example.com", Key: key}); err == nil {
+		t.Fatal("missing fs accepted")
+	}
+	p, err := s.Serve(ServedConfig{Location: "ok.example.com", Key: key, FS: vfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != core.MakePath("ok.example.com", key.PublicKey.Bytes()) {
+		t.Fatal("returned pathname mismatch")
+	}
+	if _, err := s.Serve(ServedConfig{Location: "ok.example.com", Key: key, FS: vfs.New()}); err == nil {
+		t.Fatal("duplicate serve accepted")
+	}
+	got, err := s.Path("ok.example.com")
+	if err != nil || got != p {
+		t.Fatalf("Path lookup: %v %v", got, err)
+	}
+	if _, err := s.Path("nowhere"); err == nil {
+		t.Fatal("unknown location resolved")
+	}
+}
+
+// dialServer handshakes a file-service connection to a test server.
+func dialServer(t *testing.T, s *Server, path core.Path, service uint32) (*secchan.Conn, *secchan.Info) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	go s.HandleConn(&pipeConn{c2})
+	rng := prng.NewSeeded([]byte("dial-" + path.Location))
+	tempKey, err := rabin.GenerateKey(rng, 768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, info, _, err := secchan.ClientHandshake(&pipeConn{c1}, service, path, tempKey, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sec, info
+}
+
+// pipeConn adapts net.Pipe ends to net.Conn for HandleConn.
+type pipeConn struct{ net.Conn }
+
+func TestRevocationServedAtConnect(t *testing.T) {
+	key, _ := serverKeys(t)
+	g := prng.NewSeeded([]byte("rv"))
+	s := New(g)
+	path, err := s.Serve(ServedConfig{Location: "dead.example.com", Key: key, FS: vfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := core.NewRevocation(key, "dead.example.com", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRevocation(cert); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	go s.HandleConn(&pipeConn{c2})
+	rng := prng.NewSeeded([]byte("rv-client"))
+	tempKey, _ := rabin.GenerateKey(rng, 768)
+	_, _, gotCert, err := secchan.ClientHandshake(&pipeConn{c1}, secchan.ServiceFile, path, tempKey, rng)
+	if err != secchan.ErrRevoked {
+		t.Fatalf("got %v, want ErrRevoked", err)
+	}
+	if gotCert == nil {
+		t.Fatal("no certificate returned")
+	}
+}
+
+func TestForwardingPointerNotServedAtConnect(t *testing.T) {
+	key, other := serverKeys(t)
+	g := prng.NewSeeded([]byte("fw"))
+	s := New(g)
+	fwd, err := core.NewForward(key, "moving.example.com",
+		core.MakePath("new.example.com", other.PublicKey.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRevocation(fwd); err == nil {
+		t.Fatal("forwarding pointer accepted as connect revocation")
+	}
+}
+
+func TestUnknownHostIDRejected(t *testing.T) {
+	key, other := serverKeys(t)
+	s := New(prng.NewSeeded([]byte("uk"))) // serves nothing for this id
+	if _, err := s.Serve(ServedConfig{Location: "real.example.com", Key: key, FS: vfs.New()}); err != nil {
+		t.Fatal(err)
+	}
+	bogus := core.MakePath("real.example.com", other.PublicKey.Bytes())
+	c1, c2 := net.Pipe()
+	go s.HandleConn(&pipeConn{c2})
+	rng := prng.NewSeeded([]byte("uk-client"))
+	tempKey, _ := rabin.GenerateKey(rng, 768)
+	_, _, _, err := secchan.ClientHandshake(&pipeConn{c1}, secchan.ServiceFile, bogus, tempKey, rng)
+	if err != secchan.ErrNoSuchFS {
+		t.Fatalf("got %v, want ErrNoSuchFS", err)
+	}
+}
+
+func TestLoginWithoutAuthserverSaysNo(t *testing.T) {
+	key, _ := serverKeys(t)
+	s := New(prng.NewSeeded([]byte("na")))
+	path, err := s.Serve(ServedConfig{Location: "anon.example.com", Key: key, FS: vfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, _ := dialServer(t, s, path, secchan.ServiceFile)
+	cl := sunrpc.NewClient(sec)
+	defer cl.Close()
+	var res loginRes
+	err = cl.Call(344442, 1, 1, sunrpc.NoAuth(), loginArgs{SeqNo: 1, AuthMsg: []byte{}}, &res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 2 { // LoginNo
+		t.Fatalf("status %d, want LoginNo", res.Status)
+	}
+}
+
+type loginArgs struct {
+	SeqNo   uint32
+	AuthMsg []byte
+}
+
+type loginRes struct {
+	Status uint32
+	AuthNo uint32
+}
+
+func TestExtensionDispatch(t *testing.T) {
+	key, _ := serverKeys(t)
+	s := New(prng.NewSeeded([]byte("ext")))
+	path, err := s.Serve(ServedConfig{Location: "ext.example.com", Key: key, FS: vfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(chan uint32, 1)
+	s.RegisterExtension(42, func(conn net.Conn, req *secchan.ConnectRequest) {
+		hit <- req.Service
+		secchan.RejectNoSuchFS(conn) //nolint:errcheck
+		conn.Close()
+	})
+	c1, c2 := net.Pipe()
+	go s.HandleConn(&pipeConn{c2})
+	rng := prng.NewSeeded([]byte("ext-client"))
+	tempKey, _ := rabin.GenerateKey(rng, 768)
+	_, _, _, err = secchan.ClientHandshake(&pipeConn{c1}, 42, path, tempKey, rng)
+	if err != secchan.ErrNoSuchFS {
+		t.Fatalf("extension path: %v", err)
+	}
+	if got := <-hit; got != 42 {
+		t.Fatalf("extension saw service %d", got)
+	}
+}
+
+func TestAuthServiceOverConnection(t *testing.T) {
+	key, userKey := serverKeys(t)
+	g := prng.NewSeeded([]byte("auth-conn"))
+	fsys := vfs.New()
+	path := core.MakePath("files.example.com", key.PublicKey.Bytes())
+	auth := authserv.New(path.String(), g)
+	db := authserv.NewDB("local", true)
+	auth.AddDB(db)
+	if err := auth.Register(db, "dm", 1000, []uint32{1000}, authserv.RegisterOptions{
+		Password: "pw", PrivateKey: userKey, EksCost: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(g)
+	if _, err := s.Serve(ServedConfig{Location: "files.example.com", Key: key, FS: fsys, Auth: auth}); err != nil {
+		t.Fatal(err)
+	}
+	sec, _ := dialServer(t, s, path, secchan.ServiceAuth)
+	cl := sunrpc.NewClient(sec)
+	defer cl.Close()
+	res, err := authserv.FetchWithPassword(cl, "dm", "pw", prng.NewSeeded([]byte("fetch")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelfPath != path.String() {
+		t.Fatalf("self path %q", res.SelfPath)
+	}
+}

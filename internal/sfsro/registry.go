@@ -1,0 +1,46 @@
+package sfsro
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/secchan"
+)
+
+// Registry serves multiple read-only databases behind one server
+// master, dispatching connect requests by HostID — the deployment
+// where one replica machine mirrors several publishers' file systems.
+type Registry struct {
+	mu       sync.RWMutex
+	replicas map[core.HostID]*Replica
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{replicas: make(map[core.HostID]*Replica)}
+}
+
+// Add installs (or replaces) the replica for its database's pathname.
+func (r *Registry) Add(rep *Replica) {
+	p := rep.Path()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replicas[p.HostID] = rep
+}
+
+// HandleConn is a server.ExtensionHandler: it routes the connection to
+// the replica serving the requested HostID.
+func (r *Registry) HandleConn(conn net.Conn, req *secchan.ConnectRequest) {
+	var hostID core.HostID
+	copy(hostID[:], req.HostID[:])
+	r.mu.RLock()
+	rep := r.replicas[hostID]
+	r.mu.RUnlock()
+	if rep == nil {
+		secchan.RejectNoSuchFS(conn) //nolint:errcheck
+		conn.Close()
+		return
+	}
+	rep.HandleConn(conn, req)
+}

@@ -1,0 +1,101 @@
+package sfsro
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/secchan"
+	"repro/internal/vfs"
+)
+
+// buildNamedDB makes a tiny signed database for a location.
+func buildNamedDB(t *testing.T, location, marker string, key *rabin.PrivateKey) *DB {
+	t.Helper()
+	fs := vfs.New()
+	if err := fs.WriteFile(vfs.Cred{UID: 0}, "id.txt", []byte(marker), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := prng.NewSeeded([]byte("registry-" + location))
+	db, err := BuildFromVFS(fs, location, key, 1, time.Hour, g, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRegistryDispatchByHostID verifies that one replica machine can
+// mirror several publishers' databases, routing each connect by the
+// HostID in the self-certifying pathname.
+func TestRegistryDispatchByHostID(t *testing.T) {
+	key1, evil := roKeys(t)
+	g := prng.NewSeeded([]byte("registry-key2"))
+	key2, err := rabin.GenerateKey(g, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1 := buildNamedDB(t, "one.example.com", "first publisher", key1)
+	db2 := buildNamedDB(t, "two.example.com", "second publisher", key2)
+
+	reg := NewRegistry()
+	for _, db := range []*DB{db1, db2} {
+		rep, err := NewReplica(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Add(rep)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				req, err := secchan.ReadConnect(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				reg.HandleConn(conn, req)
+			}(conn)
+		}
+	}()
+
+	fetch := func(db *DB, want string) {
+		rep, _ := NewReplica(db)
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := DialClient(conn, rep.Path(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		data, err := cl.ReadFile("id.txt")
+		if err != nil || string(data) != want {
+			t.Fatalf("fetch %s: %q %v", want, data, err)
+		}
+	}
+	fetch(db1, "first publisher")
+	fetch(db2, "second publisher")
+
+	// A HostID the registry does not mirror is refused.
+	evilDB := buildNamedDB(t, "three.example.com", "x", evil)
+	rep3, _ := NewReplica(evilDB)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialClient(conn, rep3.Path(), 0); err == nil {
+		t.Fatal("unmirrored HostID served")
+	}
+}

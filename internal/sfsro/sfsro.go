@@ -1,0 +1,346 @@
+// Package sfsro implements the SFS read-only dialect (paper §2.4,
+// §3.2): a protocol that lets servers prove the contents of public,
+// read-only file systems using precomputed digital signatures.
+//
+// The dialect makes the amount of cryptographic computation required
+// from read-only servers proportional to the file system's size and
+// rate of change rather than to the number of clients connecting. It
+// also frees read-only servers from keeping any on-line copies of
+// their private keys, which in turn allows read-only file systems to
+// be replicated on untrusted machines — the configuration SFS
+// certification authorities use, since they must sustain high
+// integrity, availability, and performance.
+//
+// The database is a content-addressed hash tree:
+//
+//   - file data is split into blocks, each named by its SHA-1 hash;
+//   - a file inode lists its block hashes;
+//   - a directory lists (name, child-hash) pairs in sorted order;
+//   - the root structure carries the root directory's hash, a version
+//     number, and a validity interval, and is signed offline by the
+//     file system's private key.
+//
+// A client verifies the one signature on the root, then checks every
+// fetched blob against the hash that named it. Any replica, however
+// untrusted, can serve the database: tampering is detected block by
+// block.
+package sfsro
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// BlockSize is the data block granularity.
+const BlockSize = 8192
+
+// Hash names a blob.
+type Hash [sha1.Size]byte
+
+func hashOf(kind string, data []byte) Hash {
+	h := sha1.New()
+	h.Write([]byte(kind))
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Blob kinds.
+const (
+	kindData  = "ro-data"
+	kindInode = "ro-inode"
+	kindDir   = "ro-dir"
+)
+
+// Inode describes one read-only file.
+type Inode struct {
+	Type   uint32 // vfs-compatible: 1 reg, 2 dir, 5 symlink
+	Mode   uint32
+	Size   uint64
+	Target string // symlink target
+	Blocks []Hash // file data blocks, or the directory blob
+}
+
+// File types in Inode.Type.
+const (
+	TypeReg     = 1
+	TypeDir     = 2
+	TypeSymlink = 5
+)
+
+// DirEntry is one directory entry.
+type DirEntry struct {
+	Name  string
+	Inode Hash
+}
+
+// Dir is a directory blob: entries sorted by name.
+type Dir struct {
+	Entries []DirEntry
+}
+
+// Root is the signed head of a database.
+type Root struct {
+	Tag      string // "SFSRO"
+	Location string
+	RootDir  Hash   // hash of the root directory's inode
+	Version  uint64 // monotonic; prevents rollback to older trees
+	IssuedAt int64  // unix seconds
+	TTL      uint32 // validity in seconds
+}
+
+// SignedRoot carries the root and its offline signature.
+type SignedRoot struct {
+	Root Root
+	Key  []byte // public key (checked against the pathname HostID)
+	Sig  rabin.Signature
+}
+
+// DB is a content-addressed database plus its signed root. The zero
+// value is not usable; build one with a Builder or decode a marshaled
+// database.
+type DB struct {
+	Signed SignedRoot
+	Blobs  map[Hash][]byte
+}
+
+// wireDB is the serialized database (what sfsrodb writes and replicas
+// load).
+type wireDB struct {
+	Signed SignedRoot
+	Hashes []Hash
+	Blobs  [][]byte
+}
+
+// Marshal serializes the database for distribution to replicas.
+func (db *DB) Marshal() []byte {
+	w := wireDB{Signed: db.Signed}
+	hashes := make([]Hash, 0, len(db.Blobs))
+	for h := range db.Blobs {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool {
+		for k := range hashes[i] {
+			if hashes[i][k] != hashes[j][k] {
+				return hashes[i][k] < hashes[j][k]
+			}
+		}
+		return false
+	})
+	for _, h := range hashes {
+		w.Hashes = append(w.Hashes, h)
+		w.Blobs = append(w.Blobs, db.Blobs[h])
+	}
+	if w.Hashes == nil {
+		w.Hashes = []Hash{}
+		w.Blobs = [][]byte{}
+	}
+	return xdr.MustMarshal(w)
+}
+
+// ParseDB loads a serialized database. Replicas need not trust the
+// source: clients verify everything end to end.
+func ParseDB(data []byte) (*DB, error) {
+	var w wireDB
+	if err := xdr.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("sfsro: bad database encoding: %w", err)
+	}
+	if len(w.Hashes) != len(w.Blobs) {
+		return nil, errors.New("sfsro: hash/blob count mismatch")
+	}
+	db := &DB{Signed: w.Signed, Blobs: make(map[Hash][]byte, len(w.Hashes))}
+	for i, h := range w.Hashes {
+		db.Blobs[h] = w.Blobs[i]
+	}
+	return db, nil
+}
+
+// Builder accumulates a read-only tree.
+type Builder struct {
+	location string
+	priv     *rabin.PrivateKey
+	version  uint64
+	ttl      uint32
+	blobs    map[Hash][]byte
+}
+
+// NewBuilder starts a database for the file system served by priv at
+// location. version should increase with each published snapshot.
+func NewBuilder(location string, priv *rabin.PrivateKey, version uint64, ttl time.Duration) *Builder {
+	return &Builder{
+		location: location,
+		priv:     priv,
+		version:  version,
+		ttl:      uint32(ttl / time.Second),
+		blobs:    make(map[Hash][]byte),
+	}
+}
+
+func (b *Builder) put(kind string, data []byte) Hash {
+	h := hashOf(kind, data)
+	b.blobs[h] = data
+	return h
+}
+
+// AddFile stores file contents and returns the inode hash.
+func (b *Builder) AddFile(data []byte, mode uint32) Hash {
+	ino := Inode{Type: TypeReg, Mode: mode, Size: uint64(len(data))}
+	for off := 0; off < len(data) || off == 0; off += BlockSize {
+		end := off + BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		ino.Blocks = append(ino.Blocks, b.put(kindData, data[off:end]))
+		if end == len(data) {
+			break
+		}
+	}
+	return b.put(kindInode, xdr.MustMarshal(ino))
+}
+
+// AddSymlink stores a symbolic link inode (targets may be
+// self-certifying pathnames — this is how certification authorities
+// publish their links).
+func (b *Builder) AddSymlink(target string) Hash {
+	ino := Inode{Type: TypeSymlink, Mode: 0o777, Size: uint64(len(target)), Target: target}
+	return b.put(kindInode, xdr.MustMarshal(ino))
+}
+
+// AddDir stores a directory mapping names to inode hashes and returns
+// the directory's inode hash.
+func (b *Builder) AddDir(entries map[string]Hash) Hash {
+	d := Dir{}
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d.Entries = append(d.Entries, DirEntry{Name: n, Inode: entries[n]})
+	}
+	if d.Entries == nil {
+		d.Entries = []DirEntry{}
+	}
+	dirBlob := b.put(kindDir, xdr.MustMarshal(d))
+	ino := Inode{Type: TypeDir, Mode: 0o755, Blocks: []Hash{dirBlob}}
+	return b.put(kindInode, xdr.MustMarshal(ino))
+}
+
+// Sign finalizes the database with rootDir as the root directory
+// inode. This is the only private-key operation; it happens offline,
+// and the resulting database can be copied to untrusted replicas.
+func (b *Builder) Sign(rootDir Hash, rng *prng.Generator, now time.Time) (*DB, error) {
+	root := Root{
+		Tag: "SFSRO", Location: b.location, RootDir: rootDir,
+		Version: b.version, IssuedAt: now.Unix(), TTL: b.ttl,
+	}
+	sig, err := b.priv.SignMessage(rng, xdr.MustMarshal(root))
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		Signed: SignedRoot{Root: root, Key: b.priv.PublicKey.Bytes(), Sig: *sig},
+		Blobs:  b.blobs,
+	}, nil
+}
+
+// BuildFromVFS snapshots an entire substrate file system into a
+// database (the sfsrodb tool's core).
+func BuildFromVFS(fs *vfs.FS, location string, priv *rabin.PrivateKey, version uint64, ttl time.Duration, rng *prng.Generator, now time.Time) (*DB, error) {
+	b := NewBuilder(location, priv, version, ttl)
+	cred := vfs.Cred{UID: 0}
+	var walk func(dir vfs.FileID) (Hash, error)
+	walk = func(dir vfs.FileID) (Hash, error) {
+		ents, _, err := fs.ReadDir(cred, dir, 0, 0)
+		if err != nil {
+			return Hash{}, err
+		}
+		entries := make(map[string]Hash, len(ents))
+		for _, e := range ents {
+			attr, err := fs.GetAttr(e.FileID)
+			if err != nil {
+				return Hash{}, err
+			}
+			switch attr.Type {
+			case vfs.TypeDir:
+				h, err := walk(e.FileID)
+				if err != nil {
+					return Hash{}, err
+				}
+				entries[e.Name] = h
+			case vfs.TypeSymlink:
+				target, err := fs.Readlink(e.FileID)
+				if err != nil {
+					return Hash{}, err
+				}
+				entries[e.Name] = b.AddSymlink(target)
+			default:
+				data, _, err := fs.Read(cred, e.FileID, 0, uint32(attr.Size))
+				if err != nil {
+					return Hash{}, err
+				}
+				entries[e.Name] = b.AddFile(data, attr.Mode)
+			}
+		}
+		return b.AddDir(entries), nil
+	}
+	rootDir, err := walk(fs.Root())
+	if err != nil {
+		return nil, err
+	}
+	return b.Sign(rootDir, rng, now)
+}
+
+// VerifyRoot checks a signed root against the self-certifying
+// pathname it claims to serve: the embedded key must hash to the
+// pathname's HostID and the signature must verify. It returns the
+// root on success.
+func VerifyRoot(sr *SignedRoot, p core.Path, now time.Time) (*Root, error) {
+	if sr.Root.Tag != "SFSRO" {
+		return nil, errors.New("sfsro: bad root tag")
+	}
+	if sr.Root.Location != p.Location {
+		return nil, errors.New("sfsro: root is for a different location")
+	}
+	if core.ComputeHostID(sr.Root.Location, sr.Key) != p.HostID {
+		return nil, errors.New("sfsro: key does not match pathname HostID")
+	}
+	pub, err := rabin.ParsePublicKey(sr.Key)
+	if err != nil {
+		return nil, err
+	}
+	if err := pub.VerifyMessage(xdr.MustMarshal(sr.Root), &sr.Sig); err != nil {
+		return nil, errors.New("sfsro: root signature invalid")
+	}
+	issued := time.Unix(sr.Root.IssuedAt, 0)
+	if now.Before(issued.Add(-time.Minute)) {
+		return nil, errors.New("sfsro: root issued in the future")
+	}
+	if sr.Root.TTL > 0 && now.After(issued.Add(time.Duration(sr.Root.TTL)*time.Second)) {
+		return nil, errors.New("sfsro: root has expired")
+	}
+	r := sr.Root
+	return &r, nil
+}
+
+// Get fetches and verifies a blob by hash from the database.
+func (db *DB) Get(kind string, h Hash) ([]byte, error) {
+	blob, ok := db.Blobs[h]
+	if !ok {
+		return nil, errors.New("sfsro: blob not found")
+	}
+	if hashOf(kind, blob) != h {
+		return nil, errors.New("sfsro: blob hash mismatch")
+	}
+	return blob, nil
+}

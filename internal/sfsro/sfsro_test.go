@@ -1,0 +1,253 @@
+package sfsro
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+	"repro/internal/vfs"
+)
+
+var (
+	roOnce sync.Once
+	roKey  *rabin.PrivateKey
+	evilK  *rabin.PrivateKey
+)
+
+func roKeys(t testing.TB) (*rabin.PrivateKey, *rabin.PrivateKey) {
+	t.Helper()
+	roOnce.Do(func() {
+		g := prng.NewSeeded([]byte("sfsro-test"))
+		var err error
+		if roKey, err = rabin.GenerateKey(g, 512); err != nil {
+			t.Fatal(err)
+		}
+		if evilK, err = rabin.GenerateKey(g, 512); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return roKey, evilK
+}
+
+func buildTestDB(t testing.TB, version uint64) *DB {
+	t.Helper()
+	key, _ := roKeys(t)
+	fs := vfs.New()
+	cred := vfs.Cred{UID: 0}
+	if err := fs.WriteFile(cred, "pub/readme.txt", []byte("welcome to the CA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("block!"), 4096) // > 2 blocks
+	if err := fs.WriteFile(cred, "pub/big.bin", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SymlinkAt(cred, "links/mit", "/sfs/mit.example.com:aaaa"); err != nil {
+		t.Fatal(err)
+	}
+	g := prng.NewSeeded([]byte("builder"))
+	db, err := BuildFromVFS(fs, "ca.example.com", key, version, time.Hour, g, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func dialTestReplica(t *testing.T, db *DB, minVersion uint64) (*Client, error) {
+	t.Helper()
+	rep, err := NewReplica(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go rep.ListenAndServe(l) //nolint:errcheck
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialClient(conn, rep.Path(), minVersion)
+	if err != nil {
+		return nil, err
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, nil
+}
+
+func TestBuildAndReadBack(t *testing.T) {
+	db := buildTestDB(t, 1)
+	cl, err := dialTestReplica(t, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("pub/readme.txt")
+	if err != nil || string(got) != "welcome to the CA" {
+		t.Fatalf("readme: %q %v", got, err)
+	}
+	big, err := cl.ReadFile("pub/big.bin")
+	if err != nil || len(big) != 6*4096 {
+		t.Fatalf("big: %d bytes %v", len(big), err)
+	}
+	target, err := cl.ReadLink("links/mit")
+	if err != nil || target != "/sfs/mit.example.com:aaaa" {
+		t.Fatalf("symlink: %q %v", target, err)
+	}
+	ents, err := cl.ReadDir("pub")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("readdir: %d %v", len(ents), err)
+	}
+	if _, err := cl.ReadFile("pub/missing"); err != ErrNotFound {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestDBSerializationRoundTrip(t *testing.T) {
+	db := buildTestDB(t, 1)
+	data := db.Marshal()
+	got, err := ParseDB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blobs) != len(db.Blobs) {
+		t.Fatalf("blob count %d vs %d", len(got.Blobs), len(db.Blobs))
+	}
+	// Round-tripped database still serves clients.
+	cl, err := dialTestReplica(t, got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ReadFile("pub/readme.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedBlobDetected(t *testing.T) {
+	db := buildTestDB(t, 1)
+	// An untrusted replica flips a byte in some data blob.
+	for h, blob := range db.Blobs {
+		if len(blob) > 0 && blob[0] == 'w' { // the readme
+			mut := bytes.Clone(blob)
+			mut[0] = 'W'
+			db.Blobs[h] = mut
+			break
+		}
+	}
+	cl, err := dialTestReplica(t, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ReadFile("pub/readme.txt"); err != ErrVerify {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+func TestWrongKeyRootRejected(t *testing.T) {
+	_, evil := roKeys(t)
+	db := buildTestDB(t, 1)
+	// The attacker re-signs the root with their own key. The
+	// client asked for the pathname derived from the real key, so
+	// the HostID check fails at connect.
+	g := prng.NewSeeded([]byte("evil"))
+	evilDB, err := BuildFromVFS(vfs.New(), "ca.example.com", evil, 99, time.Hour, g, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(evilDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go rep.ListenAndServe(l) //nolint:errcheck
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	realPath := core.MakePath("ca.example.com", db.Signed.Key)
+	if _, err := DialClient(conn, realPath, 0); err == nil {
+		t.Fatal("client accepted a replica serving a different key")
+	}
+}
+
+func TestRollbackDetected(t *testing.T) {
+	old := buildTestDB(t, 1)
+	if _, err := dialTestReplica(t, old, 5); err != ErrRollback {
+		t.Fatalf("got %v, want ErrRollback", err)
+	}
+}
+
+func TestExpiredRootRejected(t *testing.T) {
+	key, _ := roKeys(t)
+	g := prng.NewSeeded([]byte("expired"))
+	fs := vfs.New()
+	db, err := BuildFromVFS(fs, "ca.example.com", key, 1, time.Second,
+		g, time.Now().Add(-time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dialTestReplica(t, db, 0); err == nil {
+		t.Fatal("expired root accepted")
+	}
+}
+
+func TestVersionMonotonicAcrossSnapshots(t *testing.T) {
+	db1 := buildTestDB(t, 1)
+	db2 := buildTestDB(t, 2)
+	cl, err := dialTestReplica(t, db2, db1.Signed.Root.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Version() != 2 {
+		t.Fatalf("version %d", cl.Version())
+	}
+}
+
+func TestEmptyDirectory(t *testing.T) {
+	key, _ := roKeys(t)
+	g := prng.NewSeeded([]byte("empty"))
+	db, err := BuildFromVFS(vfs.New(), "ca.example.com", key, 1, time.Hour, g, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dialTestReplica(t, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := cl.ReadDir("")
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("root listing: %d %v", len(ents), err)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	key, _ := roKeys(t)
+	fs := vfs.New()
+	cred := vfs.Cred{UID: 0}
+	same := bytes.Repeat([]byte("dedup"), 2000)
+	fs.WriteFile(cred, "a", same, 0o644) //nolint:errcheck
+	fs.WriteFile(cred, "b", same, 0o644) //nolint:errcheck
+	g := prng.NewSeeded([]byte("dedup"))
+	db, err := BuildFromVFS(fs, "ca.example.com", key, 1, time.Hour, g, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Content addressing dedups identical files: blobs ≈ blocks of
+	// one copy + inode + dirs, well under two full copies.
+	var dataBytes int
+	for _, b := range db.Blobs {
+		dataBytes += len(b)
+	}
+	if dataBytes > len(same)+4096 {
+		t.Fatalf("no deduplication: %d bytes stored for %d-byte content", dataBytes, len(same))
+	}
+}

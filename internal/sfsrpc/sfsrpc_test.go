@@ -1,0 +1,122 @@
+package sfsrpc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rabin"
+)
+
+var (
+	userKeyOnce sync.Once
+	userKey     *rabin.PrivateKey
+	evilKey     *rabin.PrivateKey
+)
+
+func keys(t *testing.T) (*rabin.PrivateKey, *rabin.PrivateKey) {
+	t.Helper()
+	userKeyOnce.Do(func() {
+		g := prng.NewSeeded([]byte("sfsrpc-test"))
+		var err error
+		if userKey, err = rabin.GenerateKey(g, 512); err != nil {
+			t.Fatal(err)
+		}
+		if evilKey, err = rabin.GenerateKey(g, 512); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return userKey, evilKey
+}
+
+func testAuthInfo(session byte) AuthInfo {
+	var sid [20]byte
+	sid[0] = session
+	return NewAuthInfo("server.example.com", core.ComputeHostID("server.example.com", []byte("k")), sid)
+}
+
+func signReq(t *testing.T, k *rabin.PrivateKey, ai AuthInfo, seq uint32) *AuthMsg {
+	t.Helper()
+	g := prng.NewSeeded([]byte{byte(seq)})
+	req := SignedAuthReq{Tag: "SignedAuthReq", AuthID: ai.AuthID(), SeqNo: seq}
+	sig, err := k.Sign(g, req.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &AuthMsg{UserKey: k.PublicKey.Bytes(), Req: req, Sig: *sig}
+}
+
+func TestAuthIDDeterministicAndSessionBound(t *testing.T) {
+	a := testAuthInfo(1)
+	b := testAuthInfo(1)
+	if a.AuthID() != b.AuthID() {
+		t.Fatal("AuthID not deterministic")
+	}
+	c := testAuthInfo(2)
+	if a.AuthID() == c.AuthID() {
+		t.Fatal("AuthID ignores session")
+	}
+}
+
+func TestAuthMsgRoundTripAndVerify(t *testing.T) {
+	uk, _ := keys(t)
+	ai := testAuthInfo(1)
+	msg := signReq(t, uk, ai, 7)
+	parsed, err := ParseAuthMsg(msg.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := parsed.Verify(ai, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(&uk.PublicKey) {
+		t.Fatal("verified key differs")
+	}
+}
+
+func TestVerifyRejectsWrongSession(t *testing.T) {
+	uk, _ := keys(t)
+	msg := signReq(t, uk, testAuthInfo(1), 7)
+	if _, err := msg.Verify(testAuthInfo(2), 7); err == nil {
+		t.Fatal("signature accepted for different session")
+	}
+}
+
+func TestVerifyRejectsWrongSeqNo(t *testing.T) {
+	uk, _ := keys(t)
+	ai := testAuthInfo(1)
+	msg := signReq(t, uk, ai, 7)
+	if _, err := msg.Verify(ai, 8); err == nil {
+		t.Fatal("signature accepted with replayed seqno")
+	}
+}
+
+func TestVerifyRejectsSubstitutedKey(t *testing.T) {
+	uk, ek := keys(t)
+	ai := testAuthInfo(1)
+	msg := signReq(t, uk, ai, 7)
+	// An attacker replaces the public key with their own: the
+	// signature must no longer verify.
+	msg.UserKey = ek.PublicKey.Bytes()
+	if _, err := msg.Verify(ai, 7); err == nil {
+		t.Fatal("key substitution accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedAuthPath(t *testing.T) {
+	uk, _ := keys(t)
+	ai := testAuthInfo(1)
+	msg := signReq(t, uk, ai, 7)
+	msg.Req.AuthPath = "attacker-host!" // audit trail is signed
+	if _, err := msg.Verify(ai, 7); err == nil {
+		t.Fatal("audit-trail tampering accepted")
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := ParseAuthMsg([]byte("garbage")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}

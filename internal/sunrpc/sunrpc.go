@@ -1,0 +1,547 @@
+// Package sunrpc implements the ONC Remote Procedure Call protocol
+// (RFC 1831) used between every pair of SFS components.
+//
+// The paper's implementation describes all inter-program traffic with
+// Sun RPC and XDR (§3.2): the exact bytes exchanged between programs
+// are unambiguously described in XDR, and the client library is
+// asynchronous. This package provides:
+//
+//   - RPC call/reply message framing (RFC 1831 §8),
+//   - record marking for stream transports (RFC 1831 §10),
+//   - an asynchronous client multiplexing concurrent calls over one
+//     connection, and
+//   - a server that dispatches registered (program, version) handlers.
+//
+// Transports are plain io.ReadWriteClosers, so the same client and
+// server run over TCP, UDP (datagram framing), in-process pipes, the
+// latency-shaped connections of internal/netsim, and the encrypted
+// channels of internal/secchan.
+package sunrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/xdr"
+)
+
+// Message types (RFC 1831 §8).
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply status.
+const (
+	replyAccepted = 0
+	replyDenied   = 1
+)
+
+// Accept status.
+const (
+	acceptSuccess      = 0
+	acceptProgUnavail  = 1
+	acceptProgMismatch = 2
+	acceptProcUnavail  = 3
+	acceptGarbageArgs  = 4
+	acceptSystemErr    = 5
+)
+
+// RPCVersion is the ONC RPC protocol version.
+const RPCVersion = 2
+
+// Auth flavors.
+const (
+	// AuthNone carries no credentials.
+	AuthNone = 0
+	// AuthUnix carries numeric Unix credentials, used by the plain
+	// NFS baseline (the paper's NFS 3 configuration).
+	AuthUnix = 1
+	// AuthSFS carries an SFS authentication number assigned during
+	// the user-authentication protocol (paper §3.1.2). Its body is a
+	// 4-byte big-endian authentication number; zero means anonymous.
+	AuthSFS = 390041
+)
+
+// Errors returned by calls.
+var (
+	ErrProgUnavail  = errors.New("sunrpc: program unavailable")
+	ErrProcUnavail  = errors.New("sunrpc: procedure unavailable")
+	ErrProgMismatch = errors.New("sunrpc: program version mismatch")
+	ErrGarbageArgs  = errors.New("sunrpc: garbage arguments")
+	ErrSystemErr    = errors.New("sunrpc: remote system error")
+	ErrAuth         = errors.New("sunrpc: authentication rejected")
+	ErrClosed       = errors.New("sunrpc: connection closed")
+)
+
+// OpaqueAuth is the authenticator carried in call and reply headers.
+type OpaqueAuth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// NoAuth is the AUTH_NONE authenticator.
+func NoAuth() OpaqueAuth { return OpaqueAuth{Flavor: AuthNone, Body: []byte{}} }
+
+// SFSAuth returns an AUTH_SFS authenticator carrying authNo, the
+// authentication number handed out by the server after a successful
+// user-authentication exchange. Zero is reserved for anonymous access.
+func SFSAuth(authNo uint32) OpaqueAuth {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], authNo)
+	return OpaqueAuth{Flavor: AuthSFS, Body: b[:]}
+}
+
+// AuthNumber extracts the authentication number from an AUTH_SFS
+// authenticator, or 0 (anonymous) for any other flavor.
+func AuthNumber(a OpaqueAuth) uint32 {
+	if a.Flavor != AuthSFS || len(a.Body) != 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(a.Body)
+}
+
+// unixCred is the XDR body of an AUTH_UNIX authenticator.
+type unixCred struct {
+	UID  uint32
+	GIDs []uint32
+}
+
+// UnixAuth returns an AUTH_UNIX authenticator for uid with the given
+// group list.
+func UnixAuth(uid uint32, gids []uint32) OpaqueAuth {
+	if gids == nil {
+		gids = []uint32{}
+	}
+	return OpaqueAuth{Flavor: AuthUnix, Body: xdr.MustMarshal(unixCred{UID: uid, GIDs: gids})}
+}
+
+// ParseUnixAuth extracts Unix credentials from an AUTH_UNIX
+// authenticator; ok is false for other flavors or malformed bodies.
+func ParseUnixAuth(a OpaqueAuth) (uid uint32, gids []uint32, ok bool) {
+	if a.Flavor != AuthUnix {
+		return 0, nil, false
+	}
+	var c unixCred
+	if err := xdr.Unmarshal(a.Body, &c); err != nil {
+		return 0, nil, false
+	}
+	return c.UID, c.GIDs, true
+}
+
+// callHeader is the fixed prefix of an RPC call after xid and mtype.
+type callHeader struct {
+	RPCVers uint32
+	Prog    uint32
+	Vers    uint32
+	Proc    uint32
+	Cred    OpaqueAuth
+	Verf    OpaqueAuth
+}
+
+// A Record is one framed RPC message.
+type record []byte
+
+// WriteRecord writes one record-marked message (RFC 1831 §10) to w.
+// The entire message is sent as a single fragment with the last-
+// fragment bit set.
+func WriteRecord(w io.Writer, payload []byte) error {
+	if len(payload) > 0x7fffffff {
+		return errors.New("sunrpc: record too large")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload))|0x80000000)
+	// Single write where possible keeps datagram-like transports whole.
+	buf := make([]byte, 0, 4+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// MaxRecord bounds the size of a reassembled record.
+const MaxRecord = 64 << 20
+
+// ReadRecord reads one record-marked message, reassembling fragments.
+func ReadRecord(r io.Reader) ([]byte, error) {
+	var out []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		h := binary.BigEndian.Uint32(hdr[:])
+		last := h&0x80000000 != 0
+		n := int(h & 0x7fffffff)
+		if n+len(out) > MaxRecord {
+			return nil, errors.New("sunrpc: record exceeds maximum size")
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, err
+		}
+		out = append(out, frag...)
+		if last {
+			return out, nil
+		}
+	}
+}
+
+// Client is an asynchronous RPC client. Multiple goroutines may issue
+// calls concurrently over the same transport; replies are matched to
+// calls by xid. A Client created with NewPeer additionally dispatches
+// incoming calls to a Server, making the connection a full duplex RPC
+// peer — this is how the SFS server issues cache-invalidation
+// callbacks to clients over the same secure channel (paper §3.3).
+type Client struct {
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	nextXID uint32
+	pending map[uint32]chan record
+	err     error
+	closed  bool
+	wmu     sync.Mutex // serializes writes
+	srv     *Server    // nil for a pure client
+	done    chan struct{}
+}
+
+// NewClient starts a client on conn and begins reading replies.
+func NewClient(conn io.ReadWriteCloser) *Client { return NewPeer(conn, nil) }
+
+// NewPeer starts a duplex peer on conn: replies are matched to local
+// calls, and incoming calls (if srv is non-nil) are dispatched to srv
+// with replies sent back over the same connection.
+func NewPeer(conn io.ReadWriteCloser, srv *Server) *Client {
+	c := &Client{
+		conn:    conn,
+		nextXID: 1,
+		pending: make(map[uint32]chan record),
+		srv:     srv,
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Done is closed when the connection fails or is closed.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) readLoop() {
+	for {
+		rec, err := ReadRecord(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if len(rec) < 8 {
+			continue
+		}
+		if binary.BigEndian.Uint32(rec[4:]) == msgCall {
+			if c.srv != nil {
+				go c.serveCall(rec)
+			}
+			continue
+		}
+		xid := binary.BigEndian.Uint32(rec)
+		c.mu.Lock()
+		ch, ok := c.pending[xid]
+		if ok {
+			delete(c.pending, xid)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- rec
+		}
+	}
+}
+
+func (c *Client) serveCall(rec record) {
+	reply, err := c.srv.dispatch(rec)
+	if err != nil || reply == nil {
+		return
+	}
+	c.wmu.Lock()
+	err = WriteRecord(c.conn, reply)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	for xid, ch := range c.pending {
+		close(ch)
+		delete(c.pending, xid)
+	}
+}
+
+// Close tears down the transport and fails all pending calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// Call performs a synchronous RPC: it marshals args, sends the call
+// with the given credentials, waits for the matching reply, and
+// unmarshals the result into res (which may be nil for void results).
+func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args, res interface{}) error {
+	ch, err := c.Start(prog, vers, proc, cred, args)
+	if err != nil {
+		return err
+	}
+	return c.Finish(ch, res)
+}
+
+// Start issues an asynchronous call and returns a channel on which the
+// raw reply record will arrive. Use Finish to decode it. This is the
+// mechanism by which the client overlaps many outstanding NFS RPCs.
+func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{}) (<-chan record, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	xid := c.nextXID
+	c.nextXID++
+	ch := make(chan record, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	e := &xdr.Encoder{}
+	e.PutUint32(xid)
+	e.PutUint32(msgCall)
+	if err := e.Encode(callHeader{
+		RPCVers: RPCVersion,
+		Prog:    prog,
+		Vers:    vers,
+		Proc:    proc,
+		Cred:    cred,
+		Verf:    NoAuth(),
+	}); err != nil {
+		c.cancel(xid)
+		return nil, err
+	}
+	if args != nil {
+		if err := e.Encode(args); err != nil {
+			c.cancel(xid)
+			return nil, err
+		}
+	}
+	c.wmu.Lock()
+	err := WriteRecord(c.conn, e.Bytes())
+	c.wmu.Unlock()
+	if err != nil {
+		c.cancel(xid)
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (c *Client) cancel(xid uint32) {
+	c.mu.Lock()
+	delete(c.pending, xid)
+	c.mu.Unlock()
+}
+
+// Finish waits for the reply started by Start and decodes it into res.
+func (c *Client) Finish(ch <-chan record, res interface{}) error {
+	rec, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	return decodeReply(rec, res)
+}
+
+func decodeReply(rec record, res interface{}) error {
+	d := xdr.NewDecoder(rec)
+	if _, err := d.Uint32(); err != nil { // xid
+		return err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if mtype != msgReply {
+		return fmt.Errorf("sunrpc: unexpected message type %d", mtype)
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if stat == replyDenied {
+		return ErrAuth
+	}
+	if stat != replyAccepted {
+		return fmt.Errorf("sunrpc: bad reply status %d", stat)
+	}
+	var verf OpaqueAuth
+	if err := d.Decode(&verf); err != nil {
+		return err
+	}
+	astat, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	switch astat {
+	case acceptSuccess:
+	case acceptProgUnavail:
+		return ErrProgUnavail
+	case acceptProgMismatch:
+		return ErrProgMismatch
+	case acceptProcUnavail:
+		return ErrProcUnavail
+	case acceptGarbageArgs:
+		return ErrGarbageArgs
+	default:
+		return ErrSystemErr
+	}
+	if res == nil {
+		return nil
+	}
+	return d.Decode(res)
+}
+
+// Handler processes one procedure call. args is the undecoded argument
+// body; the handler returns the reply body value (marshaled by the
+// server) or an error mapped to an RPC-level failure.
+type Handler func(proc uint32, cred OpaqueAuth, args *xdr.Decoder) (interface{}, error)
+
+// progVers identifies a registered program.
+type progVers struct{ prog, vers uint32 }
+
+// Server dispatches RPC calls on accepted transports.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[progVers]Handler
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[progVers]Handler)}
+}
+
+// Register installs h for (prog, vers), replacing any previous handler.
+func (s *Server) Register(prog, vers uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[progVers{prog, vers}] = h
+}
+
+// ServeConn handles calls on conn until it fails, then closes it.
+// Calls are served sequentially per connection, matching the in-order
+// semantics the SFS secure channel provides.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	for {
+		rec, err := ReadRecord(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		reply, err := s.dispatch(rec)
+		if err != nil {
+			return err
+		}
+		if reply != nil {
+			if err := WriteRecord(conn, reply); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(rec []byte) ([]byte, error) {
+	d := xdr.NewDecoder(rec)
+	xid, err := d.Uint32()
+	if err != nil {
+		return nil, nil //nolint:nilerr // unparseable record: drop
+	}
+	mtype, err := d.Uint32()
+	if err != nil || mtype != msgCall {
+		return nil, nil
+	}
+	var hdr callHeader
+	if err := d.Decode(&hdr); err != nil {
+		return nil, nil //nolint:nilerr
+	}
+	if hdr.RPCVers != RPCVersion {
+		return replyMsg(xid, acceptSystemErr, nil)
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[progVers{hdr.Prog, hdr.Vers}]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.RLock()
+		progKnown := false
+		for pv := range s.handlers {
+			if pv.prog == hdr.Prog {
+				progKnown = true
+				break
+			}
+		}
+		s.mu.RUnlock()
+		if progKnown {
+			return replyMsg(xid, acceptProgMismatch, nil)
+		}
+		return replyMsg(xid, acceptProgUnavail, nil)
+	}
+	res, err := h(hdr.Proc, hdr.Cred, d)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrProcUnavail):
+			return replyMsg(xid, acceptProcUnavail, nil)
+		case errors.Is(err, ErrGarbageArgs):
+			return replyMsg(xid, acceptGarbageArgs, nil)
+		default:
+			return replyMsg(xid, acceptSystemErr, nil)
+		}
+	}
+	return replyMsg(xid, acceptSuccess, res)
+}
+
+func replyMsg(xid, astat uint32, res interface{}) ([]byte, error) {
+	e := &xdr.Encoder{}
+	e.PutUint32(xid)
+	e.PutUint32(msgReply)
+	e.PutUint32(replyAccepted)
+	if err := e.Encode(NoAuth()); err != nil {
+		return nil, err
+	}
+	e.PutUint32(astat)
+	if astat == acceptSuccess && res != nil {
+		if err := e.Encode(res); err != nil {
+			return nil, err
+		}
+	}
+	if astat == acceptProgMismatch {
+		e.PutUint32(0) // low
+		e.PutUint32(0) // high
+	}
+	return e.Bytes(), nil
+}

@@ -1,0 +1,85 @@
+package sunrpc
+
+import (
+	"net"
+	"sync"
+)
+
+// DatagramConn adapts a connected packet connection (e.g. UDP) to the
+// stream-oriented io.ReadWriteCloser the RPC client and server expect.
+// Each Write is sent as a single datagram; Read serves bytes from the
+// most recently received datagram, so record marking stays intact as
+// long as every record fits in one datagram (true for NFS-sized RPCs
+// over loopback, which is how the paper's NFS 3 over UDP baseline is
+// reproduced).
+type DatagramConn struct {
+	net.Conn
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewDatagramConn wraps a connected datagram socket.
+func NewDatagramConn(c net.Conn) *DatagramConn { return &DatagramConn{Conn: c} }
+
+// Read serves buffered bytes from the current datagram, receiving a new
+// one when the buffer is empty.
+func (d *DatagramConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		pkt := make([]byte, 65536)
+		n, err := d.Conn.Read(pkt)
+		if err != nil {
+			return 0, err
+		}
+		d.buf = pkt[:n]
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// ListenAndServe accepts TCP connections on l and serves RPC calls on
+// each in its own goroutine until l is closed.
+func (s *Server) ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn) //nolint:errcheck // per-conn errors end that conn only
+	}
+}
+
+// ServePacket serves RPC calls arriving as datagrams on pc, replying to
+// each sender. It runs until pc is closed.
+func (s *Server) ServePacket(pc net.PacketConn) error {
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go func(pkt []byte, addr net.Addr) {
+			// Strip the record mark if present.
+			if len(pkt) < 4 {
+				return
+			}
+			reply, err := s.dispatch(pkt[4:])
+			if err != nil || reply == nil {
+				return
+			}
+			out := make([]byte, 0, 4+len(reply))
+			var hdr [4]byte
+			hdr[0] = 0x80
+			hdr[1] = byte(len(reply) >> 16)
+			hdr[2] = byte(len(reply) >> 8)
+			hdr[3] = byte(len(reply))
+			out = append(out, hdr[:]...)
+			out = append(out, reply...)
+			pc.WriteTo(out, addr) //nolint:errcheck // best-effort datagram
+		}(pkt, addr)
+	}
+}

@@ -1,0 +1,108 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property: after any sequence of renames among a fixed set of names,
+// exactly the original number of files exist and each is reachable
+// under exactly one name.
+func TestQuickRenamePreservesFiles(t *testing.T) {
+	f := func(moves []uint16) bool {
+		fs := New()
+		cred := Cred{UID: 0}
+		const n = 6
+		for i := 0; i < n; i++ {
+			if _, _, err := fs.Create(cred, fs.Root(), fmt.Sprintf("f%d", i), 0o644, true); err != nil {
+				return false
+			}
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+		for _, mv := range moves {
+			from := int(mv) % n
+			to := int(mv>>4) % n
+			if from == to {
+				continue
+			}
+			// Rename replaces the target; track survivors.
+			if err := fs.Rename(cred, fs.Root(), names[from], fs.Root(), names[to]); err != nil {
+				// Source may already have been consumed by a
+				// previous replace; that is ErrNotFound.
+				if err != ErrNotFound {
+					return false
+				}
+			}
+		}
+		// Every listed entry must resolve, and nlink accounting
+		// must be consistent.
+		ents, _, err := fs.ReadDir(cred, fs.Root(), 0, 0)
+		if err != nil {
+			return false
+		}
+		for _, e := range ents {
+			if _, err := fs.GetAttr(e.FileID); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: link/unlink sequences keep nlink equal to the number of
+// directory entries referencing the file.
+func TestQuickHardLinkAccounting(t *testing.T) {
+	f := func(ops []bool) bool {
+		fs := New()
+		cred := Cred{UID: 0}
+		id, _, err := fs.Create(cred, fs.Root(), "base", 0o644, true)
+		if err != nil {
+			return false
+		}
+		liveNames := map[string]bool{"base": true}
+		next := 0
+		for _, add := range ops {
+			if add {
+				name := fmt.Sprintf("l%d", next)
+				next++
+				if err := fs.Link(cred, id, fs.Root(), name); err != nil {
+					return false
+				}
+				liveNames[name] = true
+			} else {
+				for name := range liveNames {
+					delete(liveNames, name)
+					if err := fs.Remove(cred, fs.Root(), name); err != nil {
+						return false
+					}
+					break
+				}
+			}
+			if len(liveNames) == 0 {
+				// File fully unlinked: must be gone.
+				if _, err := fs.GetAttr(id); err == nil {
+					return false
+				}
+				return true
+			}
+			attr, err := fs.GetAttr(id)
+			if err != nil {
+				return false
+			}
+			if int(attr.Nlink) != len(liveNames) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SeedFromHost copies a host directory tree into the file system so
+// the daemons can serve real content. Symbolic links are preserved
+// (their targets may be self-certifying pathnames). Ownership is
+// assigned to cred.
+func (f *FS) SeedFromHost(cred Cred, hostDir string) error {
+	root, err := filepath.Abs(hostDir)
+	if err != nil {
+		return err
+	}
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		rel = filepath.ToSlash(rel)
+		switch {
+		case d.Type()&fs.ModeSymlink != 0:
+			target, err := os.Readlink(path)
+			if err != nil {
+				return err
+			}
+			return f.SymlinkAt(cred, rel, target)
+		case d.IsDir():
+			_, err := f.MkdirAll(cred, rel, 0o755)
+			return err
+		default:
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			mode := uint32(0o644)
+			if info, err := d.Info(); err == nil && info.Mode()&0o100 != 0 {
+				mode = 0o755
+			}
+			return f.WriteFile(cred, rel, data, mode)
+		}
+	})
+}
+
+// DumpToHost writes the file system's tree under hostDir, inverting
+// SeedFromHost (used by tools to extract fetched trees).
+func (f *FS) DumpToHost(cred Cred, hostDir string) error {
+	var walk func(dir FileID, rel string) error
+	walk = func(dir FileID, rel string) error {
+		ents, _, err := f.ReadDir(cred, dir, 0, 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			attr, err := f.GetAttr(e.FileID)
+			if err != nil {
+				return err
+			}
+			hostPath := filepath.Join(hostDir, filepath.FromSlash(rel), e.Name)
+			switch attr.Type {
+			case TypeDir:
+				if err := os.MkdirAll(hostPath, 0o755); err != nil {
+					return err
+				}
+				if err := walk(e.FileID, strings.TrimPrefix(rel+"/"+e.Name, "/")); err != nil {
+					return err
+				}
+			case TypeSymlink:
+				target, err := f.Readlink(e.FileID)
+				if err != nil {
+					return err
+				}
+				os.Remove(hostPath) //nolint:errcheck // replace if present
+				if err := os.Symlink(target, hostPath); err != nil {
+					return err
+				}
+			default:
+				data, _, err := f.Read(cred, e.FileID, 0, uint32(attr.Size))
+				if err != nil {
+					return err
+				}
+				if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(hostPath, data, os.FileMode(attr.Mode&0o777)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := os.MkdirAll(hostDir, 0o755); err != nil {
+		return err
+	}
+	return walk(f.Root(), "")
+}

@@ -1,0 +1,853 @@
+// Package vfs implements the file system substrate underneath the SFS
+// read-write server: an in-memory POSIX-style file system with inodes,
+// attributes, directories, symbolic links, and Unix permission checks.
+//
+// In the paper's implementation the SFS server relays NFS 3 calls to a
+// kernel NFS server backed by FreeBSD's FFS (paper §3). This package
+// stands in for that kernel file system: the NFS server in
+// internal/nfs exposes a vfs.FS over the wire, and the benchmarks use
+// a bare FS as the "Local" baseline. An optional Disk model charges
+// simulated media time so benchmark shapes involving synchronous
+// writes (e.g. the Sprite LFS unlink phase) match the paper's.
+package vfs
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileID identifies a file for the life of the file system. IDs are
+// never reused, so stale handles are detectable.
+type FileID uint64
+
+// FileType enumerates node types.
+type FileType uint32
+
+// File types.
+const (
+	TypeReg FileType = iota + 1
+	TypeDir
+	TypeSymlink
+)
+
+// Mode permission bits (a subset of POSIX).
+const (
+	ModeRead  = 0o4
+	ModeWrite = 0o2
+	ModeExec  = 0o1
+)
+
+// MaxNameLen bounds a single path component.
+const MaxNameLen = 255
+
+// Errors mirroring the NFS 3 status codes the server maps them to.
+var (
+	ErrNotFound    = errors.New("vfs: no such file or directory")
+	ErrExist       = errors.New("vfs: file exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrPerm        = errors.New("vfs: permission denied")
+	ErrStale       = errors.New("vfs: stale file handle")
+	ErrNameTooLong = errors.New("vfs: name too long")
+	ErrInval       = errors.New("vfs: invalid argument")
+	ErrNotSymlink  = errors.New("vfs: not a symbolic link")
+)
+
+// Cred identifies the caller for permission checks. UID 0 bypasses
+// permission bits, as root does on the paper's server host.
+type Cred struct {
+	UID  uint32
+	GIDs []uint32
+}
+
+// Anonymous is the credential used for unauthenticated access
+// (authentication number zero in the SFS protocol).
+var Anonymous = Cred{UID: NobodyUID, GIDs: []uint32{NobodyGID}}
+
+// Well-known IDs for anonymous access.
+const (
+	NobodyUID = 65534
+	NobodyGID = 65534
+)
+
+// Attr carries the attributes of one file, in the style of NFS fattr3.
+type Attr struct {
+	Type   FileType
+	Mode   uint32
+	Nlink  uint32
+	UID    uint32
+	GID    uint32
+	Size   uint64
+	FileID FileID
+	Atime  time.Time
+	Mtime  time.Time
+	Ctime  time.Time
+}
+
+// SetAttr selects attribute updates; nil fields are left unchanged.
+type SetAttr struct {
+	Mode  *uint32
+	UID   *uint32
+	GID   *uint32
+	Size  *uint64
+	Mtime *time.Time
+	Atime *time.Time
+}
+
+// DirEntry is one directory entry as returned by ReadDir.
+type DirEntry struct {
+	Name   string
+	FileID FileID
+	Cookie uint64
+}
+
+// Disk models media costs. The zero value of FS uses no disk model;
+// benchmarks install one to reproduce the paper's disk-bound phases.
+type Disk interface {
+	// Read charges a read of n bytes.
+	Read(n int)
+	// Write charges an asynchronous write of n bytes.
+	Write(n int)
+	// Sync charges a synchronous metadata/data flush.
+	Sync()
+}
+
+type dirent struct {
+	id     FileID
+	cookie uint64
+}
+
+type node struct {
+	id       FileID
+	attr     Attr
+	data     []byte            // TypeReg
+	children map[string]dirent // TypeDir
+	parent   FileID            // TypeDir
+	target   string            // TypeSymlink
+	nlink    uint32
+}
+
+// FS is an in-memory file system. All methods are safe for concurrent
+// use.
+type FS struct {
+	mu         sync.RWMutex
+	nodes      map[FileID]*node
+	root       FileID
+	nextID     FileID
+	nextCookie uint64
+	disk       Disk
+	clock      func() time.Time
+}
+
+// New returns an empty file system whose root directory is owned by
+// rootUID/rootGID with mode 0755.
+func New() *FS {
+	fs := &FS{
+		nodes:  make(map[FileID]*node),
+		nextID: 1,
+		clock:  time.Now,
+	}
+	now := fs.clock()
+	r := &node{
+		id: fs.nextID,
+		attr: Attr{
+			Type: TypeDir, Mode: 0o755, Nlink: 2,
+			FileID: fs.nextID, Atime: now, Mtime: now, Ctime: now,
+		},
+		children: make(map[string]dirent),
+		nlink:    2,
+	}
+	r.parent = r.id
+	fs.nodes[r.id] = r
+	fs.root = r.id
+	fs.nextID++
+	return fs
+}
+
+// SetDisk installs a disk cost model; nil removes it.
+func (fs *FS) SetDisk(d Disk) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.disk = d
+}
+
+// Root returns the FileID of the root directory.
+func (fs *FS) Root() FileID {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.root
+}
+
+func (fs *FS) get(id FileID) (*node, error) {
+	n, ok := fs.nodes[id]
+	if !ok {
+		return nil, ErrStale
+	}
+	return n, nil
+}
+
+// access checks whether cred may perform want (a ModeRead/Write/Exec
+// combination) on n.
+func access(cred Cred, n *node, want uint32) error {
+	if cred.UID == 0 {
+		return nil
+	}
+	var bits uint32
+	switch {
+	case cred.UID == n.attr.UID:
+		bits = n.attr.Mode >> 6
+	case inGroup(cred, n.attr.GID):
+		bits = n.attr.Mode >> 3
+	default:
+		bits = n.attr.Mode
+	}
+	if bits&want != want {
+		return ErrPerm
+	}
+	return nil
+}
+
+func inGroup(cred Cred, gid uint32) bool {
+	for _, g := range cred.GIDs {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}
+
+func checkName(name string) error {
+	if name == "" || name == "." || name == ".." {
+		return ErrInval
+	}
+	if len(name) > MaxNameLen {
+		return ErrNameTooLong
+	}
+	if strings.ContainsRune(name, '/') {
+		return ErrInval
+	}
+	return nil
+}
+
+// GetAttr returns the attributes of id.
+func (fs *FS) GetAttr(id FileID) (Attr, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.get(id)
+	if err != nil {
+		return Attr{}, err
+	}
+	a := n.attr
+	a.Nlink = n.nlink
+	return a, nil
+}
+
+// SetAttrs applies the non-nil fields of sa to id with permission
+// checks: chmod/chown require ownership (or root); size and time
+// updates require write permission.
+func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.get(id)
+	if err != nil {
+		return Attr{}, err
+	}
+	owner := cred.UID == 0 || cred.UID == n.attr.UID
+	if (sa.Mode != nil || sa.UID != nil || sa.GID != nil) && !owner {
+		return Attr{}, ErrPerm
+	}
+	if sa.UID != nil && *sa.UID != n.attr.UID && cred.UID != 0 {
+		return Attr{}, ErrPerm // only root may give files away
+	}
+	if sa.Size != nil || sa.Mtime != nil || sa.Atime != nil {
+		if !owner {
+			if err := access(cred, n, ModeWrite); err != nil {
+				return Attr{}, err
+			}
+		}
+	}
+	now := fs.clock()
+	if sa.Mode != nil {
+		n.attr.Mode = *sa.Mode & 0o7777
+	}
+	if sa.UID != nil {
+		n.attr.UID = *sa.UID
+	}
+	if sa.GID != nil {
+		n.attr.GID = *sa.GID
+	}
+	if sa.Size != nil {
+		if n.attr.Type != TypeReg {
+			return Attr{}, ErrIsDir
+		}
+		sz := *sa.Size
+		if uint64(len(n.data)) > sz {
+			n.data = n.data[:sz]
+		} else {
+			n.data = append(n.data, make([]byte, sz-uint64(len(n.data)))...)
+		}
+		n.attr.Size = sz
+		n.attr.Mtime = now
+		if fs.disk != nil {
+			fs.disk.Sync()
+		}
+	}
+	if sa.Mtime != nil {
+		n.attr.Mtime = *sa.Mtime
+	}
+	if sa.Atime != nil {
+		n.attr.Atime = *sa.Atime
+	}
+	n.attr.Ctime = now
+	a := n.attr
+	a.Nlink = n.nlink
+	return a, nil
+}
+
+// Access reports whether cred may perform want on id, without side
+// effects — the NFS ACCESS procedure.
+func (fs *FS) Access(cred Cred, id FileID, want uint32) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.get(id)
+	if err != nil {
+		return err
+	}
+	return access(cred, n, want)
+}
+
+// Lookup resolves name within directory dir.
+func (fs *FS) Lookup(cred Cred, dir FileID, name string) (FileID, Attr, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	if d.attr.Type != TypeDir {
+		return 0, Attr{}, ErrNotDir
+	}
+	if err := access(cred, d, ModeExec); err != nil {
+		return 0, Attr{}, err
+	}
+	switch name {
+	case ".":
+		a := d.attr
+		a.Nlink = d.nlink
+		return d.id, a, nil
+	case "..":
+		p, err := fs.get(d.parent)
+		if err != nil {
+			return 0, Attr{}, err
+		}
+		a := p.attr
+		a.Nlink = p.nlink
+		return p.id, a, nil
+	}
+	if err := checkName(name); err != nil {
+		return 0, Attr{}, err
+	}
+	ent, ok := d.children[name]
+	if !ok {
+		return 0, Attr{}, ErrNotFound
+	}
+	n, err := fs.get(ent.id)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	a := n.attr
+	a.Nlink = n.nlink
+	return n.id, a, nil
+}
+
+// Create makes a regular file owned by cred in dir. If exclusive is
+// set an existing name fails with ErrExist; otherwise an existing
+// regular file is truncated and returned.
+func (fs *FS) Create(cred Cred, dir FileID, name string, mode uint32, exclusive bool) (FileID, Attr, error) {
+	if err := checkName(name); err != nil {
+		return 0, Attr{}, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	if d.attr.Type != TypeDir {
+		return 0, Attr{}, ErrNotDir
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return 0, Attr{}, err
+	}
+	if ent, ok := d.children[name]; ok {
+		if exclusive {
+			return 0, Attr{}, ErrExist
+		}
+		n, err := fs.get(ent.id)
+		if err != nil {
+			return 0, Attr{}, err
+		}
+		if n.attr.Type != TypeReg {
+			return 0, Attr{}, ErrExist
+		}
+		if err := access(cred, n, ModeWrite); err != nil {
+			return 0, Attr{}, err
+		}
+		n.data = n.data[:0]
+		n.attr.Size = 0
+		now := fs.clock()
+		n.attr.Mtime, n.attr.Ctime = now, now
+		a := n.attr
+		a.Nlink = n.nlink
+		return n.id, a, nil
+	}
+	n := fs.newNode(TypeReg, mode, cred)
+	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync() // metadata creation is synchronous on FFS
+	}
+	a := n.attr
+	a.Nlink = n.nlink
+	return n.id, a, nil
+}
+
+func (fs *FS) newNode(t FileType, mode uint32, cred Cred) *node {
+	now := fs.clock()
+	gid := uint32(NobodyGID)
+	if len(cred.GIDs) > 0 {
+		gid = cred.GIDs[0]
+	}
+	n := &node{
+		id: fs.nextID,
+		attr: Attr{
+			Type: t, Mode: mode & 0o7777, UID: cred.UID, GID: gid,
+			FileID: fs.nextID, Atime: now, Mtime: now, Ctime: now,
+		},
+		nlink: 1,
+	}
+	if t == TypeDir {
+		n.children = make(map[string]dirent)
+		n.nlink = 2
+	}
+	fs.nodes[n.id] = n
+	fs.nextID++
+	return n
+}
+
+func (fs *FS) cookie() uint64 {
+	fs.nextCookie++
+	return fs.nextCookie
+}
+
+func (fs *FS) touchDir(d *node) {
+	now := fs.clock()
+	d.attr.Mtime, d.attr.Ctime = now, now
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(cred Cred, dir FileID, name string, mode uint32) (FileID, Attr, error) {
+	if err := checkName(name); err != nil {
+		return 0, Attr{}, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	if d.attr.Type != TypeDir {
+		return 0, Attr{}, ErrNotDir
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return 0, Attr{}, err
+	}
+	if _, ok := d.children[name]; ok {
+		return 0, Attr{}, ErrExist
+	}
+	n := fs.newNode(TypeDir, mode, cred)
+	n.parent = d.id
+	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	d.nlink++
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync()
+	}
+	a := n.attr
+	a.Nlink = n.nlink
+	return n.id, a, nil
+}
+
+// Symlink creates a symbolic link to target.
+func (fs *FS) Symlink(cred Cred, dir FileID, name, target string) (FileID, Attr, error) {
+	if err := checkName(name); err != nil {
+		return 0, Attr{}, err
+	}
+	if len(target) > 4096 {
+		return 0, Attr{}, ErrNameTooLong
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	if d.attr.Type != TypeDir {
+		return 0, Attr{}, ErrNotDir
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return 0, Attr{}, err
+	}
+	if _, ok := d.children[name]; ok {
+		return 0, Attr{}, ErrExist
+	}
+	n := fs.newNode(TypeSymlink, 0o777, cred)
+	n.target = target
+	n.attr.Size = uint64(len(target))
+	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync()
+	}
+	a := n.attr
+	a.Nlink = n.nlink
+	return n.id, a, nil
+}
+
+// Readlink returns the target of a symbolic link.
+func (fs *FS) Readlink(id FileID) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.get(id)
+	if err != nil {
+		return "", err
+	}
+	if n.attr.Type != TypeSymlink {
+		return "", ErrNotSymlink
+	}
+	return n.target, nil
+}
+
+// Link creates a hard link to an existing regular file.
+func (fs *FS) Link(cred Cred, file, dir FileID, name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.get(file)
+	if err != nil {
+		return err
+	}
+	if n.attr.Type == TypeDir {
+		return ErrIsDir
+	}
+	d, err := fs.get(dir)
+	if err != nil {
+		return err
+	}
+	if d.attr.Type != TypeDir {
+		return ErrNotDir
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return err
+	}
+	if _, ok := d.children[name]; ok {
+		return ErrExist
+	}
+	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	n.nlink++
+	n.attr.Ctime = fs.clock()
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync()
+	}
+	return nil
+}
+
+// Remove unlinks a non-directory name from dir.
+func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return err
+	}
+	if d.attr.Type != TypeDir {
+		return ErrNotDir
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return err
+	}
+	ent, ok := d.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	n, err := fs.get(ent.id)
+	if err != nil {
+		return err
+	}
+	if n.attr.Type == TypeDir {
+		return ErrIsDir
+	}
+	delete(d.children, name)
+	n.nlink--
+	if n.nlink == 0 {
+		delete(fs.nodes, n.id)
+	} else {
+		n.attr.Ctime = fs.clock()
+	}
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync() // unlink is a synchronous metadata write
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(cred Cred, dir FileID, name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return err
+	}
+	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		return err
+	}
+	ent, ok := d.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	n, err := fs.get(ent.id)
+	if err != nil {
+		return err
+	}
+	if n.attr.Type != TypeDir {
+		return ErrNotDir
+	}
+	if len(n.children) != 0 {
+		return ErrNotEmpty
+	}
+	delete(d.children, name)
+	delete(fs.nodes, n.id)
+	d.nlink--
+	fs.touchDir(d)
+	if fs.disk != nil {
+		fs.disk.Sync()
+	}
+	return nil
+}
+
+// Rename moves fromName in fromDir to toName in toDir, replacing any
+// existing non-directory target.
+func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, toName string) error {
+	if err := checkName(fromName); err != nil {
+		return err
+	}
+	if err := checkName(toName); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, err := fs.get(fromDir)
+	if err != nil {
+		return err
+	}
+	td, err := fs.get(toDir)
+	if err != nil {
+		return err
+	}
+	if fd.attr.Type != TypeDir || td.attr.Type != TypeDir {
+		return ErrNotDir
+	}
+	if err := access(cred, fd, ModeWrite|ModeExec); err != nil {
+		return err
+	}
+	if err := access(cred, td, ModeWrite|ModeExec); err != nil {
+		return err
+	}
+	ent, ok := fd.children[fromName]
+	if !ok {
+		return ErrNotFound
+	}
+	n, err := fs.get(ent.id)
+	if err != nil {
+		return err
+	}
+	if old, ok := td.children[toName]; ok {
+		if old.id == ent.id {
+			return nil
+		}
+		o, err := fs.get(old.id)
+		if err != nil {
+			return err
+		}
+		if o.attr.Type == TypeDir {
+			if n.attr.Type != TypeDir {
+				return ErrIsDir
+			}
+			if len(o.children) != 0 {
+				return ErrNotEmpty
+			}
+			delete(fs.nodes, o.id)
+			td.nlink--
+		} else {
+			o.nlink--
+			if o.nlink == 0 {
+				delete(fs.nodes, o.id)
+			}
+		}
+	}
+	delete(fd.children, fromName)
+	td.children[toName] = dirent{id: n.id, cookie: fs.cookie()}
+	if n.attr.Type == TypeDir {
+		n.parent = td.id
+		if fd.id != td.id {
+			fd.nlink--
+			td.nlink++
+		}
+	}
+	fs.touchDir(fd)
+	fs.touchDir(td)
+	if fs.disk != nil {
+		fs.disk.Sync()
+	}
+	return nil
+}
+
+// Read returns up to count bytes of file data starting at off, and
+// whether the read reached end of file.
+func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool, error) {
+	fs.mu.RLock()
+	n, err := fs.get(id)
+	if err != nil {
+		fs.mu.RUnlock()
+		return nil, false, err
+	}
+	if n.attr.Type == TypeDir {
+		fs.mu.RUnlock()
+		return nil, false, ErrIsDir
+	}
+	if err := access(cred, n, ModeRead); err != nil {
+		fs.mu.RUnlock()
+		return nil, false, err
+	}
+	if off >= uint64(len(n.data)) {
+		fs.mu.RUnlock()
+		return []byte{}, true, nil
+	}
+	end := off + uint64(count)
+	if end > uint64(len(n.data)) {
+		end = uint64(len(n.data))
+	}
+	out := make([]byte, end-off)
+	copy(out, n.data[off:end])
+	eof := end == uint64(len(n.data))
+	disk := fs.disk
+	fs.mu.RUnlock()
+	if disk != nil {
+		disk.Read(len(out))
+	}
+	return out, eof, nil
+}
+
+// Write stores data at off, extending the file as needed. If sync is
+// set the write is charged as stable storage.
+func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (Attr, error) {
+	fs.mu.Lock()
+	n, err := fs.get(id)
+	if err != nil {
+		fs.mu.Unlock()
+		return Attr{}, err
+	}
+	if n.attr.Type == TypeDir {
+		fs.mu.Unlock()
+		return Attr{}, ErrIsDir
+	}
+	if err := access(cred, n, ModeWrite); err != nil {
+		fs.mu.Unlock()
+		return Attr{}, err
+	}
+	end := off + uint64(len(data))
+	if end > uint64(len(n.data)) {
+		n.data = append(n.data, make([]byte, end-uint64(len(n.data)))...)
+	}
+	copy(n.data[off:end], data)
+	n.attr.Size = uint64(len(n.data))
+	now := fs.clock()
+	n.attr.Mtime, n.attr.Ctime = now, now
+	a := n.attr
+	a.Nlink = n.nlink
+	disk := fs.disk
+	fs.mu.Unlock()
+	if disk != nil {
+		disk.Write(len(data))
+		if sync {
+			disk.Sync()
+		}
+	}
+	return a, nil
+}
+
+// Commit flushes a file to stable storage (the NFS COMMIT operation).
+func (fs *FS) Commit(id FileID) error {
+	fs.mu.RLock()
+	_, err := fs.get(id)
+	disk := fs.disk
+	fs.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if disk != nil {
+		disk.Sync()
+	}
+	return nil
+}
+
+// ReadDir returns directory entries with cookies greater than cookie,
+// in cookie order, up to max entries (0 means all).
+func (fs *FS) ReadDir(cred Cred, dir FileID, cookie uint64, max int) ([]DirEntry, bool, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, err := fs.get(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.attr.Type != TypeDir {
+		return nil, false, ErrNotDir
+	}
+	if err := access(cred, d, ModeRead); err != nil {
+		return nil, false, err
+	}
+	ents := make([]DirEntry, 0, len(d.children))
+	for name, ent := range d.children {
+		if ent.cookie > cookie {
+			ents = append(ents, DirEntry{Name: name, FileID: ent.id, Cookie: ent.cookie})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Cookie < ents[j].Cookie })
+	eof := true
+	if max > 0 && len(ents) > max {
+		ents = ents[:max]
+		eof = false
+	}
+	return ents, eof, nil
+}
+
+// NumNodes reports the number of live nodes, for tests.
+func (fs *FS) NumNodes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.nodes)
+}

@@ -1,0 +1,144 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrTooManyLinks is returned when symbolic link resolution exceeds
+// the loop limit.
+var ErrTooManyLinks = errors.New("vfs: too many levels of symbolic links")
+
+const maxLinkDepth = 16
+
+// Resolve walks path (slash separated, relative to the root) following
+// symbolic links whose targets are relative or rooted inside this file
+// system. Targets beginning with "/" that escape this file system
+// (such as self-certifying pathnames) stop resolution with the
+// remaining target returned in external.
+func (fs *FS) Resolve(cred Cred, path string) (id FileID, external string, err error) {
+	return fs.resolve(cred, fs.Root(), path, 0)
+}
+
+func (fs *FS) resolve(cred Cred, dir FileID, path string, depth int) (FileID, string, error) {
+	if depth > maxLinkDepth {
+		return 0, "", ErrTooManyLinks
+	}
+	cur := dir
+	parts := splitPath(path)
+	for i, part := range parts {
+		id, attr, err := fs.Lookup(cred, cur, part)
+		if err != nil {
+			return 0, "", err
+		}
+		if attr.Type == TypeSymlink {
+			target, err := fs.Readlink(id)
+			if err != nil {
+				return 0, "", err
+			}
+			rest := strings.Join(parts[i+1:], "/")
+			if strings.HasPrefix(target, "/") {
+				// Leaves this file system (e.g. a secure
+				// link to a self-certifying pathname).
+				if rest != "" {
+					target = target + "/" + rest
+				}
+				return 0, target, nil
+			}
+			if rest != "" {
+				target = target + "/" + rest
+			}
+			return fs.resolve(cred, cur, target, depth+1)
+		}
+		cur = id
+	}
+	return cur, "", nil
+}
+
+func splitPath(p string) []string {
+	var parts []string
+	for _, s := range strings.Split(p, "/") {
+		if s != "" && s != "." {
+			parts = append(parts, s)
+		}
+	}
+	return parts
+}
+
+// MkdirAll creates every missing directory along path and returns the
+// FileID of the final directory.
+func (fs *FS) MkdirAll(cred Cred, path string, mode uint32) (FileID, error) {
+	cur := fs.Root()
+	for _, part := range splitPath(path) {
+		id, attr, err := fs.Lookup(cred, cur, part)
+		switch {
+		case err == nil:
+			if attr.Type != TypeDir {
+				return 0, ErrNotDir
+			}
+			cur = id
+		case errors.Is(err, ErrNotFound):
+			id, _, err = fs.Mkdir(cred, cur, part, mode)
+			if err != nil {
+				return 0, err
+			}
+			cur = id
+		default:
+			return 0, err
+		}
+	}
+	return cur, nil
+}
+
+// WriteFile creates (or truncates) the file at path with the given
+// contents, creating parent directories as needed.
+func (fs *FS) WriteFile(cred Cred, path string, data []byte, mode uint32) error {
+	dirPath, name := splitDirFile(path)
+	dir, err := fs.MkdirAll(cred, dirPath, 0o755)
+	if err != nil {
+		return err
+	}
+	id, _, err := fs.Create(cred, dir, name, mode, false)
+	if err != nil {
+		return err
+	}
+	_, err = fs.Write(cred, id, 0, data, false)
+	return err
+}
+
+// ReadFile returns the full contents of the file at path.
+func (fs *FS) ReadFile(cred Cred, path string) ([]byte, error) {
+	id, external, err := fs.Resolve(cred, path)
+	if err != nil {
+		return nil, err
+	}
+	if external != "" {
+		return nil, ErrNotFound
+	}
+	attr, err := fs.GetAttr(id)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := fs.Read(cred, id, 0, uint32(attr.Size))
+	return data, err
+}
+
+// SymlinkAt creates a symbolic link at path pointing to target,
+// creating parent directories as needed.
+func (fs *FS) SymlinkAt(cred Cred, path, target string) error {
+	dirPath, name := splitDirFile(path)
+	dir, err := fs.MkdirAll(cred, dirPath, 0o755)
+	if err != nil {
+		return err
+	}
+	_, _, err = fs.Symlink(cred, dir, name, target)
+	return err
+}
+
+func splitDirFile(path string) (dir, file string) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return "", ""
+	}
+	return strings.Join(parts[:len(parts)-1], "/"), parts[len(parts)-1]
+}

@@ -1,0 +1,64 @@
+package xdr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Random bytes fed to the decoder must fail cleanly, never panic or
+// spin — servers decode attacker-supplied bytes.
+func TestQuickDecodeRobustness(t *testing.T) {
+	type deep struct {
+		A    uint32
+		Name string
+		Opt  *struct {
+			X    int64
+			Blob []byte
+		}
+		List []struct {
+			Tag  [4]byte
+			Vals []uint32
+		}
+	}
+	f := func(junk []byte) bool {
+		var out deep
+		// Any result is fine as long as it returns.
+		_ = Unmarshal(junk, &out)
+		d := NewDecoder(junk)
+		_, _ = d.Opaque()
+		_, _ = d.String()
+		_, _ = d.Bool()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Encodings of valid values always decode to the same value even when
+// embedded among other fields (framing property).
+func TestQuickFramingComposition(t *testing.T) {
+	type pair struct {
+		First  []byte
+		Second string
+		Third  uint64
+	}
+	f := func(a []byte, b string, c uint64) bool {
+		in := pair{First: a, Second: b, Third: c}
+		if a == nil {
+			in.First = []byte{}
+		}
+		enc, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out pair
+		if err := Unmarshal(enc, &out); err != nil {
+			return false
+		}
+		return string(out.First) == string(in.First) && out.Second == b && out.Third == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package xdr implements the External Data Representation standard
+// (RFC 1832) used by every wire protocol in this repository.
+//
+// SFS defines all of its cryptographic and file-system messages as XDR
+// data structures and computes hashes and public-key functions over the
+// raw marshaled bytes (paper §3.2). This package therefore provides a
+// deterministic, reflection-based encoder and decoder for Go values:
+//
+//	bool              -> XDR bool (4 bytes)
+//	int32/uint32      -> 4-byte big endian
+//	int64/uint64      -> 8-byte big endian ("hyper")
+//	string            -> variable-length opaque with length prefix
+//	[]byte            -> variable-length opaque
+//	[N]byte           -> fixed-length opaque
+//	[]T               -> variable-length array
+//	[N]T              -> fixed-length array
+//	*T                -> XDR optional-data (bool followed by T if set)
+//	struct            -> fields in declaration order
+//
+// Types may instead implement Marshaler/Unmarshaler for union types and
+// other representations XDR cannot express structurally.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+)
+
+// MaxElements bounds the length accepted for any variable-length item
+// while decoding, protecting servers from memory-exhaustion attacks by
+// malformed length prefixes.
+const MaxElements = 16 << 20
+
+var (
+	// ErrTrailingBytes is reported by Unmarshal when input remains
+	// after the top-level value has been decoded.
+	ErrTrailingBytes = errors.New("xdr: trailing bytes after value")
+	// ErrTooLong is reported when a decoded length prefix exceeds
+	// MaxElements or an encoded item exceeds a declared bound.
+	ErrTooLong = errors.New("xdr: length exceeds maximum")
+)
+
+// Marshaler is implemented by types that encode themselves.
+type Marshaler interface {
+	MarshalXDR(e *Encoder) error
+}
+
+// Unmarshaler is implemented by types that decode themselves.
+type Unmarshaler interface {
+	UnmarshalXDR(d *Decoder) error
+}
+
+// Marshal returns the XDR encoding of v.
+func Marshal(v interface{}) ([]byte, error) {
+	e := &Encoder{}
+	if err := e.Encode(v); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// MustMarshal is Marshal for values the caller knows to be encodable,
+// such as fixed protocol structures. It panics on error.
+func MustMarshal(v interface{}) []byte {
+	b, err := Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("xdr: MustMarshal: %v", err))
+	}
+	return b
+}
+
+// Unmarshal decodes data into v, which must be a non-nil pointer.
+// The entire input must be consumed.
+func Unmarshal(data []byte, v interface{}) error {
+	d := NewDecoder(data)
+	if err := d.Decode(v); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// An Encoder appends XDR-encoded values to an internal buffer.
+// The zero value is ready for use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded bytes accumulated so far. The returned
+// slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// PutUint32 appends a 4-byte big-endian value.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// PutUint64 appends an 8-byte big-endian value.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutBool appends an XDR boolean.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutUint32(1)
+	} else {
+		e.PutUint32(0)
+	}
+}
+
+// PutFixedOpaque appends b with zero padding to a 4-byte boundary and
+// no length prefix.
+func (e *Encoder) PutFixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for i := len(b); i%4 != 0; i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutOpaque appends a variable-length opaque: length prefix, bytes,
+// padding.
+func (e *Encoder) PutOpaque(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.PutFixedOpaque(b)
+}
+
+// PutString appends an XDR string.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	for i := len(s); i%4 != 0; i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Encode appends the XDR encoding of v.
+func (e *Encoder) Encode(v interface{}) error {
+	if m, ok := v.(Marshaler); ok {
+		return m.MarshalXDR(e)
+	}
+	return e.encodeValue(reflect.ValueOf(v))
+}
+
+func (e *Encoder) encodeValue(rv reflect.Value) error {
+	if !rv.IsValid() {
+		return errors.New("xdr: cannot encode invalid value")
+	}
+	if rv.CanInterface() {
+		if m, ok := rv.Interface().(Marshaler); ok {
+			return m.MarshalXDR(e)
+		}
+		if rv.CanAddr() {
+			if m, ok := rv.Addr().Interface().(Marshaler); ok {
+				return m.MarshalXDR(e)
+			}
+		}
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		e.PutBool(rv.Bool())
+	case reflect.Int8, reflect.Int16, reflect.Int32:
+		e.PutUint32(uint32(int32(rv.Int())))
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32:
+		e.PutUint32(uint32(rv.Uint()))
+	case reflect.Int, reflect.Int64:
+		e.PutUint64(uint64(rv.Int()))
+	case reflect.Uint, reflect.Uint64:
+		e.PutUint64(rv.Uint())
+	case reflect.Float64:
+		e.PutUint64(math.Float64bits(rv.Float()))
+	case reflect.String:
+		if rv.Len() > MaxElements {
+			return ErrTooLong
+		}
+		e.PutString(rv.String())
+	case reflect.Slice:
+		if rv.Len() > MaxElements {
+			return ErrTooLong
+		}
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			e.PutOpaque(rv.Bytes())
+			return nil
+		}
+		e.PutUint32(uint32(rv.Len()))
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.encodeValue(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Array:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			b := make([]byte, rv.Len())
+			reflect.Copy(reflect.ValueOf(b), rv)
+			e.PutFixedOpaque(b)
+			return nil
+		}
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.encodeValue(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Ptr:
+		if rv.IsNil() {
+			e.PutBool(false)
+			return nil
+		}
+		e.PutBool(true)
+		return e.encodeValue(rv.Elem())
+	case reflect.Struct:
+		t := rv.Type()
+		for i := 0; i < rv.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue // unexported
+			}
+			if err := e.encodeValue(rv.Field(i)); err != nil {
+				return fmt.Errorf("xdr: field %s.%s: %w", t.Name(), t.Field(i).Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("xdr: unsupported type %s", rv.Type())
+	}
+	return nil
+}
+
+// A Decoder reads XDR values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a Decoder reading from data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Remaining reports how many undecoded bytes remain.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Uint32 decodes a 4-byte big-endian value.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Uint64 decodes an 8-byte big-endian value.
+func (d *Decoder) Uint64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Bool decodes an XDR boolean; any nonzero discriminant is an error.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("xdr: invalid bool discriminant %d", v)
+}
+
+// FixedOpaque decodes n bytes plus padding. The result aliases the
+// decoder's buffer.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 || n > MaxElements {
+		return nil, ErrTooLong
+	}
+	padded := (n + 3) &^ 3
+	if d.Remaining() < padded {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off : d.off+n]
+	for _, p := range d.buf[d.off+n : d.off+padded] {
+		if p != 0 {
+			return nil, errors.New("xdr: nonzero padding")
+		}
+	}
+	d.off += padded
+	return b, nil
+}
+
+// Opaque decodes a variable-length opaque.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Decode reads the next value into v, a non-nil pointer.
+func (d *Decoder) Decode(v interface{}) error {
+	if u, ok := v.(Unmarshaler); ok {
+		return u.UnmarshalXDR(d)
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return errors.New("xdr: Decode target must be a non-nil pointer")
+	}
+	return d.decodeValue(rv.Elem())
+}
+
+func (d *Decoder) decodeValue(rv reflect.Value) error {
+	if rv.CanAddr() {
+		if u, ok := rv.Addr().Interface().(Unmarshaler); ok {
+			return u.UnmarshalXDR(d)
+		}
+	}
+	switch rv.Kind() {
+	case reflect.Bool:
+		v, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		rv.SetBool(v)
+	case reflect.Int8, reflect.Int16, reflect.Int32:
+		v, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		rv.SetInt(int64(int32(v)))
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32:
+		v, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		rv.SetUint(uint64(v))
+	case reflect.Int, reflect.Int64:
+		v, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		rv.SetInt(int64(v))
+	case reflect.Uint, reflect.Uint64:
+		v, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		rv.SetUint(v)
+	case reflect.Float64:
+		v, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		rv.SetFloat(math.Float64frombits(v))
+	case reflect.String:
+		s, err := d.String()
+		if err != nil {
+			return err
+		}
+		rv.SetString(s)
+	case reflect.Slice:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			b, err := d.Opaque()
+			if err != nil {
+				return err
+			}
+			c := make([]byte, len(b))
+			copy(c, b)
+			rv.SetBytes(c)
+			return nil
+		}
+		n, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		if n > MaxElements {
+			return ErrTooLong
+		}
+		s := reflect.MakeSlice(rv.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.decodeValue(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(s)
+	case reflect.Array:
+		if rv.Type().Elem().Kind() == reflect.Uint8 {
+			b, err := d.FixedOpaque(rv.Len())
+			if err != nil {
+				return err
+			}
+			reflect.Copy(rv, reflect.ValueOf(b))
+			return nil
+		}
+		for i := 0; i < rv.Len(); i++ {
+			if err := d.decodeValue(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Ptr:
+		present, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		if !present {
+			rv.Set(reflect.Zero(rv.Type()))
+			return nil
+		}
+		nv := reflect.New(rv.Type().Elem())
+		if err := d.decodeValue(nv.Elem()); err != nil {
+			return err
+		}
+		rv.Set(nv)
+	case reflect.Struct:
+		t := rv.Type()
+		for i := 0; i < rv.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue
+			}
+			if err := d.decodeValue(rv.Field(i)); err != nil {
+				return fmt.Errorf("xdr: field %s.%s: %w", t.Name(), t.Field(i).Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("xdr: unsupported type %s", rv.Type())
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in, out interface{}) {
+	t.Helper()
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal(%#v): %v", in, err)
+	}
+	if len(b)%4 != 0 {
+		t.Fatalf("Marshal(%#v): length %d not a multiple of 4", in, len(b))
+	}
+	if err := Unmarshal(b, out); err != nil {
+		t.Fatalf("Unmarshal(%x): %v", b, err)
+	}
+	got := reflect.ValueOf(out).Elem().Interface()
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip: got %#v, want %#v", got, in)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	var b bool
+	roundTrip(t, true, &b)
+	roundTrip(t, false, &b)
+	var i32 int32
+	roundTrip(t, int32(-5), &i32)
+	roundTrip(t, int32(math.MaxInt32), &i32)
+	var u32 uint32
+	roundTrip(t, uint32(0xdeadbeef), &u32)
+	var i64 int64
+	roundTrip(t, int64(math.MinInt64), &i64)
+	var u64 uint64
+	roundTrip(t, uint64(math.MaxUint64), &u64)
+	var f float64
+	roundTrip(t, 3.14159, &f)
+}
+
+func TestStringEncoding(t *testing.T) {
+	b, err := Marshal("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 0, 0, 2, 'h', 'i', 0, 0}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("got %x, want %x", b, want)
+	}
+	var s string
+	roundTrip(t, "", &s)
+	roundTrip(t, "abcd", &s)
+	roundTrip(t, "abcde", &s)
+}
+
+func TestOpaque(t *testing.T) {
+	var v []byte
+	roundTrip(t, []byte{1, 2, 3}, &v)
+	roundTrip(t, []byte{}, &v)
+	var a [20]byte
+	in := [20]byte{1, 2, 3, 19: 9}
+	roundTrip(t, in, &a)
+	b := MustMarshal(in)
+	if len(b) != 20 {
+		t.Fatalf("fixed [20]byte encoded to %d bytes, want 20", len(b))
+	}
+}
+
+func TestFixedOpaquePadding(t *testing.T) {
+	var a [3]byte
+	b := MustMarshal([3]byte{1, 2, 3})
+	if len(b) != 4 {
+		t.Fatalf("fixed [3]byte encoded to %d bytes, want 4", len(b))
+	}
+	if err := Unmarshal(b, &a); err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero padding must be rejected.
+	b[3] = 1
+	if err := Unmarshal(b, &a); err == nil {
+		t.Fatal("nonzero padding accepted")
+	}
+}
+
+type inner struct {
+	A uint32
+	B string
+}
+
+type outer struct {
+	X    int64
+	Name string
+	In   inner
+	List []inner
+	Opt  *inner
+	Raw  []byte
+	Tag  [4]byte
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	in := outer{
+		X:    -77,
+		Name: "struct",
+		In:   inner{A: 9, B: "nested"},
+		List: []inner{{A: 1, B: "x"}, {A: 2, B: "yy"}},
+		Opt:  &inner{A: 3, B: "opt"},
+		Raw:  []byte{0xca, 0xfe},
+		Tag:  [4]byte{'t', 'a', 'g', '!'},
+	}
+	var out outer
+	roundTrip(t, in, &out)
+}
+
+func TestOptionalNil(t *testing.T) {
+	in := outer{List: []inner{}, Raw: []byte{}}
+	var out outer
+	roundTrip(t, in, &out)
+	if out.Opt != nil {
+		t.Fatal("nil optional decoded as non-nil")
+	}
+}
+
+func TestUnexportedFieldsSkipped(t *testing.T) {
+	type mixed struct {
+		A uint32
+		b uint32 //nolint:unused // tests that unexported fields are skipped
+		C uint32
+	}
+	in := mixed{A: 1, C: 3}
+	b := MustMarshal(in)
+	if len(b) != 8 {
+		t.Fatalf("got %d bytes, want 8", len(b))
+	}
+	var out mixed
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != 1 || out.C != 3 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	b := MustMarshal(uint32(1))
+	b = append(b, 0, 0, 0, 0)
+	var v uint32
+	if err := Unmarshal(b, &v); err != ErrTrailingBytes {
+		t.Fatalf("got %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	in := outer{Name: "truncate-me", Raw: []byte{1, 2, 3, 4, 5}}
+	b := MustMarshal(in)
+	for n := 0; n < len(b); n++ {
+		var out outer
+		if err := Unmarshal(b[:n], &out); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	e := &Encoder{}
+	e.PutUint32(0xffffffff)
+	var v []byte
+	if err := Unmarshal(e.Bytes(), &v); err == nil {
+		t.Fatal("huge opaque length accepted")
+	}
+	var s []uint32
+	if err := Unmarshal(e.Bytes(), &s); err == nil {
+		t.Fatal("huge array length accepted")
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	e := &Encoder{}
+	e.PutUint32(2)
+	var v bool
+	if err := Unmarshal(e.Bytes(), &v); err == nil {
+		t.Fatal("bool discriminant 2 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	in := outer{Name: "det", List: []inner{{A: 5}}, Raw: []byte{9}}
+	a := MustMarshal(in)
+	b := MustMarshal(in)
+	if !bytes.Equal(a, b) {
+		t.Fatal("marshaling is not deterministic")
+	}
+}
+
+// quick-check property: every randomly generated structure round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(x int64, s string, raw []byte, list []uint32, opt bool) bool {
+		type msg struct {
+			X    int64
+			S    string
+			Raw  []byte
+			List []uint32
+			Opt  *uint32
+		}
+		in := msg{X: x, S: s, Raw: raw, List: list}
+		if raw == nil {
+			in.Raw = []byte{}
+		}
+		if list == nil {
+			in.List = []uint32{}
+		}
+		if opt {
+			v := uint32(len(s))
+			in.Opt = &v
+		}
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out msg
+		if err := Unmarshal(b, &out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type custom struct {
+	kind uint32
+	data string
+}
+
+func (c custom) MarshalXDR(e *Encoder) error {
+	e.PutUint32(c.kind)
+	if c.kind == 1 {
+		e.PutString(c.data)
+	}
+	return nil
+}
+
+func (c *custom) UnmarshalXDR(d *Decoder) error {
+	k, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	c.kind = k
+	if k == 1 {
+		s, err := d.String()
+		if err != nil {
+			return err
+		}
+		c.data = s
+	}
+	return nil
+}
+
+func TestCustomMarshaler(t *testing.T) {
+	in := custom{kind: 1, data: "union arm"}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out custom
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	// Union arm 0 carries no body.
+	in0 := custom{kind: 0}
+	b0 := MustMarshal(in0)
+	if len(b0) != 4 {
+		t.Fatalf("arm 0 encoded to %d bytes, want 4", len(b0))
+	}
+}
+
+func TestCustomMarshalerInsideStruct(t *testing.T) {
+	type holder struct {
+		Before uint32
+		C      custom
+		After  uint32
+	}
+	in := holder{Before: 1, C: custom{kind: 1, data: "inner"}, After: 2}
+	b := MustMarshal(in)
+	var out holder
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func BenchmarkMarshalStruct(b *testing.B) {
+	in := outer{
+		X:    -77,
+		Name: "struct",
+		In:   inner{A: 9, B: "nested"},
+		List: []inner{{A: 1, B: "x"}, {A: 2, B: "yy"}},
+		Raw:  bytes.Repeat([]byte{0xab}, 512),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalStruct(b *testing.B) {
+	in := outer{Name: "struct", Raw: bytes.Repeat([]byte{0xab}, 512), List: []inner{}}
+	data := MustMarshal(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out outer
+		if err := Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

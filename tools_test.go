@@ -1,0 +1,192 @@
+package repro
+
+// End-to-end test of the command-line tools: builds the binaries and
+// drives a full deployment through their public interfaces — the way
+// a downstream user would.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the commands once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"sfskey", "sfssd", "sfscd", "sfsauthd", "sfsrodb", "sfsagent"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", addr)
+}
+
+func TestToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// 1. Generate server and user keys.
+	srvKey := filepath.Join(work, "server.sfs")
+	run(t, filepath.Join(bin, "sfskey"), "gen", "-o", srvKey, "-bits", "768")
+	pathOut := run(t, filepath.Join(bin, "sfskey"), "path", "-k", srvKey, "-location", "files.example.com")
+	selfPath := strings.TrimSpace(pathOut)
+	if !strings.HasPrefix(selfPath, "/sfs/files.example.com:") {
+		t.Fatalf("sfskey path printed %q", selfPath)
+	}
+	hostID := selfPath[strings.LastIndexByte(selfPath, ':')+1:]
+
+	// 2. Seed content and start sfssd with one password user.
+	seedDir := filepath.Join(work, "seed")
+	if err := os.MkdirAll(filepath.Join(seedDir, "pub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(seedDir, "pub", "hello.txt"), []byte("tool-served content\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	userKeyPath := filepath.Join(work, "alice.sfs")
+	sd := exec.Command(filepath.Join(bin, "sfssd"),
+		"-listen", addr,
+		"-location", "files.example.com",
+		"-keyfile", srvKey,
+		"-seed", seedDir,
+		"-user", "alice:1000:correct horse:"+userKeyPath,
+	)
+	sdOut := &bytes.Buffer{}
+	sd.Stdout, sd.Stderr = sdOut, sdOut
+	if err := sd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sd.Process.Kill(); sd.Wait() }) //nolint:errcheck
+	waitListening(t, addr)
+
+	// 3. sfskey fetch: the SRP password flow downloads the
+	// self-certifying pathname and the private key.
+	fetched := filepath.Join(work, "fetched.sfs")
+	fetchOut := run(t, filepath.Join(bin, "sfskey"), "fetch",
+		"-server", addr, "-location", "files.example.com", "-hostid", hostID,
+		"-user", "alice", "-password", "correct horse", "-o", fetched)
+	if !strings.Contains(fetchOut, selfPath) {
+		t.Fatalf("fetch did not return the self-certifying pathname:\n%s", fetchOut)
+	}
+	if _, err := os.Stat(fetched); err != nil {
+		t.Fatalf("fetched key not saved: %v", err)
+	}
+
+	// 4. Drive sfscd interactively: read the served file through the
+	// self-certifying pathname, write one back as alice.
+	cd := exec.Command(filepath.Join(bin, "sfscd"),
+		"-server", "files.example.com="+addr,
+		"-user", "alice", "-keyfile", fetched)
+	stdin, err := cd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd.Stderr = cd.Stdout
+	if err := cd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cd.Process.Kill(); cd.Wait() }) //nolint:errcheck
+	fmt.Fprintf(stdin, "cat %s/pub/hello.txt\n", selfPath)
+	fmt.Fprintf(stdin, "pwd %s/pub\n", selfPath)
+	fmt.Fprintln(stdin, "quit")
+	out, _ := io.ReadAll(bufio.NewReader(stdout))
+	if !strings.Contains(string(out), "tool-served content") {
+		t.Fatalf("sfscd cat output:\n%s", out)
+	}
+	if !strings.Contains(string(out), selfPath) {
+		t.Fatalf("sfscd pwd output:\n%s", out)
+	}
+
+	// 5. Read-only dialect: build a signed database, serve it from a
+	// "replica" (no key file involved), fetch and verify.
+	dbFile := filepath.Join(work, "fs.sfsro")
+	run(t, filepath.Join(bin, "sfsrodb"), "build",
+		"-seed", seedDir, "-location", "files.example.com", "-keyfile", srvKey,
+		"-o", dbFile)
+	roAddr := freePort(t)
+	ro := exec.Command(filepath.Join(bin, "sfsrodb"), "serve", "-db", dbFile, "-listen", roAddr)
+	ro.Stdout, ro.Stderr = io.Discard, io.Discard
+	if err := ro.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Process.Kill(); ro.Wait() }) //nolint:errcheck
+	waitListening(t, roAddr)
+	got := run(t, filepath.Join(bin, "sfsrodb"), "get",
+		"-addr", roAddr, "-path", selfPath, "-file", "pub/hello.txt")
+	if !strings.Contains(got, "tool-served content") {
+		t.Fatalf("sfsrodb get returned %q", got)
+	}
+
+	// 6. sfsauthd: manage a database offline and export the public
+	// half.
+	dbPath := filepath.Join(work, "users.db")
+	run(t, filepath.Join(bin, "sfsauthd"), "init", "-db", dbPath)
+	run(t, filepath.Join(bin, "sfsauthd"), "adduser",
+		"-db", dbPath, "-selfpath", selfPath, "-user", "bob", "-uid", "1001",
+		"-password", "pw", "-keyfile", filepath.Join(work, "bob.sfs"))
+	listing := run(t, filepath.Join(bin, "sfsauthd"), "list", "-db", dbPath)
+	if !strings.Contains(listing, "bob") || !strings.Contains(listing, "+srp") {
+		t.Fatalf("sfsauthd list:\n%s", listing)
+	}
+	pubPath := filepath.Join(work, "public.db")
+	run(t, filepath.Join(bin, "sfsauthd"), "export", "-db", dbPath, "-o", pubPath)
+	pub, err := os.ReadFile(pubPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pub) == 0 {
+		t.Fatal("empty public export")
+	}
+}

@@ -3,6 +3,9 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vfs"
 )
 
 // These tests assert the qualitative claims of the paper's evaluation
@@ -112,6 +115,34 @@ func TestFig5ThroughputShape(t *testing.T) {
 	}
 	if sfsNoEnc <= sfs {
 		t.Errorf("encryption shows no throughput cost: %.1f vs %.1f", sfsNoEnc, sfs)
+	}
+}
+
+func TestFig5ReadAheadAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	measure := func(noRA bool) float64 {
+		fs := vfs.New()
+		fs.SetDisk(netsim.NewDisk())
+		st, err := NewSFS(fs, SFSOptions{Encrypt: true, EnhancedCaching: true, NoReadAhead: noRA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(st.Close)
+		r, err := ThroughputMicro(st, 8<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MBps()
+	}
+	serial := measure(true)
+	pipelined := measure(false)
+	t.Logf("sequential 8KB reads: %.2f MB/s serial, %.2f MB/s with readahead", serial, pipelined)
+	// Pipelining overlaps per-RPC latency; it must not be slower, and
+	// on the shaped link it should win clearly.
+	if pipelined <= serial {
+		t.Errorf("readahead shows no benefit: %.2f vs %.2f MB/s", pipelined, serial)
 	}
 }
 

@@ -510,6 +510,10 @@ type SFSOptions struct {
 	// EnhancedCaching selects the attribute-lease and access-cache
 	// extensions (the MAB ablation).
 	EnhancedCaching bool
+	// NoReadAhead disables the sequential-read pipeline, forcing
+	// one READ at a time — the serial behaviour the pre-pipeline
+	// client had (the Fig. 5 readahead ablation).
+	NoReadAhead bool
 }
 
 type sfsStack struct {
@@ -519,6 +523,14 @@ type sfsStack struct {
 	ln        net.Listener
 	opts      SFSOptions
 	chownFile *client.File
+}
+
+// readAheadDepth maps the ablation switch to the client knob.
+func readAheadDepth(disabled bool) int {
+	if disabled {
+		return -1
+	}
+	return 0 // default depth
 }
 
 // NewSFS builds the full SFS stack over fs.
@@ -569,6 +581,7 @@ func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
 		RNG:             prng.NewSeeded([]byte("bench-sfs-client")),
 		TempKeyBits:     768,
 		EnhancedCaching: opts.EnhancedCaching,
+		ReadAhead:       readAheadDepth(opts.NoReadAhead),
 	})
 	if err != nil {
 		l.Close()

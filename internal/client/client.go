@@ -63,6 +63,10 @@ type Config struct {
 	// AttrTimeout is the fallback attribute TTL when enhanced
 	// caching is off (plain NFS-style); zero disables caching.
 	AttrTimeout time.Duration
+	// ReadAhead is the depth of the sequential-read pipeline: how
+	// many READ RPCs stay in flight on one channel. Zero selects
+	// nfs.DefaultReadAhead; negative disables pipelining.
+	ReadAhead int
 	// LocalUsers is the client machine's own uid→name table, used
 	// by the libsfs "%name" convention: when client and server
 	// agree on an ID's name, the percent prefix is dropped.
@@ -228,6 +232,7 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 		UseLeases:   c.cfg.EnhancedCaching,
 		AccessCache: c.cfg.EnhancedCaching,
 		AttrTimeout: c.cfg.AttrTimeout,
+		ReadAhead:   c.cfg.ReadAhead,
 	}
 	base := nfs.Dial(sec, clCfg)
 	root, _, err := base.MountRoot()

@@ -10,10 +10,45 @@ import (
 )
 
 // File is an open file: a handle plus the authenticated view it was
-// opened through. It supports streaming reads and writes at a cursor.
+// opened through. It supports streaming reads and writes at a cursor,
+// and pipelines sequential reads when the view supports asynchronous
+// RPCs.
 type File struct {
 	node *node
 	off  uint64
+	ra   readahead
+}
+
+// asyncView is the optional view capability that enables read-ahead:
+// issuing a READ without waiting for the reply. The NFS client over a
+// secure channel implements it; the read-only verifying view does not
+// and falls back to serial reads.
+type asyncView interface {
+	ReadStart(fh nfs.FH, offset uint64, count uint32) (func() ([]byte, bool, error), error)
+	ReadAheadDepth() int
+}
+
+var _ asyncView = (*nfs.Client)(nil)
+
+// readahead is the sequential-read pipeline of one open file: a window
+// of outstanding READ futures at consecutive offsets. A File is not
+// safe for concurrent use (it has a cursor), so the state needs no
+// locking.
+type readahead struct {
+	chunk   uint32 // read size the window was built with
+	head    uint64 // offset the next popped future was issued at
+	issued  uint64 // next offset to issue
+	lastEnd uint64 // where the previous read stopped (sequential detector)
+	window  []func() ([]byte, bool, error)
+}
+
+// drain finishes every outstanding future, discarding results. Futures
+// must not be abandoned: each holds a reply slot on the channel.
+func (ra *readahead) drain() {
+	for _, fin := range ra.window {
+		fin() //nolint:errcheck // discarding speculative replies
+	}
+	ra.window = ra.window[:0]
 }
 
 // Stat resolves path (following symbolic links) and returns its
@@ -239,13 +274,70 @@ func (c *Client) Stats(user, path string) (nfs.Stats, error) {
 // Attr returns the attributes the file was opened with.
 func (f *File) Attr() nfs.Fattr { return f.node.attr }
 
-// ReadAt reads up to len(p) bytes at offset off.
+// ReadAt reads up to len(p) bytes at offset off. Sequential reads
+// through a view that supports asynchronous RPCs are pipelined: a
+// window of READs stays in flight so each call usually finds its data
+// already on the wire (the paper's Figure 5 workload).
 func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	if av, ok := f.node.view.(asyncView); ok && len(p) > 0 {
+		if depth := av.ReadAheadDepth(); depth > 1 {
+			return f.readAtPipelined(av, depth, p, off)
+		}
+	}
+	return f.readAtSerial(p, off)
+}
+
+func (f *File) readAtSerial(p []byte, off uint64) (int, error) {
 	data, eof, err := f.node.view.Read(f.node.fh, off, uint32(len(p)))
 	if err != nil {
 		return 0, err
 	}
 	n := copy(p, data)
+	f.ra.lastEnd = off + uint64(n)
+	if eof && n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *File) readAtPipelined(av asyncView, depth int, p []byte, off uint64) (int, error) {
+	count := uint32(len(p))
+	ra := &f.ra
+	if len(ra.window) > 0 && (ra.chunk != count || ra.head != off) {
+		ra.drain() // request shape changed: speculation is useless
+	}
+	if len(ra.window) == 0 {
+		if off != ra.lastEnd {
+			// Non-sequential access: stay serial, but remember the
+			// position so a following sequential read starts the pipe.
+			return f.readAtSerial(p, off)
+		}
+		ra.chunk, ra.head, ra.issued = count, off, off
+	}
+	for len(ra.window) < depth {
+		fin, err := av.ReadStart(f.node.fh, ra.issued, count)
+		if err != nil {
+			ra.drain()
+			return 0, err
+		}
+		ra.window = append(ra.window, fin)
+		ra.issued += uint64(count)
+	}
+	fin := ra.window[0]
+	ra.window = ra.window[1:]
+	data, eof, err := fin()
+	if err != nil {
+		ra.drain()
+		return 0, err
+	}
+	n := copy(p, data)
+	ra.head = off + uint64(count)
+	ra.lastEnd = off + uint64(n)
+	if eof || n < int(count) {
+		// Final or short chunk: outstanding speculative READs target
+		// offsets the caller will not ask for next.
+		ra.drain()
+	}
 	if eof && n < len(p) {
 		return n, io.EOF
 	}
@@ -264,6 +356,9 @@ func (f *File) Read(p []byte) (int, error) {
 
 // WriteAt writes p at offset off (unstable; call Sync for stability).
 func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	// Reads still in the pipeline were issued before this write and
+	// could return stale data to a later sequential read.
+	f.ra.drain()
 	const chunk = 32 << 10
 	written := 0
 	for written < len(p) {

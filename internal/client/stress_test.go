@@ -1,12 +1,131 @@
 package client_test
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/vfs"
 )
+
+// TestConcurrentRPCPipelineOneChannel drives many goroutines through
+// the concurrent dispatch pipeline of a single secure channel: all
+// users share one mount, hence one transport, with replies completing
+// out of order. Every read-back carries a unique tag, so a reply
+// matched to the wrong call (XID confusion) or a credential tagged to
+// the wrong principal surfaces as wrong data or a missing permission
+// error.
+func TestConcurrentRPCPipelineOneChannel(t *testing.T) {
+	w, s, cl := newWorld(t, "pipeline")
+	const users = 3
+	const workersPerUser = 2
+	const iters = 8
+	for i := 0; i < users; i++ {
+		name := fmt.Sprintf("p%d", i)
+		uid := uint32(2000 + i)
+		if _, err := w.NewUser(cl, s, name, uid, ""); err != nil {
+			t.Fatal(err)
+		}
+		// A private directory only its owner may enter, holding a
+		// secret: the cross-talk probe.
+		if _, err := s.FS.MkdirAll(rootCred(), "priv", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		dir := fmt.Sprintf("priv/p%d", i)
+		if _, err := s.FS.MkdirAll(rootCred(), dir, 0o700); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FS.WriteFile(rootCred(), dir+"/secret", []byte(name+" only"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		sid, _, err := s.FS.Resolve(rootCred(), dir+"/secret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.FS.SetAttrs(rootCred(), sid, vfs.SetAttr{UID: &uid}); err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := s.FS.Resolve(rootCred(), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.FS.SetAttrs(rootCred(), id, vfs.SetAttr{UID: &uid}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.FS.MkdirAll(rootCred(), "pub", 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A multi-chunk file so concurrent pipelined ReadAlls interleave
+	// many READs on the channel at once.
+	big := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KB
+	if err := s.FS.WriteFile(rootCred(), "pub/big.bin", big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Path.String()
+	var wg sync.WaitGroup
+	errs := make(chan error, users*workersPerUser)
+	for u := 0; u < users; u++ {
+		for g := 0; g < workersPerUser; g++ {
+			u, g := u, g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				user := fmt.Sprintf("p%d", u)
+				other := fmt.Sprintf("p%d", (u+1)%users)
+				for i := 0; i < iters; i++ {
+					// Unique payload per (user, goroutine, iteration):
+					// a cross-matched reply cannot reproduce it.
+					tag := fmt.Sprintf("%s-g%d-i%d", user, g, i)
+					own := fmt.Sprintf("%s/pub/%s.txt", base, tag)
+					if err := cl.WriteFile(user, own, []byte(tag)); err != nil {
+						errs <- fmt.Errorf("%s write: %w", tag, err)
+						return
+					}
+					got, err := cl.ReadFile(user, own)
+					if err != nil {
+						errs <- fmt.Errorf("%s read back: %w", tag, err)
+						return
+					}
+					if string(got) != tag {
+						errs <- fmt.Errorf("reply cross-talk: wrote %q, read %q", tag, got)
+						return
+					}
+					// Own secret must open; the neighbour's must not.
+					if _, err := cl.ReadFile(user, fmt.Sprintf("%s/priv/%s/secret", base, user)); err != nil {
+						errs <- fmt.Errorf("%s own secret: %w", tag, err)
+						return
+					}
+					if _, err := cl.ReadFile(user, fmt.Sprintf("%s/priv/%s/secret", base, other)); err == nil {
+						errs <- fmt.Errorf("credential cross-talk: %s read %s's secret", user, other)
+						return
+					} else if !strings.Contains(err.Error(), "perm") && !strings.Contains(err.Error(), "access") {
+						errs <- fmt.Errorf("%s probe unexpected error: %w", tag, err)
+						return
+					}
+					// Pipelined multi-chunk read interleaved with
+					// everyone else's RPCs on the same channel.
+					data, err := cl.ReadFile(user, base+"/pub/big.bin")
+					if err != nil {
+						errs <- fmt.Errorf("%s big read: %w", tag, err)
+						return
+					}
+					if !bytes.Equal(data, big) {
+						errs <- fmt.Errorf("%s big read corrupted: %d bytes", tag, len(data))
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
 
 // TestConcurrentUsersOneMount hammers a single shared mount from
 // several users concurrently — the shared attribute cache, per-user

@@ -64,3 +64,26 @@ func (c *Cipher) KeyStream(n int) []byte {
 	c.XORKeyStream(out, out)
 	return out
 }
+
+// KeyStreamInto fills out with the next len(out) keystream bytes,
+// reusing the caller's buffer — the allocation-free form of KeyStream
+// for the per-record MAC re-keying on the hot seal/open path.
+func (c *Cipher) KeyStreamInto(out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	c.XORKeyStream(out, out)
+}
+
+// Skip advances the keystream n bytes without producing output. The
+// unencrypted channel mode uses it to keep its stream position aligned
+// with the peer without allocating a throwaway buffer.
+func (c *Cipher) Skip(n int) {
+	i, j := c.i, c.j
+	for ; n > 0; n-- {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+	}
+	c.i, c.j = i, j
+}

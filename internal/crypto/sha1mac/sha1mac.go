@@ -16,6 +16,8 @@ import (
 	"crypto/sha1"
 	"crypto/subtle"
 	"encoding/binary"
+	"hash"
+	"sync"
 )
 
 // Size is the MAC length in bytes.
@@ -23,6 +25,20 @@ const Size = sha1.Size
 
 // KeySize is the per-message key length pulled from the ARC4 stream.
 const KeySize = 32
+
+// macState carries a reusable hash plus the scratch arrays the MAC
+// needs. Pooling the scratch alongside the digest matters: a stack
+// array handed to the hash.Hash interface escapes, so without the pool
+// every message would pay several small heap allocations — and the MAC
+// runs once per sealed record on the hot wire path.
+type macState struct {
+	h    hash.Hash
+	ln   [8]byte
+	isum [Size]byte
+	out  [Size]byte
+}
+
+var statePool = sync.Pool{New: func() interface{} { return &macState{h: sha1.New()} }}
 
 // Sum computes the MAC of data under the 32-byte per-message key. It
 // includes the message length in the hashed input, as the paper
@@ -32,18 +48,20 @@ func Sum(key, data []byte) [Size]byte {
 	if len(key) != KeySize {
 		panic("sha1mac: key must be 32 bytes")
 	}
-	var ln [8]byte
-	binary.BigEndian.PutUint64(ln[:], uint64(len(data)))
-	inner := sha1.New()
-	inner.Write(key[:16])
-	inner.Write(key[16:])
-	inner.Write(ln[:])
-	inner.Write(data)
-	outer := sha1.New()
-	outer.Write(key[:16])
-	outer.Write(inner.Sum(nil))
-	var out [Size]byte
-	copy(out[:], outer.Sum(nil))
+	st := statePool.Get().(*macState)
+	binary.BigEndian.PutUint64(st.ln[:], uint64(len(data)))
+	st.h.Reset()
+	st.h.Write(key[:16])
+	st.h.Write(key[16:])
+	st.h.Write(st.ln[:])
+	st.h.Write(data)
+	st.h.Sum(st.isum[:0])
+	st.h.Reset()
+	st.h.Write(key[:16])
+	st.h.Write(st.isum[:])
+	st.h.Sum(st.out[:0])
+	out := st.out
+	statePool.Put(st)
 	return out
 }
 

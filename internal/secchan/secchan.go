@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/crypto/arc4"
@@ -369,32 +370,42 @@ func ServerHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.P
 // layer's record marking: each Write seals one record; Read serves
 // decrypted bytes in order.
 type Conn struct {
-	raw io.ReadWriteCloser
+	raw     io.ReadWriteCloser
+	encrypt bool // captured from the package mode at construction
 
-	wmu  sync.Mutex
-	send *arc4.Cipher
+	wmu        sync.Mutex
+	send       *arc4.Cipher
+	sealBuf    []byte // sealed-record scratch, guarded by wmu
+	sendMacKey [sha1mac.KeySize]byte
 
-	rmu     sync.Mutex
-	recv    *arc4.Cipher
-	readBuf []byte
-	readErr error
+	rmu        sync.Mutex
+	recv       *arc4.Cipher
+	openBuf    []byte // opened-record scratch, guarded by rmu
+	recvMacKey [sha1mac.KeySize]byte
+	readBuf    []byte // unread tail of the current record (aliases openBuf)
+	readErr    error
 }
 
-// NoEncryption, when set before channel construction (via
-// SetEncryption), MACs records but transmits plaintext — the "SFS
-// w/o encryption" configuration of the paper's Figure 5. It is a
-// package-level benchmark knob, not a production mode.
-type channelMode struct{ encrypt bool }
+// maxRetainedBuf caps the scratch a Conn keeps between records, so one
+// oversized record cannot pin its buffer for the channel's lifetime.
+const maxRetainedBuf = 1 << 20
 
-var mode = channelMode{encrypt: true}
+// mode toggles payload encryption for subsequently created channels —
+// captured per Conn at construction, so flipping it never races with
+// live channels. It reproduces the "SFS w/o encryption" configuration
+// of the paper's Figure 5: a package-level benchmark knob, not a
+// production mode.
+var mode atomic.Bool
+
+func init() { mode.Store(true) }
 
 // SetEncryption toggles payload encryption for subsequently created
 // channels (integrity MACs always remain). Benchmarks use this to
 // reproduce the paper's "SFS w/o encryption" rows.
-func SetEncryption(on bool) { mode.encrypt = on }
+func SetEncryption(on bool) { mode.Store(on) }
 
 // EncryptionEnabled reports the current mode.
-func EncryptionEnabled() bool { return mode.encrypt }
+func EncryptionEnabled() bool { return mode.Load() }
 
 func newConn(raw io.ReadWriteCloser, keyCS, keySC []byte, isClient bool) (*Conn, error) {
 	csCipher, err := arc4.New(keyCS)
@@ -405,7 +416,7 @@ func newConn(raw io.ReadWriteCloser, keyCS, keySC []byte, isClient bool) (*Conn,
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{raw: raw}
+	c := &Conn{raw: raw, encrypt: mode.Load()}
 	if isClient {
 		c.send, c.recv = csCipher, scCipher
 	} else {
@@ -414,25 +425,42 @@ func newConn(raw io.ReadWriteCloser, keyCS, keySC []byte, isClient bool) (*Conn,
 	return c, nil
 }
 
+// sized returns buf resized to n, growing it only when needed; ret
+// receives the buffer to retain for the next record (nil when n is too
+// large to keep).
+func sized(buf []byte, n int) (rec, ret []byte) {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	rec = buf[:n]
+	if n > maxRetainedBuf {
+		return rec, nil
+	}
+	return rec, rec
+}
+
 // Write seals p as one record: MAC keyed from the stream, over the
-// length and plaintext; then length, payload, and MAC encrypted.
+// length and plaintext; then length, payload, and MAC encrypted. The
+// sealed record is staged in a per-channel scratch buffer, so the
+// underlying transport must not retain the slice it is handed.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	macKey := c.send.KeyStream(sha1mac.KeySize)
-	mac := sha1mac.Sum(macKey, p)
-	rec := make([]byte, 4+len(p)+sha1mac.Size)
+	c.send.KeyStreamInto(c.sendMacKey[:])
+	mac := sha1mac.Sum(c.sendMacKey[:], p)
+	rec, ret := sized(c.sealBuf, 4+len(p)+sha1mac.Size)
+	c.sealBuf = ret
 	rec[0] = byte(len(p) >> 24)
 	rec[1] = byte(len(p) >> 16)
 	rec[2] = byte(len(p) >> 8)
 	rec[3] = byte(len(p))
 	copy(rec[4:], p)
 	copy(rec[4+len(p):], mac[:])
-	if mode.encrypt {
+	if c.encrypt {
 		c.send.XORKeyStream(rec, rec)
 	} else {
 		// Keep the stream position aligned with the peer.
-		c.send.KeyStream(len(rec))
+		c.send.Skip(len(rec))
 	}
 	if _, err := c.raw.Write(rec); err != nil {
 		return 0, err
@@ -462,32 +490,37 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// readRecord opens the next record into the per-channel scratch
+// buffer. It only runs once the previous record is fully consumed
+// (readBuf empty), so reusing openBuf is safe: Read hands callers
+// copies, never the scratch itself.
 func (c *Conn) readRecord() error {
-	macKey := c.recv.KeyStream(sha1mac.KeySize)
+	c.recv.KeyStreamInto(c.recvMacKey[:])
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
 		return err
 	}
-	if mode.encrypt {
+	if c.encrypt {
 		c.recv.XORKeyStream(hdr[:], hdr[:])
 	} else {
-		c.recv.KeyStream(4)
+		c.recv.Skip(4)
 	}
 	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
 	if n < 0 || n > MaxRecord {
 		return ErrBadMAC // garbled length ≈ tampering
 	}
-	body := make([]byte, n+sha1mac.Size)
+	body, ret := sized(c.openBuf, n+sha1mac.Size)
+	c.openBuf = ret
 	if _, err := io.ReadFull(c.raw, body); err != nil {
 		return err
 	}
-	if mode.encrypt {
+	if c.encrypt {
 		c.recv.XORKeyStream(body, body)
 	} else {
-		c.recv.KeyStream(len(body))
+		c.recv.Skip(len(body))
 	}
 	payload, mac := body[:n], body[n:]
-	if !sha1mac.Verify(macKey, payload, mac) {
+	if !sha1mac.Verify(c.recvMacKey[:], payload, mac) {
 		return ErrBadMAC
 	}
 	c.readBuf = payload

@@ -145,7 +145,7 @@ func TestCiphertextLooksRandom(t *testing.T) {
 	// encrypting the same plaintext twice yields different bytes
 	// (stream advances), and plaintext never appears.
 	var wire bytes.Buffer
-	tap := &Conn{raw: nopCloser{&wire}, send: cc.send}
+	tap := &Conn{raw: nopCloser{&wire}, send: cc.send, encrypt: true}
 	msg := []byte("THE-SECRET-PLAINTEXT")
 	tap.Write(msg) //nolint:errcheck
 	first := append([]byte(nil), wire.Bytes()...)

@@ -145,20 +145,48 @@ type callHeader struct {
 // A Record is one framed RPC message.
 type record []byte
 
+// bufPool holds framing scratch buffers for the hot wire path. A
+// pooled buffer is only ever held for the duration of one Write: the
+// transport must not retain the slice after Write returns, which every
+// io.Writer already promises.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4+8192+256) // one NFS READ + headers
+		return &b
+	},
+}
+
+// maxPooledBuf caps what goes back in the pool so one giant record
+// cannot pin megabytes for the rest of the process lifetime.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
 // WriteRecord writes one record-marked message (RFC 1831 §10) to w.
 // The entire message is sent as a single fragment with the last-
-// fragment bit set.
+// fragment bit set. The combined header+payload is staged in a pooled
+// buffer, so w must not retain the slice passed to Write.
 func WriteRecord(w io.Writer, payload []byte) error {
 	if len(payload) > 0x7fffffff {
 		return errors.New("sunrpc: record too large")
 	}
+	bp := getBuf()
+	buf := (*bp)[:0]
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload))|0x80000000)
 	// Single write where possible keeps datagram-like transports whole.
-	buf := make([]byte, 0, 4+len(payload))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	*bp = buf
+	putBuf(bp)
 	return err
 }
 
@@ -166,25 +194,50 @@ func WriteRecord(w io.Writer, payload []byte) error {
 const MaxRecord = 64 << 20
 
 // ReadRecord reads one record-marked message, reassembling fragments.
+// The returned slice is caller-owned: exactly one allocation on the
+// common single-fragment path, sized to the record. (The 4-byte header
+// is read through a pooled buffer because a stack array passed to an
+// io.Reader interface would escape.)
 func ReadRecord(r io.Reader) ([]byte, error) {
-	var out []byte
+	bp := getBuf()
+	defer putBuf(bp)
+	hdr := (*bp)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	h := binary.BigEndian.Uint32(hdr)
+	n := int(h & 0x7fffffff)
+	if n > MaxRecord {
+		return nil, errors.New("sunrpc: record exceeds maximum size")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	if h&0x80000000 != 0 { // last fragment: the common case
+		return out, nil
+	}
 	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			return nil, err
 		}
-		h := binary.BigEndian.Uint32(hdr[:])
-		last := h&0x80000000 != 0
+		h := binary.BigEndian.Uint32(hdr)
 		n := int(h & 0x7fffffff)
-		if n+len(out) > MaxRecord {
+		m := len(out)
+		if n+m > MaxRecord {
 			return nil, errors.New("sunrpc: record exceeds maximum size")
 		}
-		frag := make([]byte, n)
-		if _, err := io.ReadFull(r, frag); err != nil {
+		if cap(out)-m < n {
+			grown := make([]byte, m+n)
+			copy(grown, out)
+			out = grown
+		} else {
+			out = out[:m+n]
+		}
+		if _, err := io.ReadFull(r, out[m:]); err != nil {
 			return nil, err
 		}
-		out = append(out, frag...)
-		if last {
+		if h&0x80000000 != 0 {
 			return out, nil
 		}
 	}
@@ -203,8 +256,9 @@ type Client struct {
 	pending map[uint32]chan record
 	err     error
 	closed  bool
-	wmu     sync.Mutex // serializes writes
-	srv     *Server    // nil for a pure client
+	wmu     sync.Mutex    // serializes writes
+	srv     *Server       // nil for a pure client
+	sem     chan struct{} // bounds concurrent incoming-call dispatch
 	done    chan struct{}
 }
 
@@ -213,7 +267,9 @@ func NewClient(conn io.ReadWriteCloser) *Client { return NewPeer(conn, nil) }
 
 // NewPeer starts a duplex peer on conn: replies are matched to local
 // calls, and incoming calls (if srv is non-nil) are dispatched to srv
-// with replies sent back over the same connection.
+// with replies sent back over the same connection. Incoming calls run
+// concurrently, bounded by the server's worker limit, and replies go
+// out in completion order: XIDs disambiguate.
 func NewPeer(conn io.ReadWriteCloser, srv *Server) *Client {
 	c := &Client{
 		conn:    conn,
@@ -221,6 +277,9 @@ func NewPeer(conn io.ReadWriteCloser, srv *Server) *Client {
 		pending: make(map[uint32]chan record),
 		srv:     srv,
 		done:    make(chan struct{}),
+	}
+	if srv != nil {
+		c.sem = make(chan struct{}, srv.maxWorkers())
 	}
 	go c.readLoop()
 	return c
@@ -241,6 +300,7 @@ func (c *Client) readLoop() {
 		}
 		if binary.BigEndian.Uint32(rec[4:]) == msgCall {
 			if c.srv != nil {
+				c.sem <- struct{}{} // bound outstanding dispatches
 				go c.serveCall(rec)
 			}
 			continue
@@ -259,12 +319,15 @@ func (c *Client) readLoop() {
 }
 
 func (c *Client) serveCall(rec record) {
-	reply, err := c.srv.dispatch(rec)
-	if err != nil || reply == nil {
+	defer func() { <-c.sem }()
+	e := xdr.GetEncoder()
+	defer xdr.PutEncoder(e)
+	ok, err := c.srv.dispatch(rec, e)
+	if err != nil || !ok {
 		return
 	}
 	c.wmu.Lock()
-	err = WriteRecord(c.conn, reply)
+	err = WriteRecord(c.conn, e.Bytes())
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(err)
@@ -325,7 +388,8 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
-	e := &xdr.Encoder{}
+	e := xdr.GetEncoder()
+	defer xdr.PutEncoder(e)
 	e.PutUint32(xid)
 	e.PutUint32(msgCall)
 	if err := e.Encode(callHeader{
@@ -433,10 +497,18 @@ type Handler func(proc uint32, cred OpaqueAuth, args *xdr.Decoder) (interface{},
 // progVers identifies a registered program.
 type progVers struct{ prog, vers uint32 }
 
+// DefaultWorkers is the per-connection bound on concurrently
+// dispatched calls when SetWorkers has not been called. It mirrors the
+// paper's asynchronous RPC libraries: enough outstanding requests to
+// keep the disk and wire busy, without unbounded goroutine growth.
+const DefaultWorkers = 16
+
 // Server dispatches RPC calls on accepted transports.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[progVers]Handler
+	workers  int  // 0 → DefaultWorkers; 1 → serial
+	inOrder  bool // replies in call order instead of completion order
 }
 
 // NewServer returns an empty server.
@@ -451,11 +523,160 @@ func (s *Server) Register(prog, vers uint32, h Handler) {
 	s.handlers[progVers{prog, vers}] = h
 }
 
+// SetWorkers bounds the number of calls dispatched concurrently per
+// connection. n <= 0 restores DefaultWorkers; n == 1 serves strictly
+// serially. Affects connections served after the call.
+func (s *Server) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// SetInOrder selects reply ordering for concurrent connections. By
+// default replies leave in completion order — XIDs disambiguate, and
+// RFC 1831 imposes no ordering. In-order mode restores call-order
+// replies for peers that cannot match XIDs.
+func (s *Server) SetInOrder(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inOrder = on
+}
+
+func (s *Server) maxWorkers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.workers == 0 {
+		return DefaultWorkers
+	}
+	return s.workers
+}
+
+func (s *Server) replyInOrder() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inOrder
+}
+
 // ServeConn handles calls on conn until it fails, then closes it.
-// Calls are served sequentially per connection, matching the in-order
-// semantics the SFS secure channel provides.
+// Up to SetWorkers calls are dispatched concurrently; one serialized
+// writer emits replies, out of order by default (see SetInOrder).
 func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 	defer conn.Close()
+	n := s.maxWorkers()
+	if n <= 1 {
+		return s.serveSerial(conn)
+	}
+
+	var (
+		wmu     sync.Mutex // serializes reply writes
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		srvErr  error
+		inOrder = s.replyInOrder()
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if srvErr == nil {
+			srvErr = err
+			conn.Close() // unblock the reader and any in-flight writes
+		}
+		failMu.Unlock()
+	}
+	failed := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return srvErr
+	}
+
+	// In-order mode: the reader enqueues one slot per call; a single
+	// writer goroutine drains slots in call order, so a slow early
+	// call holds back later replies (the pre-refactor semantics).
+	var slots chan chan *xdr.Encoder
+	writerDone := make(chan struct{})
+	if inOrder {
+		slots = make(chan chan *xdr.Encoder, 4*n)
+		go func() {
+			defer close(writerDone)
+			for slot := range slots {
+				e := <-slot
+				if e == nil {
+					continue
+				}
+				if err := WriteRecord(conn, e.Bytes()); err != nil {
+					fail(err)
+				}
+				xdr.PutEncoder(e)
+			}
+		}()
+	} else {
+		close(writerDone)
+	}
+
+	sem := make(chan struct{}, n)
+	var readErr error
+	for {
+		rec, err := ReadRecord(conn)
+		if err != nil {
+			readErr = err
+			break
+		}
+		var slot chan *xdr.Encoder
+		if inOrder {
+			slot = make(chan *xdr.Encoder, 1)
+			slots <- slot
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(rec []byte, slot chan *xdr.Encoder) {
+			defer func() { <-sem; wg.Done() }()
+			e := xdr.GetEncoder()
+			ok, err := s.dispatch(rec, e)
+			if err != nil {
+				fail(err)
+				ok = false
+			}
+			if !ok {
+				xdr.PutEncoder(e)
+				if slot != nil {
+					slot <- nil
+				}
+				return
+			}
+			if slot != nil {
+				slot <- e // writer goroutine returns e to the pool
+				return
+			}
+			wmu.Lock()
+			werr := WriteRecord(conn, e.Bytes())
+			wmu.Unlock()
+			xdr.PutEncoder(e)
+			if werr != nil {
+				fail(werr)
+			}
+		}(rec, slot)
+	}
+	wg.Wait()
+	if inOrder {
+		close(slots)
+	}
+	<-writerDone
+	if err := failed(); err != nil {
+		return err
+	}
+	if errors.Is(readErr, io.EOF) {
+		return nil
+	}
+	return readErr
+}
+
+// serveSerial is the single-worker path: one call at a time, one
+// reusable encoder for the whole connection.
+func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
+	e := xdr.GetEncoder()
+	defer xdr.PutEncoder(e)
 	for {
 		rec, err := ReadRecord(conn)
 		if err != nil {
@@ -464,34 +685,38 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 			}
 			return err
 		}
-		reply, err := s.dispatch(rec)
+		ok, err := s.dispatch(rec, e)
 		if err != nil {
 			return err
 		}
-		if reply != nil {
-			if err := WriteRecord(conn, reply); err != nil {
+		if ok {
+			if err := WriteRecord(conn, e.Bytes()); err != nil {
 				return err
 			}
 		}
 	}
 }
 
-func (s *Server) dispatch(rec []byte) ([]byte, error) {
+// dispatch decodes one call record and encodes the reply into e
+// (resetting it first). It reports whether e holds a reply to send;
+// unparseable records are dropped. e never escapes: the caller owns it.
+func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
+	e.Reset()
 	d := xdr.NewDecoder(rec)
 	xid, err := d.Uint32()
 	if err != nil {
-		return nil, nil //nolint:nilerr // unparseable record: drop
+		return false, nil //nolint:nilerr // unparseable record: drop
 	}
 	mtype, err := d.Uint32()
 	if err != nil || mtype != msgCall {
-		return nil, nil
+		return false, nil
 	}
 	var hdr callHeader
 	if err := d.Decode(&hdr); err != nil {
-		return nil, nil //nolint:nilerr
+		return false, nil //nolint:nilerr
 	}
 	if hdr.RPCVers != RPCVersion {
-		return replyMsg(xid, acceptSystemErr, nil)
+		return replyInto(e, xid, acceptSystemErr, nil)
 	}
 	s.mu.RLock()
 	h, ok := s.handlers[progVers{hdr.Prog, hdr.Vers}]
@@ -507,41 +732,42 @@ func (s *Server) dispatch(rec []byte) ([]byte, error) {
 		}
 		s.mu.RUnlock()
 		if progKnown {
-			return replyMsg(xid, acceptProgMismatch, nil)
+			return replyInto(e, xid, acceptProgMismatch, nil)
 		}
-		return replyMsg(xid, acceptProgUnavail, nil)
+		return replyInto(e, xid, acceptProgUnavail, nil)
 	}
 	res, err := h(hdr.Proc, hdr.Cred, d)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrProcUnavail):
-			return replyMsg(xid, acceptProcUnavail, nil)
+			return replyInto(e, xid, acceptProcUnavail, nil)
 		case errors.Is(err, ErrGarbageArgs):
-			return replyMsg(xid, acceptGarbageArgs, nil)
+			return replyInto(e, xid, acceptGarbageArgs, nil)
 		default:
-			return replyMsg(xid, acceptSystemErr, nil)
+			return replyInto(e, xid, acceptSystemErr, nil)
 		}
 	}
-	return replyMsg(xid, acceptSuccess, res)
+	return replyInto(e, xid, acceptSuccess, res)
 }
 
-func replyMsg(xid, astat uint32, res interface{}) ([]byte, error) {
-	e := &xdr.Encoder{}
+// replyInto encodes an accepted reply message into e.
+func replyInto(e *xdr.Encoder, xid, astat uint32, res interface{}) (bool, error) {
+	e.Reset()
 	e.PutUint32(xid)
 	e.PutUint32(msgReply)
 	e.PutUint32(replyAccepted)
 	if err := e.Encode(NoAuth()); err != nil {
-		return nil, err
+		return false, err
 	}
 	e.PutUint32(astat)
 	if astat == acceptSuccess && res != nil {
 		if err := e.Encode(res); err != nil {
-			return nil, err
+			return false, err
 		}
 	}
 	if astat == acceptProgMismatch {
 		e.PutUint32(0) // low
 		e.PutUint32(0) // high
 	}
-	return e.Bytes(), nil
+	return true, nil
 }

@@ -3,6 +3,8 @@ package sunrpc
 import (
 	"net"
 	"sync"
+
+	"repro/internal/xdr"
 )
 
 // DatagramConn adapts a connected packet connection (e.g. UDP) to the
@@ -14,25 +16,28 @@ import (
 // reproduced).
 type DatagramConn struct {
 	net.Conn
-	mu  sync.Mutex
-	buf []byte
+	mu   sync.Mutex
+	recv []byte // 64KB receive buffer, allocated once and reused
+	buf  []byte // unread tail of the current datagram (aliases recv)
 }
 
 // NewDatagramConn wraps a connected datagram socket.
 func NewDatagramConn(c net.Conn) *DatagramConn { return &DatagramConn{Conn: c} }
 
 // Read serves buffered bytes from the current datagram, receiving a new
-// one when the buffer is empty.
+// one into the persistent receive buffer when it is empty.
 func (d *DatagramConn) Read(p []byte) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.buf) == 0 {
-		pkt := make([]byte, 65536)
-		n, err := d.Conn.Read(pkt)
+		if d.recv == nil {
+			d.recv = make([]byte, 65536)
+		}
+		n, err := d.Conn.Read(d.recv)
 		if err != nil {
 			return 0, err
 		}
-		d.buf = pkt[:n]
+		d.buf = d.recv[:n]
 	}
 	n := copy(p, d.buf)
 	d.buf = d.buf[n:]
@@ -52,26 +57,37 @@ func (s *Server) ListenAndServe(l net.Listener) error {
 }
 
 // ServePacket serves RPC calls arriving as datagrams on pc, replying to
-// each sender. It runs until pc is closed.
+// each sender. The receive buffer is allocated once; each in-flight
+// packet gets a pooled copy sized to what actually arrived, and at most
+// the server's worker limit of packets are dispatched concurrently. It
+// runs until pc is closed.
 func (s *Server) ServePacket(pc net.PacketConn) error {
 	buf := make([]byte, 65536)
+	sem := make(chan struct{}, s.maxWorkers())
 	for {
 		n, addr, err := pc.ReadFrom(buf)
 		if err != nil {
 			return err
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		go func(pkt []byte, addr net.Addr) {
+		bp := getBuf()
+		pkt := append((*bp)[:0], buf[:n]...)
+		*bp = pkt
+		sem <- struct{}{}
+		go func(bp *[]byte, pkt []byte, addr net.Addr) {
+			defer func() { <-sem; putBuf(bp) }()
 			// Strip the record mark if present.
 			if len(pkt) < 4 {
 				return
 			}
-			reply, err := s.dispatch(pkt[4:])
-			if err != nil || reply == nil {
+			e := xdr.GetEncoder()
+			defer xdr.PutEncoder(e)
+			ok, err := s.dispatch(pkt[4:], e)
+			if err != nil || !ok {
 				return
 			}
-			out := make([]byte, 0, 4+len(reply))
+			reply := e.Bytes()
+			op := getBuf()
+			out := (*op)[:0]
 			var hdr [4]byte
 			hdr[0] = 0x80
 			hdr[1] = byte(len(reply) >> 16)
@@ -80,6 +96,8 @@ func (s *Server) ServePacket(pc net.PacketConn) error {
 			out = append(out, hdr[:]...)
 			out = append(out, reply...)
 			pc.WriteTo(out, addr) //nolint:errcheck // best-effort datagram
-		}(pkt, addr)
+			*op = out
+			putBuf(op)
+		}(bp, pkt, addr)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"sync"
 )
 
 // MaxElements bounds the length accepted for any variable-length item
@@ -95,6 +96,35 @@ type Encoder struct {
 // Bytes returns the encoded bytes accumulated so far. The returned
 // slice aliases the encoder's buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset empties the encoder, retaining its buffer for reuse. Bytes
+// previously returned by Bytes are invalidated.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// encoderPool recycles Encoders for the hot wire path: one RPC needs
+// one encoder for the call or reply, and the marshaled bytes are
+// always copied into a framed record before the encoder is released.
+var encoderPool = sync.Pool{New: func() interface{} { return &Encoder{} }}
+
+// maxPooledBuf bounds the scratch retained by a pooled encoder so one
+// huge record (e.g. a 64 MB READ) cannot pin memory forever.
+const maxPooledBuf = 1 << 20
+
+// GetEncoder returns an empty Encoder from the package pool.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must not touch e or
+// any slice returned by e.Bytes() afterwards.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		return
+	}
+	encoderPool.Put(e)
+}
 
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }

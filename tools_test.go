@@ -3,6 +3,16 @@ package repro
 // End-to-end test of the command-line tools: builds the binaries and
 // drives a full deployment through their public interfaces — the way
 // a downstream user would.
+//
+// Tier-1 practice: the concurrent RPC pipeline makes the race
+// detector part of the bar. Alongside `go test ./...`, run
+//
+//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client
+//
+// before merging — those four packages share connections between the
+// reader loop, the dispatch worker pool, and readahead futures, and
+// their stress tests (e.g. client.TestConcurrentRPCPipelineOneChannel)
+// are written to surface cross-talk only a race build catches.
 
 import (
 	"bufio"

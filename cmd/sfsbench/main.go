@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	sfsbench [-quick] [-fig 5|6|7|8|9|all]
+//	sfsbench [-quick] [-fig 5|6|7|8|9|wb|all] [-json dir]
+//
+// With -json, every figure is also written to dir as a
+// machine-readable BENCH_<slug>.json (schema in EXPERIMENTS.md), so
+// the performance trajectory can be tracked across changes.
 package main
 
 import (
@@ -20,30 +24,41 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, or all")
+	jsonDir := flag.String("json", "", "directory to write BENCH_*.json files into (empty disables)")
 	flag.Parse()
 
 	opts := bench.Options{Quick: *quick, Out: os.Stdout}
 	runners := map[string]func(bench.Options) (*bench.Figure, error){
-		"5": bench.Fig5,
-		"6": bench.Fig6,
-		"7": bench.Fig7,
-		"8": bench.Fig8,
-		"9": bench.Fig9,
+		"5":  bench.Fig5,
+		"6":  bench.Fig6,
+		"7":  bench.Fig7,
+		"8":  bench.Fig8,
+		"9":  bench.Fig9,
+		"wb": bench.FigWriteBehind,
 	}
 	var order []string
 	if *fig == "all" {
-		order = []string{"5", "6", "7", "8", "9"}
+		order = []string{"5", "6", "7", "8", "9", "wb"}
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9 or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, or all)\n", *fig)
 		os.Exit(2)
 	}
 	for _, id := range order {
-		if _, err := runners[id](opts); err != nil {
+		f, err := runners[id](opts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sfsbench: figure %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		if *jsonDir != "" {
+			path, err := f.WriteJSON(*jsonDir, *quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
@@ -239,6 +241,77 @@ func TestFig9SpriteLargeShape(t *testing.T) {
 	// Disabling encryption recovers part of both.
 	if noenc["seq read"] >= sfs["seq read"] {
 		t.Errorf("no-enc seq read (%v) not below SFS (%v)", noenc["seq read"], sfs["seq read"])
+	}
+}
+
+func TestFig9WriteBehindAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	measure := func(window int) time.Duration {
+		fs := vfs.New()
+		fs.SetDisk(netsim.NewDisk())
+		st, err := NewSFS(fs, SFSOptions{Encrypt: true, EnhancedCaching: true, WriteBehind: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(st.Close)
+		f, err := st.Create("large.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 8192)
+		r, err := timed(st, "seq write", func() error {
+			for off := int64(0); off < 4<<20; off += 8192 {
+				if _, err := f.WriteAt(buf, uint64(off)); err != nil {
+					return err
+				}
+			}
+			return f.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Elapsed
+	}
+	serial := measure(-1)   // one synchronous WRITE per chunk
+	pipelined := measure(0) // default window of 8 unstable WRITEs
+	t.Logf("sequential 8KB writes: %v serial, %v with write-behind", serial, pipelined)
+	// Write-behind overlaps per-RPC latency across the window; it must
+	// not be slower, and on the shaped link it should win clearly.
+	if pipelined >= serial {
+		t.Errorf("write-behind shows no benefit: %v vs %v", pipelined, serial)
+	}
+}
+
+func TestFigureSlugAndJSON(t *testing.T) {
+	f := &Figure{
+		ID:    "Figure 9 (write-behind ablation)",
+		Title: "t",
+		Rows:  []FigureRow{{Stack: "window 8", Phase: "seq write", Value: 1.5, Unit: "s", RPCs: 7}},
+	}
+	if got := f.Slug(); got != "figure-9-write-behind-ablation" {
+		t.Fatalf("Slug = %q", got)
+	}
+	dir := t.TempDir()
+	path, err := f.WriteJSON(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonFigure
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != f.ID || !back.Quick || len(back.Rows) != 1 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	r := back.Rows[0]
+	if r.Stack != "window 8" || r.Value != 1.5 || r.RPCs != 7 || r.Paper != 0 {
+		t.Fatalf("row mismatch: %+v", r)
 	}
 }
 

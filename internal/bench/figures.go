@@ -287,10 +287,71 @@ func Fig9(opts Options) (*Figure, error) {
 	return fig, nil
 }
 
+// FigWriteBehind is the write-behind ablation companion to Figure 9:
+// the sequential-write phase of the Sprite LFS large-file benchmark on
+// the full SFS stack at three window depths — disabled (one
+// synchronous WRITE per chunk, the pre-pipeline client), window 1, and
+// the default window 8 with verified COMMIT batching.
+func FigWriteBehind(opts Options) (*Figure, error) {
+	size := int64(40000 << 10)
+	if opts.Quick {
+		size = 8 << 20
+	}
+	fig := &Figure{
+		ID:    "Figure 9 (write-behind ablation)",
+		Title: fmt.Sprintf("SFS sequential write of a %d MB file vs write-behind window", size>>20),
+	}
+	const chunk = 8192
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	for _, w := range []struct {
+		label  string
+		window int
+	}{
+		{"window 0 (serial)", -1},
+		{"window 1", 1},
+		{"window 8 (default)", 0},
+	} {
+		fs := vfs.New()
+		fs.SetDisk(netsim.NewDisk())
+		st, err := NewSFS(fs, SFSOptions{
+			Encrypt: true, EnhancedCaching: true, WriteBehind: w.window,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f, err := st.Create("large.bin")
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		r, err := timed(st, "seq write", func() error {
+			for off := int64(0); off < size; off += chunk {
+				if _, err := f.WriteAt(buf, uint64(off)); err != nil {
+					return err
+				}
+			}
+			return f.Sync()
+		})
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, FigureRow{
+			Stack: w.label, Phase: "seq write",
+			Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
+		})
+	}
+	fig.render(opts.out())
+	return fig, nil
+}
+
 // All runs every figure in order.
 func All(opts Options) ([]*Figure, error) {
 	var figs []*Figure
-	for _, f := range []func(Options) (*Figure, error){Fig5, Fig6, Fig7, Fig8, Fig9} {
+	for _, f := range []func(Options) (*Figure, error){Fig5, Fig6, Fig7, Fig8, Fig9, FigWriteBehind} {
 		fig, err := f(opts)
 		if err != nil {
 			return figs, err

@@ -472,7 +472,7 @@ func (f *nfsFile) WriteAt(p []byte, off uint64) (int, error) {
 	return int(n), err
 }
 
-func (f *nfsFile) Sync() error { return f.cl.Commit(f.fh) }
+func (f *nfsFile) Sync() error { _, err := f.cl.Commit(f.fh); return err }
 
 func (s *nfsStack) Truncate(path string, size uint64) error {
 	fh, err := s.lookupFile(path)
@@ -514,6 +514,11 @@ type SFSOptions struct {
 	// one READ at a time — the serial behaviour the pre-pipeline
 	// client had (the Fig. 5 readahead ablation).
 	NoReadAhead bool
+	// WriteBehind sets the write-behind window (unstable WRITEs in
+	// flight per file): 0 selects the default depth, negative
+	// disables the pipeline — one synchronous WRITE per chunk, the
+	// pre-pipeline behaviour (the Fig. 9 write-behind ablation).
+	WriteBehind int
 }
 
 type sfsStack struct {
@@ -582,6 +587,7 @@ func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
 		TempKeyBits:     768,
 		EnhancedCaching: opts.EnhancedCaching,
 		ReadAhead:       readAheadDepth(opts.NoReadAhead),
+		WriteBehind:     opts.WriteBehind,
 	})
 	if err != nil {
 		l.Close()

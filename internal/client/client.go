@@ -67,6 +67,11 @@ type Config struct {
 	// many READ RPCs stay in flight on one channel. Zero selects
 	// nfs.DefaultReadAhead; negative disables pipelining.
 	ReadAhead int
+	// WriteBehind is the depth of the write-behind pipeline: how
+	// many unstable WRITE RPCs stay in flight per open file. Zero
+	// selects nfs.DefaultWriteBehind; negative disables write-behind
+	// (every WriteAt waits for its WRITE reply, as before).
+	WriteBehind int
 	// LocalUsers is the client machine's own uid→name table, used
 	// by the libsfs "%name" convention: when client and server
 	// agree on an ID's name, the percent prefix is dropped.
@@ -233,6 +238,7 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 		AccessCache: c.cfg.EnhancedCaching,
 		AttrTimeout: c.cfg.AttrTimeout,
 		ReadAhead:   c.cfg.ReadAhead,
+		WriteBehind: c.cfg.WriteBehind,
 	}
 	base := nfs.Dial(sec, clCfg)
 	root, _, err := base.MountRoot()

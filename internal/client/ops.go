@@ -5,18 +5,26 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/nfs"
 )
 
 // File is an open file: a handle plus the authenticated view it was
 // opened through. It supports streaming reads and writes at a cursor,
-// and pipelines sequential reads when the view supports asynchronous
-// RPCs.
+// pipelines sequential reads when the view supports asynchronous RPCs,
+// and gathers writes into a write-behind window of unstable WRITEs
+// committed in one verifier-checked batch by Sync. All methods are
+// safe for concurrent use.
 type File struct {
 	node *node
-	off  uint64
-	ra   readahead
+
+	mu     sync.Mutex
+	off    uint64
+	ra     readahead
+	wb     writebehind
+	wrote  bool // any write issued; Close then commits
+	closed bool
 }
 
 // asyncView is the optional view capability that enables read-ahead:
@@ -30,10 +38,18 @@ type asyncView interface {
 
 var _ asyncView = (*nfs.Client)(nil)
 
+// asyncWriteView is the write-side capability: issuing an unstable
+// WRITE without waiting for the reply, for the write-behind window.
+type asyncWriteView interface {
+	WriteStart(fh nfs.FH, offset uint64, data []byte, stable uint32) (func() (uint32, uint64, error), error)
+	WriteBehindDepth() int
+}
+
+var _ asyncWriteView = (*nfs.Client)(nil)
+
 // readahead is the sequential-read pipeline of one open file: a window
-// of outstanding READ futures at consecutive offsets. A File is not
-// safe for concurrent use (it has a cursor), so the state needs no
-// locking.
+// of outstanding READ futures at consecutive offsets, guarded by the
+// File's mutex.
 type readahead struct {
 	chunk   uint32 // read size the window was built with
 	head    uint64 // offset the next popped future was issued at
@@ -49,6 +65,189 @@ func (ra *readahead) drain() {
 		fin() //nolint:errcheck // discarding speculative replies
 	}
 	ra.window = ra.window[:0]
+}
+
+// wireChunk is the transfer size of the write pipeline: the 8 KB the
+// paper's large-file benchmark moves per WRITE.
+const wireChunk = 8192
+
+// maxCommitRetries bounds the retransmit-and-recommit loop when the
+// server keeps rebooting under one Sync.
+const maxCommitRetries = 5
+
+// chunkPool recycles write-behind chunk buffers. A chunk lives from
+// the WriteAt that copies caller bytes into it until the COMMIT that
+// proves those bytes stable (retransmission after a server reboot
+// needs the data), then returns here.
+var chunkPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, wireChunk)
+	return &b
+}}
+
+func getChunk() []byte  { return (*chunkPool.Get().(*[]byte))[:0] }
+func putChunk(b []byte) { chunkPool.Put(&b) }
+
+// wbWrite is one issued, not yet acknowledged unstable WRITE.
+type wbWrite struct {
+	fin func() (uint32, uint64, error)
+	off uint64
+	buf []byte
+}
+
+// wbRange is acknowledged unstable data awaiting a verified COMMIT.
+type wbRange struct {
+	off uint64
+	buf []byte
+}
+
+// writebehind is the asynchronous write pipeline of one open file:
+// caller bytes are copied into pooled wire-sized chunks, issued as
+// unstable WRITE futures (at most WriteBehindDepth outstanding), and
+// retained on the dirty list until a COMMIT whose verifier matches
+// the WRITE replies proves them stable (RFC 1813 §4.8). Guarded by
+// the File's mutex.
+type writebehind struct {
+	buf      []byte    // coalescing buffer, cap wireChunk; nil when unused
+	bufOff   uint64    // file offset of buf[0]
+	window   []wbWrite // issued, reply not yet awaited — oldest first
+	dirty    []wbRange // acknowledged unstable, awaiting verified COMMIT
+	verf     uint64    // verifier of the most recent WRITE reply
+	verfOK   bool
+	mismatch bool  // WRITE replies disagreed: server restarted mid-stream
+	err      error // deferred failure for the next WriteAt/Sync/Close
+}
+
+func (wb *writebehind) fail(err error) {
+	if wb.err == nil {
+		wb.err = err
+	}
+}
+
+// takeErr reports and clears the deferred error.
+func (wb *writebehind) takeErr() error {
+	err := wb.err
+	wb.err = nil
+	return err
+}
+
+// active reports whether unflushed writes exist that a read or sync
+// must push to the server first.
+func (wb *writebehind) active() bool {
+	return len(wb.buf) > 0 || len(wb.window) > 0
+}
+
+// issueChunk sends the coalescing buffer as one unstable WRITE future.
+// Only transport-level failures are returned; a server-side rejection
+// surfaces later, when the future is retired.
+func (f *File) issueChunk(av asyncWriteView) error {
+	buf := f.wb.buf
+	if len(buf) == 0 {
+		return nil
+	}
+	off := f.wb.bufOff
+	f.wb.buf = nil
+	// Never two outstanding WRITEs over the same byte range: the
+	// server dispatches concurrently and could apply them in either
+	// order.
+	for _, w := range f.wb.window {
+		if off < w.off+uint64(len(w.buf)) && w.off < off+uint64(len(buf)) {
+			f.retireAll()
+			break
+		}
+	}
+	for len(f.wb.window) >= av.WriteBehindDepth() {
+		f.retireOldest()
+	}
+	fin, err := av.WriteStart(f.node.fh, off, buf, nfs.Unstable)
+	if err != nil {
+		putChunk(buf)
+		return err
+	}
+	f.wb.window = append(f.wb.window, wbWrite{fin: fin, off: off, buf: buf})
+	return nil
+}
+
+// retireOldest awaits the oldest outstanding WRITE. A successful chunk
+// moves to the dirty list; a failure is latched for the next caller.
+func (f *File) retireOldest() {
+	w := f.wb.window[0]
+	f.wb.window = f.wb.window[1:]
+	n, verf, err := w.fin()
+	if err == nil && int(n) < len(w.buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		putChunk(w.buf)
+		f.wb.fail(err)
+		return
+	}
+	if f.wb.verfOK && verf != f.wb.verf {
+		f.wb.mismatch = true
+	}
+	f.wb.verf, f.wb.verfOK = verf, true
+	f.wb.dirty = append(f.wb.dirty, wbRange{off: w.off, buf: w.buf})
+}
+
+func (f *File) retireAll() {
+	for len(f.wb.window) > 0 {
+		f.retireOldest()
+	}
+}
+
+// flush pushes every buffered and in-flight write to the server and
+// waits for the replies, without committing.
+func (f *File) flush(av asyncWriteView) error {
+	if err := f.issueChunk(av); err != nil {
+		return err
+	}
+	f.retireAll()
+	return nil
+}
+
+// discard recycles every pipeline buffer: after a COMMIT proved the
+// data stable, or on an error path once the failure is reported and
+// the pipeline's contents can no longer be guaranteed.
+func (f *File) discard() {
+	for _, w := range f.wb.window {
+		w.fin() //nolint:errcheck // futures hold reply slots
+		putChunk(w.buf)
+	}
+	f.wb.window = f.wb.window[:0]
+	for _, r := range f.wb.dirty {
+		putChunk(r.buf)
+	}
+	f.wb.dirty = f.wb.dirty[:0]
+	if f.wb.buf != nil {
+		putChunk(f.wb.buf)
+		f.wb.buf = nil
+	}
+	f.wb.mismatch = false
+	f.wb.verfOK = false
+}
+
+// retransmit re-sends every dirty range after a verifier change told
+// us the server rebooted and dropped its unstable data.
+func (f *File) retransmit(av asyncWriteView) error {
+	f.wb.mismatch = false
+	f.wb.verfOK = false
+	for _, r := range f.wb.dirty {
+		fin, err := av.WriteStart(f.node.fh, r.off, r.buf, nfs.Unstable)
+		if err != nil {
+			return err
+		}
+		n, verf, err := fin()
+		if err == nil && int(n) < len(r.buf) {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			return err
+		}
+		if f.wb.verfOK && verf != f.wb.verf {
+			f.wb.mismatch = true
+		}
+		f.wb.verf, f.wb.verfOK = verf, true
+	}
+	return nil
 }
 
 // Stat resolves path (following symbolic links) and returns its
@@ -221,14 +420,18 @@ func (c *Client) ReadFile(user, path string) ([]byte, error) {
 	return f.node.view.ReadAll(f.node.fh, 8192)
 }
 
-// WriteFile creates path with the given contents.
+// WriteFile creates path with the given contents. The data is flushed
+// to the server (so any handle observes it) but not committed; call
+// Sync on an open File for stability.
 func (c *Client) WriteFile(user, path string, data []byte) error {
 	f, err := c.Create(user, path, 0o644)
 	if err != nil {
 		return err
 	}
-	_, err = f.WriteAt(data, 0)
-	return err
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return f.Flush()
 }
 
 // Truncate sets the file size.
@@ -279,6 +482,26 @@ func (f *File) Attr() nfs.Fattr { return f.node.attr }
 // window of READs stays in flight so each call usually finds its data
 // already on the wire (the paper's Figure 5 workload).
 func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readAt(p, off)
+}
+
+func (f *File) readAt(p []byte, off uint64) (int, error) {
+	// A read must observe every write issued before it; the server
+	// dispatches out of order, so wait for in-flight WRITEs first.
+	// (Acknowledged dirty data is already applied server-side and
+	// need not block reads.)
+	if f.wb.active() {
+		if av, ok := f.node.view.(asyncWriteView); ok {
+			if err := f.flush(av); err != nil {
+				return 0, err
+			}
+			if err := f.wb.takeErr(); err != nil {
+				return 0, err
+			}
+		}
+	}
 	if av, ok := f.node.view.(asyncView); ok && len(p) > 0 {
 		if depth := av.ReadAheadDepth(); depth > 1 {
 			return f.readAtPipelined(av, depth, p, off)
@@ -346,7 +569,9 @@ func (f *File) readAtPipelined(av asyncView, depth int, p []byte, off uint64) (i
 
 // Read reads from the cursor.
 func (f *File) Read(p []byte) (int, error) {
-	n, err := f.ReadAt(p, f.off)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.readAt(p, f.off)
 	f.off += uint64(n)
 	if n == 0 && err == nil {
 		err = io.EOF
@@ -355,10 +580,66 @@ func (f *File) Read(p []byte) (int, error) {
 }
 
 // WriteAt writes p at offset off (unstable; call Sync for stability).
+// Through a view with asynchronous RPCs the write goes behind: p is
+// copied into pooled wire-sized chunks — adjacent small writes
+// coalesce into full chunks — and up to Config.WriteBehind unstable
+// WRITEs ride the channel at once, so the call usually returns before
+// the server acknowledges. A deferred RPC failure is reported by the
+// next WriteAt, Sync, or Close.
 func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeAt(p, off)
+}
+
+func (f *File) writeAt(p []byte, off uint64) (int, error) {
+	f.wrote = true
 	// Reads still in the pipeline were issued before this write and
 	// could return stale data to a later sequential read.
 	f.ra.drain()
+	av, ok := f.node.view.(asyncWriteView)
+	if !ok || av.WriteBehindDepth() < 1 || len(p) == 0 {
+		return f.writeAtSerial(p, off)
+	}
+	if err := f.wb.takeErr(); err != nil {
+		return 0, err
+	}
+	written := 0
+	for written < len(p) {
+		o := off + uint64(written)
+		if len(f.wb.buf) > 0 && f.wb.bufOff+uint64(len(f.wb.buf)) != o {
+			// Non-adjacent write: flush the partial chunk first.
+			if err := f.issueChunk(av); err != nil {
+				return written, err
+			}
+		}
+		if f.wb.buf == nil {
+			f.wb.buf = getChunk()
+		}
+		if len(f.wb.buf) == 0 {
+			f.wb.bufOff = o
+		}
+		n := wireChunk - len(f.wb.buf)
+		if rest := len(p) - written; n > rest {
+			n = rest
+		}
+		f.wb.buf = append(f.wb.buf, p[written:written+n]...)
+		written += n
+		if len(f.wb.buf) == wireChunk {
+			if err := f.issueChunk(av); err != nil {
+				return written, err
+			}
+		}
+	}
+	if err := f.wb.takeErr(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// writeAtSerial is the synchronous path: views without asynchronous
+// RPCs, or write-behind disabled (Config.WriteBehind < 0).
+func (f *File) writeAtSerial(p []byte, off uint64) (int, error) {
 	const chunk = 32 << 10
 	written := 0
 	for written < len(p) {
@@ -371,22 +652,136 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		if err != nil {
 			return written, err
 		}
+		if n == 0 {
+			// A server acknowledging zero bytes without error would
+			// spin this loop forever.
+			return written, io.ErrShortWrite
+		}
 	}
 	return written, nil
 }
 
 // Write writes at the cursor.
 func (f *File) Write(p []byte) (int, error) {
-	n, err := f.WriteAt(p, f.off)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.writeAt(p, f.off)
 	f.off += uint64(n)
 	return n, err
 }
 
 // Seek sets the cursor (whence 0 only).
-func (f *File) Seek(off uint64) { f.off = off }
+func (f *File) Seek(off uint64) {
+	f.mu.Lock()
+	f.off = off
+	f.mu.Unlock()
+}
 
-// Sync commits unstable writes to stable storage.
-func (f *File) Sync() error { return f.node.view.Commit(f.node.fh) }
+// Flush pushes buffered write-behind data to the server and waits for
+// the acknowledgments, without forcing stability: a fresh handle then
+// observes the data, but only Sync guarantees it survives a server
+// reboot.
+func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	av, ok := f.node.view.(asyncWriteView)
+	if !ok {
+		return nil
+	}
+	if err := f.flush(av); err != nil {
+		return err
+	}
+	return f.wb.takeErr()
+}
+
+// Sync commits unstable writes to stable storage: outstanding
+// write-behind chunks are flushed, then one COMMIT covers the whole
+// batch. If the COMMIT's verifier does not match the WRITE replies'
+// the server rebooted and lost unstable data, and every dirty range
+// is retransmitted before committing again — the same stability
+// guarantee the synchronous path gives, paid once per Sync instead of
+// per WRITE. A file whose writes still fit the one unsent coalescing
+// chunk skips COMMIT entirely: the chunk goes out FILE_SYNC, saving a
+// round trip on small-file creates.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sync()
+}
+
+func (f *File) sync() error {
+	av, _ := f.node.view.(asyncWriteView)
+	if av != nil && av.WriteBehindDepth() >= 1 {
+		if f.wb.err == nil && len(f.wb.window) == 0 && len(f.wb.dirty) == 0 && len(f.wb.buf) > 0 {
+			return f.syncSmall(av)
+		}
+		if err := f.flush(av); err != nil {
+			f.discard()
+			return err
+		}
+	}
+	if err := f.wb.takeErr(); err != nil {
+		f.discard()
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		verf, err := f.node.view.Commit(f.node.fh)
+		if err != nil {
+			f.discard()
+			return err
+		}
+		if len(f.wb.dirty) == 0 || (!f.wb.mismatch && verf == f.wb.verf) {
+			f.discard()
+			return nil
+		}
+		// Verifier change: the server rebooted since a WRITE was
+		// acknowledged, so its unstable data is gone (RFC 1813 §4.8).
+		if attempt >= maxCommitRetries {
+			f.discard()
+			return nfs.Error(nfs.ErrIO)
+		}
+		if err := f.retransmit(av); err != nil {
+			f.discard()
+			return err
+		}
+	}
+}
+
+// syncSmall stabilizes a single still-unsent chunk with one FILE_SYNC
+// WRITE instead of WRITE + COMMIT.
+func (f *File) syncSmall(av asyncWriteView) error {
+	buf, off := f.wb.buf, f.wb.bufOff
+	f.wb.buf = nil
+	fin, err := av.WriteStart(f.node.fh, off, buf, nfs.FileSync)
+	if err != nil {
+		putChunk(buf)
+		return err
+	}
+	n, _, err := fin()
+	putChunk(buf)
+	if err == nil && int(n) < len(buf) {
+		err = io.ErrShortWrite
+	}
+	return err
+}
+
+// Close flushes and commits buffered writes (when the file was
+// written to) and releases the read pipeline. Closing again is a
+// no-op.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var err error
+	if f.wrote {
+		err = f.sync()
+	}
+	f.ra.drain()
+	return err
+}
 
 // Chmod changes the open file's permission bits — one RPC on the
 // already-resolved handle, like fchmod/fchown on a file descriptor.

@@ -205,4 +205,4 @@ func (v *roView) Symlink(nfs.FH, string, string) (nfs.FH, nfs.Fattr, error) {
 func (v *roView) Remove(nfs.FH, string) error                 { return errROFS }
 func (v *roView) Rmdir(nfs.FH, string) error                  { return errROFS }
 func (v *roView) Rename(nfs.FH, string, nfs.FH, string) error { return errROFS }
-func (v *roView) Commit(nfs.FH) error                         { return nil }
+func (v *roView) Commit(nfs.FH) (uint64, error)               { return 0, nil }

@@ -27,7 +27,9 @@ type View interface {
 	Remove(dir nfs.FH, name string) error
 	Rmdir(dir nfs.FH, name string) error
 	Rename(fromDir nfs.FH, fromName string, toDir nfs.FH, toName string) error
-	Commit(fh nfs.FH) error
+	// Commit flushes unstable writes and returns the server's write
+	// verifier (RFC 1813 §4.8); views without unstable state return 0.
+	Commit(fh nfs.FH) (uint64, error)
 }
 
 // compile-time check: the read-write client satisfies View.

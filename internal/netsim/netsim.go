@@ -28,6 +28,7 @@ package netsim
 
 import (
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -110,7 +111,12 @@ func SFS(encrypted bool) Profile {
 }
 
 // spinWait blocks for d with sub-scheduler precision: it sleeps for
-// the bulk and spins the remainder.
+// the bulk and spins the remainder. The spin yields the processor on
+// every iteration: modeled wire/crypto time is not CPU time, so other
+// goroutines — the rest of a pipelined read or write window, the
+// peer's reply path, real crypto — must be able to run during the
+// charge. With an empty run queue the yield is nearly free, keeping
+// the precision the single-threaded micro-benchmarks rely on.
 func spinWait(d time.Duration) {
 	if d <= 0 {
 		return
@@ -120,7 +126,7 @@ func spinWait(d time.Duration) {
 		time.Sleep(d - time.Millisecond)
 	}
 	for time.Now().Before(deadline) {
-		// spin
+		runtime.Gosched()
 	}
 }
 

@@ -1,0 +1,108 @@
+package nfs
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// benchWritePair is newPair for benchmarks: a server and client joined
+// by an in-process pipe, with an 8 KB-chunk test file created.
+func benchWritePair(b *testing.B) (*Client, FH) {
+	b.Helper()
+	fs := vfs.New()
+	srv := NewServer(fs, ServerConfig{})
+	c1, c2 := net.Pipe()
+	sess := srv.ServeConn(c2)
+	b.Cleanup(func() { sess.Close() })
+	cl := Dial(c1, ClientConfig{Auth: rootAuth})
+	b.Cleanup(func() { cl.Close() })
+	root, _, err := cl.MountRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fh, _, err := cl.Create(root, "bench.bin", 0o644, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, fh
+}
+
+// BenchmarkWritePathSerial measures one synchronous unstable 8 KB
+// WRITE RPC round trip — the per-chunk cost the pre-pipeline client
+// paid, and the client-side allocation budget of the write path
+// (pooled wire buffers keep it flat).
+func BenchmarkWritePathSerial(b *testing.B) {
+	cl, fh := benchWritePair(b)
+	payload := make([]byte, 8192)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Write(fh, 0, payload, Unstable); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritePathPipelined measures the same WRITE with a window of
+// 8 in flight — the write-behind shape: WriteStart serializes and
+// sends, the future collects the reply a window later.
+func BenchmarkWritePathPipelined(b *testing.B) {
+	cl, fh := benchWritePair(b)
+	payload := make([]byte, 8192)
+	const window = DefaultWriteBehind
+	fins := make([]func() (uint32, uint64, error), 0, window)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(fins) == window {
+			if _, _, err := fins[0](); err != nil {
+				b.Fatal(err)
+			}
+			fins = fins[1:]
+		}
+		fin, err := cl.WriteStart(fh, uint64(i%window)*8192, payload, Unstable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fins = append(fins, fin)
+	}
+	for _, fin := range fins {
+		if _, _, err := fin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritePathSyncBatch measures a whole write-behind batch the
+// way Sync issues it: 8 pipelined unstable WRITEs followed by one
+// COMMIT covering them.
+func BenchmarkWritePathSyncBatch(b *testing.B) {
+	cl, fh := benchWritePair(b)
+	payload := make([]byte, 8192)
+	const window = DefaultWriteBehind
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload) * window))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var fins [window]func() (uint32, uint64, error)
+		for j := 0; j < window; j++ {
+			fin, err := cl.WriteStart(fh, uint64(j)*8192, payload, Unstable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fins[j] = fin
+		}
+		for _, fin := range fins {
+			if _, _, err := fin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cl.Commit(fh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type ClientConfig struct {
 	// pipe full the same way, §3.2). Zero selects DefaultReadAhead;
 	// negative disables pipelining entirely.
 	ReadAhead int
+	// WriteBehind is the number of unstable WRITE RPCs kept in
+	// flight per open file — the mirror image of ReadAhead. Zero
+	// selects DefaultWriteBehind; negative disables write-behind,
+	// reverting to one synchronous WRITE per chunk.
+	WriteBehind int
 	// Auth supplies per-call credentials; nil means anonymous.
 	Auth func() sunrpc.OpaqueAuth
 }
@@ -36,6 +41,10 @@ type ClientConfig struct {
 // leaves ReadAhead zero: deep enough to cover the bandwidth-delay
 // product of the paper's 10 Mbit LAN at 8KB per READ.
 const DefaultReadAhead = 8
+
+// DefaultWriteBehind is the write-behind window used when
+// ClientConfig leaves WriteBehind zero, matching the read side.
+const DefaultWriteBehind = 8
 
 // Stats counts the RPCs that actually crossed the wire, and the cache
 // hits that avoided one. The paper attributes much of SFS's MAB
@@ -438,6 +447,46 @@ func (c *Client) Write(fh FH, offset uint64, data []byte, stable uint32) (uint32
 	return res.Count, nil
 }
 
+// WriteBehindDepth reports the configured write pipelining depth: how
+// many unstable WRITEs a writer should keep outstanding per file. 0
+// means write-behind is disabled (serial synchronous writes).
+func (c *Client) WriteBehindDepth() int {
+	d := c.core.cfg.WriteBehind
+	if d == 0 {
+		return DefaultWriteBehind
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// WriteStart issues an asynchronous WRITE and returns a future that
+// yields the acknowledged byte count and the server's write verifier.
+// The data is fully serialized onto the wire buffer before WriteStart
+// returns, so the caller may reuse its slice immediately. As with
+// ReadStart, every future returned must eventually be called, or the
+// reply slot leaks.
+func (c *Client) WriteStart(fh FH, offset uint64, data []byte, stable uint32) (func() (uint32, uint64, error), error) {
+	c.core.calls.Add(1)
+	ch, err := c.core.peer.Start(Program, Version, ProcWrite, c.auth(), WriteArgs{FH: fh, Offset: offset, Stable: stable, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	return func() (uint32, uint64, error) {
+		var res WriteRes
+		if err := c.core.peer.Finish(ch, &res); err != nil {
+			return 0, 0, err
+		}
+		if err := StatusErr(res.Status); err != nil {
+			c.core.forget(fh)
+			return 0, 0, err
+		}
+		c.remember(fh, res.Attr)
+		return res.Count, res.Verf, nil
+	}, nil
+}
+
 // Create makes a regular file.
 func (c *Client) Create(dir FH, name string, mode uint32, exclusive bool) (FH, Fattr, error) {
 	var res LookupRes
@@ -565,13 +614,20 @@ func (c *Client) ReadDir(dir FH, cookie uint64, count uint32) ([]Entry, bool, er
 	return res.Entries, res.EOF, nil
 }
 
-// Commit flushes unstable writes.
-func (c *Client) Commit(fh FH) error {
-	var res StatusRes
+// Commit flushes unstable writes and returns the write verifier the
+// data is now stable under. Callers holding unstable data compare it
+// with the verifier their WRITE replies carried: a difference means
+// the server rebooted in between and the data must be retransmitted.
+func (c *Client) Commit(fh FH) (uint64, error) {
+	var res CommitRes
 	if err := c.call(ProcCommit, FHArgs{FH: fh}, &res); err != nil {
-		return err
+		return 0, err
 	}
-	return StatusErr(res.Status)
+	if err := StatusErr(res.Status); err != nil {
+		return 0, err
+	}
+	c.remember(fh, res.Attr)
+	return res.Verf, nil
 }
 
 // Null performs a no-op round trip, for latency measurement.

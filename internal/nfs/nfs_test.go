@@ -342,14 +342,18 @@ func TestStaleAfterRemove(t *testing.T) {
 }
 
 func TestCommit(t *testing.T) {
-	_, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	fsys, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
 	root, _, _ := cl.MountRoot()
 	fh, _, _ := cl.Create(root, "f", 0o644, true)
 	if _, err := cl.Write(fh, 0, []byte("unstable"), Unstable); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Commit(fh); err != nil {
+	verf, err := cl.Commit(fh)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if verf != fsys.Verifier() {
+		t.Fatalf("commit verifier %x, server boot verifier %x", verf, fsys.Verifier())
 	}
 }
 
@@ -430,5 +434,77 @@ func BenchmarkRead8K(b *testing.B) {
 		if _, _, err := cl.Read(fh, 0, 8192); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestWriteStartPipelined(t *testing.T) {
+	fsys, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	// Issue a whole window of unstable WRITEs before finishing any
+	// future, then collect the replies in order.
+	payload := []byte("0123456789abcdef")
+	var fins []func() (uint32, uint64, error)
+	for i := 0; i < 8; i++ {
+		fin, err := cl.WriteStart(fh, uint64(i*len(payload)), payload, Unstable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fins = append(fins, fin)
+	}
+	for i, fin := range fins {
+		n, verf, err := fin()
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if n != uint32(len(payload)) {
+			t.Fatalf("write %d: short count %d", i, n)
+		}
+		if verf != fsys.Verifier() {
+			t.Fatalf("write %d: verifier %x, server boot verifier %x", i, verf, fsys.Verifier())
+		}
+	}
+	got, err := cl.ReadAll(fh, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat(payload, 8)) {
+		t.Fatalf("readback %d bytes mismatched", len(got))
+	}
+}
+
+func TestWriteVerifierChangesAcrossRestart(t *testing.T) {
+	fsys, _, cl := newPair(t, ServerConfig{}, ClientConfig{})
+	root, _, _ := cl.MountRoot()
+	fh, _, _ := cl.Create(root, "f", 0o644, true)
+	fin, err := cl.WriteStart(fh, 0, []byte("before"), Unstable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, verf1, err := fin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A simulated server reboot discards the uncommitted write and
+	// bumps the boot verifier; both WRITE and COMMIT must expose the
+	// new one so the client knows to retransmit.
+	fsys.Restart()
+	fin, err = cl.WriteStart(fh, 0, []byte("after!"), Unstable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, verf2, err := fin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verf1 == verf2 {
+		t.Fatalf("verifier did not change across restart: %x", verf1)
+	}
+	cverf, err := cl.Commit(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cverf != verf2 {
+		t.Fatalf("commit verifier %x != post-restart write verifier %x", cverf, verf2)
 	}
 }

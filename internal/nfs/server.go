@@ -344,13 +344,18 @@ func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d 
 		if uint32(len(a.Data)) > s.maxIO {
 			return WriteRes{Status: ErrInval}, nil
 		}
+		// Verifier read before the write is applied: if a restart
+		// slips in between, the stale verifier makes the client
+		// retransmit data that actually survived — safe, where the
+		// opposite order could claim lost data was kept.
+		verf := s.fs.Verifier()
 		attr, err := s.fs.Write(cred, id, a.Offset, a.Data, a.Stable == FileSync)
 		if err != nil {
 			return WriteRes{Status: statusFromErr(err)}, nil
 		}
 		s.invalidate(sess, id)
 		fa := fattrFromVFS(attr, s.grantLease(sess, id))
-		return WriteRes{Status: OK, Attr: &fa, Count: uint32(len(a.Data))}, nil
+		return WriteRes{Status: OK, Attr: &fa, Count: uint32(len(a.Data)), Verf: verf}, nil
 	case ProcCreate:
 		var a CreateArgs
 		if err := d.Decode(&a); err != nil {
@@ -514,12 +519,15 @@ func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d 
 		}
 		id, err := s.codec.Decode(a.FH)
 		if err != nil {
-			return StatusRes{Status: ErrBadHandle}, nil
+			return CommitRes{Status: ErrBadHandle}, nil
 		}
 		if err := s.fs.Commit(id); err != nil {
-			return StatusRes{Status: statusFromErr(err)}, nil
+			return CommitRes{Status: statusFromErr(err)}, nil
 		}
-		return StatusRes{Status: OK}, nil
+		// Verifier read after the flush: a restart racing the COMMIT
+		// yields a verifier mismatch and a redundant retransmission
+		// instead of a silently dropped stability promise.
+		return CommitRes{Status: OK, Attr: s.attrFor(sess, id), Verf: s.fs.Verifier()}, nil
 	default:
 		return nil, sunrpc.ErrProcUnavail
 	}

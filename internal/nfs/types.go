@@ -234,11 +234,23 @@ type WriteArgs struct {
 	Data   []byte
 }
 
-// WriteRes acknowledges a write.
+// WriteRes acknowledges a write. Verf is the server's per-boot write
+// verifier (RFC 1813 §4.8): a client holding unstable data compares it
+// against the verifier COMMIT later returns, and retransmits when they
+// differ — the server rebooted in between and may have lost the data.
 type WriteRes struct {
 	Status uint32
 	Attr   *Fattr
 	Count  uint32
+	Verf   uint64
+}
+
+// CommitRes acknowledges a COMMIT: post-operation attributes plus the
+// write verifier the committed data is now stable under.
+type CommitRes struct {
+	Status uint32
+	Attr   *Fattr
+	Verf   uint64
 }
 
 // CreateArgs creates a regular file, optionally exclusively.

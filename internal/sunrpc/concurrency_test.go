@@ -63,7 +63,7 @@ func TestOutOfOrderReplies(t *testing.T) {
 	srv, gate := gateServer(t)
 	c1, c2 := net.Pipe()
 	defer c1.Close()
-	go srv.ServeConn(c2) //nolint:errcheck
+	go srv.ServeConn(c2)                                          //nolint:errcheck
 	if err := WriteRecord(c1, callRecord(t, 1, 10)); err != nil { // stalls
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -141,6 +142,21 @@ type FS struct {
 	nextCookie uint64
 	disk       Disk
 	clock      func() time.Time
+	// verf is the write verifier of the current "boot" (RFC 1813
+	// §4.8): it changes across Restart so clients can detect that
+	// unstable data may have been lost.
+	verf uint64
+	// shadow holds, per file with uncommitted unstable writes, the
+	// last stable image of its data. Restart reverts to it; Commit
+	// and synchronous writes drop it.
+	shadow map[FileID][]byte
+}
+
+// bootCount disambiguates verifiers minted within one clock tick.
+var bootCount atomic.Uint64
+
+func newVerf() uint64 {
+	return uint64(time.Now().UnixNano()) ^ bootCount.Add(1)<<48
 }
 
 // New returns an empty file system whose root directory is owned by
@@ -150,6 +166,8 @@ func New() *FS {
 		nodes:  make(map[FileID]*node),
 		nextID: 1,
 		clock:  time.Now,
+		verf:   newVerf(),
+		shadow: make(map[FileID][]byte),
 	}
 	now := fs.clock()
 	r := &node{
@@ -292,6 +310,7 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 		}
 		n.attr.Size = sz
 		n.attr.Mtime = now
+		delete(fs.shadow, id) // truncate is a synchronous, stable update
 		if fs.disk != nil {
 			fs.disk.Sync()
 		}
@@ -601,6 +620,7 @@ func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
 	n.nlink--
 	if n.nlink == 0 {
 		delete(fs.nodes, n.id)
+		delete(fs.shadow, n.id)
 	} else {
 		n.attr.Ctime = fs.clock()
 	}
@@ -706,6 +726,7 @@ func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, t
 			o.nlink--
 			if o.nlink == 0 {
 				delete(fs.nodes, o.id)
+				delete(fs.shadow, o.id)
 			}
 		}
 	}
@@ -779,6 +800,14 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 		fs.mu.Unlock()
 		return Attr{}, err
 	}
+	if !sync {
+		// First unstable write since the last stable point: keep the
+		// stable image so Restart can lose this data like a real
+		// server reboot would.
+		if _, ok := fs.shadow[id]; !ok {
+			fs.shadow[id] = append([]byte(nil), n.data...)
+		}
+	}
 	end := off + uint64(len(data))
 	if end > uint64(len(n.data)) {
 		n.data = append(n.data, make([]byte, end-uint64(len(n.data)))...)
@@ -787,6 +816,9 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 	n.attr.Size = uint64(len(n.data))
 	now := fs.clock()
 	n.attr.Mtime, n.attr.Ctime = now, now
+	if sync {
+		delete(fs.shadow, id)
+	}
 	a := n.attr
 	a.Nlink = n.nlink
 	disk := fs.disk
@@ -802,10 +834,13 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 
 // Commit flushes a file to stable storage (the NFS COMMIT operation).
 func (fs *FS) Commit(id FileID) error {
-	fs.mu.RLock()
+	fs.mu.Lock()
 	_, err := fs.get(id)
+	if err == nil {
+		delete(fs.shadow, id)
+	}
 	disk := fs.disk
-	fs.mu.RUnlock()
+	fs.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -813,6 +848,32 @@ func (fs *FS) Commit(id FileID) error {
 		disk.Sync()
 	}
 	return nil
+}
+
+// Verifier reports the write verifier of the current boot. NFS 3
+// clients compare the verifiers carried by WRITE and COMMIT replies: a
+// change means unstable data may have been discarded and must be
+// retransmitted (RFC 1813 §4.8).
+func (fs *FS) Verifier() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.verf
+}
+
+// Restart simulates a server crash and reboot: every file's
+// uncommitted unstable writes revert to the last stable image, and
+// the write verifier changes so clients can detect the loss.
+func (fs *FS) Restart() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for id, data := range fs.shadow {
+		if n, ok := fs.nodes[id]; ok {
+			n.data = data
+			n.attr.Size = uint64(len(data))
+		}
+		delete(fs.shadow, id)
+	}
+	fs.verf = newVerf()
 }
 
 // ReadDir returns directory entries with cookies greater than cookie,

@@ -10,9 +10,12 @@ package repro
 //	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client
 //
 // before merging — those four packages share connections between the
-// reader loop, the dispatch worker pool, and readahead futures, and
-// their stress tests (e.g. client.TestConcurrentRPCPipelineOneChannel)
-// are written to surface cross-talk only a race build catches.
+// reader loop, the dispatch worker pool, and readahead/write-behind
+// futures, and their stress tests are written to surface cross-talk
+// only a race build catches: client.TestConcurrentRPCPipelineOneChannel
+// for reads, client.TestConcurrentWriteSyncCloseOneFile (WriteAt, Sync,
+// and Close racing on one File) and client.TestMixedReadWriteOneChannel
+// (both pipelines draining each other on one channel) for writes.
 
 import (
 	"bufio"

@@ -23,23 +23,66 @@
 //	bookmarks       list secure bookmarks
 //	block HOSTID    block a HostID in this agent (no other user affected)
 //	sfs             list this user's view of /sfs
+//	stats           print the client's pipeline and per-mount counters
 //	quit
+//
+// -v reports each command's wall time and how many RPCs it cost.
+// -stats ADDR serves the same counters as JSON at http://ADDR/stats.
+// -quiet turns off the single-line dial/close connection log.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/crypto/prng"
 	"repro/internal/keyfile"
+	"repro/internal/stats"
 )
+
+// loggedConn meters one dialed connection and emits a single close
+// line with duration and byte counts.
+type loggedConn struct {
+	net.Conn
+	location string
+	start    time.Time
+	logf     func(format string, args ...interface{})
+	in, out  atomic.Uint64
+	once     sync.Once
+}
+
+func (c *loggedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *loggedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+func (c *loggedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() {
+		c.logf("close location=%s dur=%s in=%d out=%d",
+			c.location, time.Since(c.start).Round(time.Millisecond), c.in.Load(), c.out.Load())
+	})
+	return err
+}
 
 type listFlag []string
 
@@ -50,10 +93,18 @@ func main() {
 	servers := flag.String("server", "", "comma-separated HOST=ADDR map for dialing locations")
 	user := flag.String("user", "user", "local user name")
 	kf := flag.String("keyfile", "", "user private key for authentication")
+	verbose := flag.Bool("v", false, "report wall time and RPC count per command")
+	statsAddr := flag.String("stats", "", "serve JSON counters and pprof on this address")
+	quiet := flag.Bool("quiet", false, "suppress per-connection dial/close logging")
 	var links, certpaths listFlag
 	flag.Var(&links, "link", "agent symlink NAME=TARGET (repeatable)")
 	flag.Var(&certpaths, "certpath", "certification path directory (repeatable)")
 	flag.Parse()
+
+	var connLog func(format string, args ...interface{})
+	if !*quiet {
+		connLog = log.New(os.Stderr, "sfscd: ", log.LstdFlags).Printf
+	}
 
 	addrs := map[string]string{}
 	if *servers != "" {
@@ -71,13 +122,25 @@ func main() {
 			if !ok {
 				addr = location // fall back to dialing the location itself
 			}
-			return net.Dial("tcp", addr)
+			conn, err := net.Dial("tcp", addr)
+			if err != nil || connLog == nil {
+				return conn, err
+			}
+			connLog("dial location=%s addr=%s", location, addr)
+			return &loggedConn{Conn: conn, location: location, start: time.Now(), logf: connLog}, nil
 		},
 		RNG:             prng.New(),
 		EnhancedCaching: true,
 	})
 	if err != nil {
 		die(err)
+	}
+	if *statsAddr != "" {
+		ln, err := stats.Serve(*statsAddr, func() any { return cl.StatsSnapshot() })
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("sfscd: stats on http://%s/stats\n", ln.Addr())
 	}
 	a := agent.New(*user, prng.New())
 	if *kf != "" {
@@ -104,7 +167,14 @@ func main() {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line != "" {
-			if quit := run(cl, a, *user, line); quit {
+			rpc0 := cl.TotalRPCs()
+			t0 := time.Now()
+			quit := run(cl, a, *user, line)
+			if *verbose {
+				fmt.Printf("(%s, %d RPCs)\n",
+					time.Since(t0).Round(time.Microsecond), cl.TotalRPCs()-rpc0)
+			}
+			if quit {
 				return
 			}
 		}
@@ -209,8 +279,15 @@ func run(cl *client.Client, a *agent.Agent, user, line string) bool {
 		for _, name := range cl.ListSFS(user) {
 			fmt.Println(name)
 		}
+	case "stats":
+		out, err := json.MarshalIndent(cl.StatsSnapshot(), "", "  ")
+		if err != nil {
+			warn(err)
+			return false
+		}
+		fmt.Println(string(out))
 	default:
-		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs quit")
+		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs stats quit")
 	}
 	return false
 }

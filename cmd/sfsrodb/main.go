@@ -6,8 +6,11 @@
 //
 //	sfsrodb build -seed DIR -location HOST -keyfile key.sfs -o fs.sfsro \
 //	              [-version N] [-ttl 24h]
-//	sfsrodb serve -db fs.sfsro -listen :4656
+//	sfsrodb serve -db fs.sfsro -listen :4656 [-quiet]
 //	sfsrodb get   -addr ADDR -path SELFCERT_PATH -file F
+//
+// serve logs one structured line per accepted and closed connection
+// (peer, dialect, duration, bytes); -quiet suppresses them.
 //
 // "build" is the only step needing the private key; "serve" runs
 // anywhere — the replica proves nothing, clients verify everything.
@@ -16,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"time"
@@ -90,6 +94,7 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dbPath := fs.String("db", "fs.sfsro", "database file")
 	listen := fs.String("listen", ":4656", "TCP listen address")
+	quiet := fs.Bool("quiet", false, "suppress per-connection accept/close logging")
 	fs.Parse(args) //nolint:errcheck
 	data, err := os.ReadFile(*dbPath)
 	if err != nil {
@@ -102,6 +107,9 @@ func cmdServe(args []string) {
 	rep, err := sfsro.NewReplica(db)
 	if err != nil {
 		die(err)
+	}
+	if !*quiet {
+		rep.SetLogf(log.New(os.Stderr, "sfsrodb: ", log.LstdFlags).Printf)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

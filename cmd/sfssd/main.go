@@ -14,11 +14,16 @@
 // and, when a password is given, SRP data plus an encrypted copy of
 // the private key are stored so "sfskey fetch" works against this
 // server.
+//
+// -stats ADDR serves live counters as JSON at http://ADDR/stats
+// (net/http/pprof rides along under /debug/pprof/). -quiet turns off
+// the single-line accept/close connection log.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"strconv"
@@ -29,7 +34,10 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rabin"
 	"repro/internal/keyfile"
+	"repro/internal/secchan"
 	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/sunrpc"
 	"repro/internal/vfs"
 )
 
@@ -44,6 +52,8 @@ func main() {
 	kf := flag.String("keyfile", "", "server private key (sfskey gen)")
 	seed := flag.String("seed", "", "host directory to copy into the served file system")
 	lease := flag.Uint("lease", 60000, "attribute lease in ms (0 disables SFS caching extensions)")
+	statsAddr := flag.String("stats", "", "serve JSON counters and pprof on this address")
+	quiet := flag.Bool("quiet", false, "suppress per-connection accept/close logging")
 	var users userFlag
 	flag.Var(&users, "user", "register user name:uid:password:keyfile (repeatable)")
 	flag.Parse()
@@ -72,10 +82,31 @@ func main() {
 		}
 	}
 	master := server.New(rng)
+	if !*quiet {
+		master.SetLogf(log.New(os.Stderr, "sfssd: ", log.LstdFlags).Printf)
+	}
 	if _, err := master.Serve(server.ServedConfig{
 		Location: *location, Key: key, FS: fsys, Auth: auth, LeaseMS: uint32(*lease),
 	}); err != nil {
 		die(err)
+	}
+	if *statsAddr != "" {
+		ln, err := stats.Serve(*statsAddr, func() any {
+			ms := master.StatsSnapshot()
+			nfsByLoc := ms.Locations
+			ms.Locations = nil
+			return map[string]any{
+				"master":   ms,
+				"nfs":      nfsByLoc,
+				"sunrpc":   sunrpc.WireSnapshot(),
+				"secchan":  secchan.StatsSnapshot(),
+				"authserv": auth.StatsSnapshot(),
+			}
+		})
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("sfssd: stats on http://%s/stats\n", ln.Addr())
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

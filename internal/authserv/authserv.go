@@ -233,6 +233,8 @@ func ImportPublic(data []byte) (*DB, error) {
 // Server is the authserver: an ordered list of databases plus the
 // self-certifying pathname it hands to password clients.
 type Server struct {
+	met serverMetrics
+
 	mu         sync.RWMutex
 	dbs        []*DB
 	selfPath   string // the file server's self-certifying pathname
@@ -298,12 +300,15 @@ func (s *Server) lookupName(user string) (*UserRecord, *DB, bool) {
 // returns credentials (paper §3.1.2): verify the signature, check the
 // signed AuthID, then map the public key to credentials.
 func (s *Server) Validate(args sfsrpc.ValidateArgs) sfsrpc.ValidateRes {
+	s.met.attempts.Inc()
 	msg, err := sfsrpc.ParseAuthMsg(args.AuthMsg)
 	if err != nil {
+		s.met.failures.Inc()
 		return sfsrpc.ValidateRes{}
 	}
 	pub, err := msg.Verify(args.AuthInfo, args.SeqNo)
 	if err != nil {
+		s.met.failures.Inc()
 		return sfsrpc.ValidateRes{}
 	}
 	rec, ok := s.lookupKey(pub.Bytes())
@@ -312,10 +317,13 @@ func (s *Server) Validate(args sfsrpc.ValidateArgs) sfsrpc.ValidateRes {
 		guest := s.guestCreds
 		s.mu.RUnlock()
 		if guest == nil {
+			s.met.failures.Inc()
 			return sfsrpc.ValidateRes{}
 		}
+		s.met.okGuest.Inc()
 		return sfsrpc.ValidateRes{OK: true, Creds: *guest, AuthID: msg.Req.AuthID, SeqNo: msg.Req.SeqNo}
 	}
+	s.met.okUser.Inc()
 	return sfsrpc.ValidateRes{
 		OK:     true,
 		Creds:  sfsrpc.Credentials{User: rec.User, UID: rec.UID, GIDs: rec.GIDs},

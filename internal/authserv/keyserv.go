@@ -73,8 +73,10 @@ func (s *Server) KeyServiceHandler() sunrpc.Handler {
 			if err := args.Decode(&a); err != nil {
 				return nil, sunrpc.ErrGarbageArgs
 			}
+			s.met.srpInits.Inc()
 			rec, _, ok := s.lookupName(a.User)
 			if !ok || rec.SRPVerifier == nil {
+				s.met.srpFails.Inc()
 				// Deliberately indistinguishable timing would
 				// require a dummy exchange; we return a
 				// distinct status, as real SFS logs and rate-
@@ -83,6 +85,7 @@ func (s *Server) KeyServiceHandler() sunrpc.Handler {
 			}
 			srv, b, err := srp.NewServer(s.rng, rec.SRPVerifier, a.A)
 			if err != nil {
+				s.met.srpFails.Inc()
 				return srpInitRes{Status: keyDenied, SRPSalt: []byte{}, EksSalt: []byte{}, B: []byte{}}, nil
 			}
 			state, user = srv, rec
@@ -96,11 +99,13 @@ func (s *Server) KeyServiceHandler() sunrpc.Handler {
 				return nil, sunrpc.ErrGarbageArgs
 			}
 			if state == nil {
+				s.met.srpFails.Inc()
 				return srpConfirmRes{Status: keyDenied, M2: []byte{}, Sealed: []byte{}}, nil
 			}
 			m2, key, err := state.Confirm(a.M1)
 			state = nil
 			if err != nil {
+				s.met.srpFails.Inc()
 				return srpConfirmRes{Status: keyDenied, M2: []byte{}, Sealed: []byte{}}, nil
 			}
 			enc := user.EncPrivKey
@@ -110,8 +115,10 @@ func (s *Server) KeyServiceHandler() sunrpc.Handler {
 			bundle := xdr.MustMarshal(srpBundle{SelfPath: s.selfPath, EncPrivKey: enc})
 			sealed, err := SealBytes(key, bundle, s.rng)
 			if err != nil {
+				s.met.srpFails.Inc()
 				return srpConfirmRes{Status: keyDenied, M2: []byte{}, Sealed: []byte{}}, nil
 			}
+			s.met.srpConfirms.Inc()
 			return srpConfirmRes{Status: keyOK, M2: m2, Sealed: sealed}, nil
 		default:
 			return nil, sunrpc.ErrProcUnavail

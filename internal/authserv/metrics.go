@@ -1,0 +1,43 @@
+package authserv
+
+// Authserver observability: how many authentication requests each
+// Server validated and how they fared, plus the SRP password-login
+// rounds of the key service. Per-instance (one authserver per served
+// realm), snapshotted into the daemon's -stats JSON.
+
+import "repro/internal/stats"
+
+type serverMetrics struct {
+	attempts stats.Counter // Validate calls
+	failures stats.Counter // bad signature / bad message / unknown key
+	okUser   stats.Counter // mapped to a registered user
+	okGuest  stats.Counter // valid key, no record, guest credentials
+
+	srpInits    stats.Counter // SRP exchanges started
+	srpConfirms stats.Counter // exchanges completed with a matching M1
+	srpFails    stats.Counter // unknown user, bad A, or failed confirm
+}
+
+// Stats is the JSON form of an authserver's counters.
+type Stats struct {
+	Attempts    uint64 `json:"attempts"`
+	Failures    uint64 `json:"failures"`
+	OKUser      uint64 `json:"ok_user"`
+	OKGuest     uint64 `json:"ok_guest,omitempty"`
+	SRPInits    uint64 `json:"srp_inits"`
+	SRPConfirms uint64 `json:"srp_confirms"`
+	SRPFails    uint64 `json:"srp_fails"`
+}
+
+// StatsSnapshot captures the authserver's counters.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		Attempts:    s.met.attempts.Load(),
+		Failures:    s.met.failures.Load(),
+		OKUser:      s.met.okUser.Load(),
+		OKGuest:     s.met.okGuest.Load(),
+		SRPInits:    s.met.srpInits.Load(),
+		SRPConfirms: s.met.srpConfirms.Load(),
+		SRPFails:    s.met.srpFails.Load(),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	nfspkg "repro/internal/nfs"
 	"repro/internal/vfs"
 )
 
@@ -284,11 +285,47 @@ func TestFig9WriteBehindAblation(t *testing.T) {
 	}
 }
 
+// TestFig8RPCEconomics asserts the mechanism behind Figure 8's create
+// phase from the server's own counters: writing a fresh 1 KB file
+// costs SFS exactly 2 server RPCs (CREATE plus one FILE_SYNC WRITE —
+// the small-file sync shortcut), while the NFS baseline pays 3
+// (CREATE, unstable WRITE, COMMIT).
+func TestFig8RPCEconomics(t *testing.T) {
+	run := func(kind StackKind) uint64 {
+		st := buildOrSkip(t, kind)
+		// A warm-up file primes the mount, handle caches, and access
+		// checks so the measured file shows steady-state cost.
+		data := make([]byte, 1024)
+		if err := st.WriteFile("warm", data); err != nil {
+			t.Fatal(err)
+		}
+		ss, ok := st.ServerStats()
+		if !ok {
+			t.Fatalf("%s: stack reports no server stats", kind)
+		}
+		before := ss.TotalCalls()
+		if err := st.WriteFile("f", data); err != nil {
+			t.Fatal(err)
+		}
+		ss, _ = st.ServerStats()
+		return ss.TotalCalls() - before
+	}
+	if got := run(KindSFS); got != 2 {
+		t.Errorf("SFS 1 KB create = %d server RPCs, want 2 (CREATE + FILE_SYNC WRITE)", got)
+	}
+	if got := run(KindNFSUDP); got != 3 {
+		t.Errorf("NFS 1 KB create = %d server RPCs, want 3 (CREATE + WRITE + COMMIT)", got)
+	}
+}
+
 func TestFigureSlugAndJSON(t *testing.T) {
 	f := &Figure{
 		ID:    "Figure 9 (write-behind ablation)",
 		Title: "t",
 		Rows:  []FigureRow{{Stack: "window 8", Phase: "seq write", Value: 1.5, Unit: "s", RPCs: 7}},
+		Counters: map[string]nfspkg.ServerStats{
+			"window 8": {SyncWrites: 1, Commits: 2},
+		},
 	}
 	if got := f.Slug(); got != "figure-9-write-behind-ablation" {
 		t.Fatalf("Slug = %q", got)
@@ -312,6 +349,10 @@ func TestFigureSlugAndJSON(t *testing.T) {
 	r := back.Rows[0]
 	if r.Stack != "window 8" || r.Value != 1.5 || r.RPCs != 7 || r.Paper != 0 {
 		t.Fatalf("row mismatch: %+v", r)
+	}
+	c, ok := back.Counters["window 8"]
+	if !ok || c.SyncWrites != 1 || c.Commits != 2 {
+		t.Fatalf("counters did not round-trip: %+v", back.Counters)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/nfs"
 	"repro/internal/vfs"
 )
 
@@ -80,6 +81,24 @@ type Figure struct {
 	ID    string
 	Title string
 	Rows  []FigureRow
+	// Counters holds each remote stack's server-side NFS counter
+	// snapshot, taken after its workloads ran — the raw per-procedure
+	// and write-stability numbers behind the Rows.
+	Counters map[string]nfs.ServerStats
+}
+
+// noteCounters records st's server-side counter snapshot under label
+// (usually the stack name; ablations use their row label). Stacks
+// without a server (Local) record nothing.
+func (f *Figure) noteCounters(label string, st Stack) {
+	ss, ok := st.ServerStats()
+	if !ok {
+		return
+	}
+	if f.Counters == nil {
+		f.Counters = make(map[string]nfs.ServerStats)
+	}
+	f.Counters[label] = ss
 }
 
 func (f *Figure) render(w io.Writer) {
@@ -132,6 +151,7 @@ func Fig5(opts Options) (*Figure, error) {
 			Value: tput.MBps(), Unit: "MB/s",
 			Paper: paperTput[kind], RPCs: tput.RPCs,
 		})
+		fig.noteCounters(st.Name(), st)
 		st.Close()
 	}
 	fig.render(opts.out())
@@ -170,6 +190,7 @@ func Fig6(opts Options) (*Figure, error) {
 			}
 			fig.Rows = append(fig.Rows, row)
 		}
+		fig.noteCounters(st.Name(), st)
 		st.Close()
 	}
 	fig.render(opts.out())
@@ -211,6 +232,7 @@ func Fig7(opts Options) (*Figure, error) {
 			Value: r.Elapsed.Seconds(), Unit: "s",
 			Paper: paper[kind] / scale, RPCs: r.RPCs,
 		})
+		fig.noteCounters(st.Name(), st)
 		st.Close()
 	}
 	fig.render(opts.out())
@@ -246,6 +268,7 @@ func Fig8(opts Options) (*Figure, error) {
 				Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
 			})
 		}
+		fig.noteCounters(st.Name(), st)
 		st.Close()
 	}
 	fig.render(opts.out())
@@ -281,6 +304,7 @@ func Fig9(opts Options) (*Figure, error) {
 				Value: r.Elapsed.Seconds(), Unit: "s", RPCs: r.RPCs,
 			})
 		}
+		fig.noteCounters(st.Name(), st)
 		st.Close()
 	}
 	fig.render(opts.out())
@@ -335,6 +359,7 @@ func FigWriteBehind(opts Options) (*Figure, error) {
 			}
 			return f.Sync()
 		})
+		fig.noteCounters(w.label, st)
 		st.Close()
 		if err != nil {
 			return nil, err

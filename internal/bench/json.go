@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/nfs"
 )
 
 // jsonFigure is the on-disk schema of a BENCH_*.json file. The schema
@@ -16,6 +18,10 @@ type jsonFigure struct {
 	// so trajectory tooling never compares quick rows to full rows.
 	Quick bool      `json:"quick"`
 	Rows  []jsonRow `json:"rows"`
+	// Counters carries each remote stack's server-side NFS counter
+	// snapshot (per-procedure calls and latency, write stability,
+	// COMMIT batches, transport totals), keyed by stack label.
+	Counters map[string]nfs.ServerStats `json:"counters,omitempty"`
 }
 
 type jsonRow struct {
@@ -60,7 +66,7 @@ func (f *Figure) Slug() string {
 // WriteJSON writes the figure to dir/BENCH_<slug>.json and returns the
 // path. quick must reflect the Options the figure ran with.
 func (f *Figure) WriteJSON(dir string, quick bool) (string, error) {
-	jf := jsonFigure{ID: f.ID, Title: f.Title, Quick: quick}
+	jf := jsonFigure{ID: f.ID, Title: f.Title, Quick: quick, Counters: f.Counters}
 	for _, r := range f.Rows {
 		jf.Rows = append(jf.Rows, jsonRow{
 			Stack: r.Stack, Phase: r.Phase,

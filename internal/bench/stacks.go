@@ -60,6 +60,10 @@ type Stack interface {
 	Create(path string) (StackFile, error)
 	// Stats reports wire RPCs when the stack has a wire.
 	Stats() nfs.Stats
+	// ServerStats reports the server-side NFS counters (per-procedure
+	// calls, write stability, COMMIT batches) when the stack has a
+	// server; ok is false for the local baseline.
+	ServerStats() (nfs.ServerStats, bool)
 	// Close tears the stack down.
 	Close()
 }
@@ -210,8 +214,9 @@ func (s *localStack) Truncate(path string, size uint64) error {
 	return err
 }
 
-func (s *localStack) Stats() nfs.Stats { return nfs.Stats{} }
-func (s *localStack) Close()           {}
+func (s *localStack) Stats() nfs.Stats                     { return nfs.Stats{} }
+func (s *localStack) ServerStats() (nfs.ServerStats, bool) { return nfs.ServerStats{}, false }
+func (s *localStack) Close()                               {}
 
 func splitDirFile(path string) (string, string) {
 	for i := len(path) - 1; i >= 0; i-- {
@@ -227,6 +232,7 @@ func splitDirFile(path string) (string, string) {
 
 type nfsStack struct {
 	name     string
+	srv      *nfs.Server
 	cl       *nfs.Client
 	root     nfs.FH
 	ln       net.Listener
@@ -241,7 +247,7 @@ type nfsStack struct {
 // transport ("udp" or "tcp") and netsim profile.
 func NewNFS(fs *vfs.FS, transport string, profile netsim.Profile) (Stack, error) {
 	srv := nfs.NewServer(fs, nfs.ServerConfig{})
-	st := &nfsStack{dirs: make(map[string]nfs.FH), files: make(map[string]nfs.FH)}
+	st := &nfsStack{srv: srv, dirs: make(map[string]nfs.FH), files: make(map[string]nfs.FH)}
 	auth := func() sunrpc.OpaqueAuth { return sunrpc.UnixAuth(0, []uint32{0}) }
 	switch transport {
 	case "udp":
@@ -485,6 +491,10 @@ func (s *nfsStack) Truncate(path string, size uint64) error {
 
 func (s *nfsStack) Stats() nfs.Stats { return s.cl.Stats() }
 
+func (s *nfsStack) ServerStats() (nfs.ServerStats, bool) {
+	return s.srv.StatsSnapshot(), true
+}
+
 func (s *nfsStack) Close() {
 	if s.cl != nil {
 		s.cl.Close()
@@ -524,6 +534,8 @@ type SFSOptions struct {
 type sfsStack struct {
 	name      string
 	cl        *client.Client
+	master    *server.Server
+	location  string
 	base      string
 	ln        net.Listener
 	opts      SFSOptions
@@ -606,7 +618,10 @@ func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
 	case !opts.EnhancedCaching:
 		name = "SFS w/o enhanced caching"
 	}
-	return &sfsStack{name: name, cl: cl, base: path.String(), ln: l, opts: opts}, nil
+	return &sfsStack{
+		name: name, cl: cl, master: master, location: "bench.example.com",
+		base: path.String(), ln: l, opts: opts,
+	}, nil
 }
 
 func (s *sfsStack) Name() string           { return s.name }
@@ -706,6 +721,10 @@ func (s *sfsStack) Stats() nfs.Stats {
 		return nfs.Stats{}
 	}
 	return st
+}
+
+func (s *sfsStack) ServerStats() (nfs.ServerStats, bool) {
+	return s.master.NFSStats(s.location)
 }
 
 func (s *sfsStack) Close() {

@@ -89,6 +89,11 @@ type mount struct {
 	// every user shares the one verified view.
 	ro *roView
 
+	// io points at the owning Client's pipeline counters, so Files
+	// opened through this mount can update them without holding a
+	// Client reference.
+	io *ioStats
+
 	mu    sync.Mutex
 	seq   uint32
 	users map[string]*nfs.Client // per-user authenticated views
@@ -102,6 +107,8 @@ type Client struct {
 	keyMu      sync.Mutex
 	tempKey    *rabin.PrivateKey
 	tempKeyAge time.Time
+
+	io ioStats // pipeline counters shared by every mount
 
 	mu       sync.Mutex
 	agents   map[string]*agent.Agent
@@ -246,7 +253,7 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 		base.Close()
 		return nil, err
 	}
-	m = &mount{path: p.Root(), base: base, info: info, root: root, users: make(map[string]*nfs.Client)}
+	m = &mount{path: p.Root(), base: base, info: info, root: root, io: &c.io, users: make(map[string]*nfs.Client)}
 	c.mu.Lock()
 	if exist, ok := c.mounts[p.HostID]; ok {
 		c.mu.Unlock()
@@ -280,7 +287,7 @@ func (c *Client) getROMount(p core.Path) (*mount, error) {
 		return nil, err
 	}
 	view := newROView(rocl)
-	m := &mount{path: p.Root(), ro: view, root: view.rootFH(), users: make(map[string]*nfs.Client)}
+	m := &mount{path: p.Root(), ro: view, root: view.rootFH(), io: &c.io, users: make(map[string]*nfs.Client)}
 	c.mu.Lock()
 	if exist, ok := c.mounts[p.HostID]; ok {
 		c.mu.Unlock()

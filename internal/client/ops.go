@@ -164,6 +164,10 @@ func (f *File) issueChunk(av asyncWriteView) error {
 		return err
 	}
 	f.wb.window = append(f.wb.window, wbWrite{fin: fin, off: off, buf: buf})
+	ios := f.stats()
+	ios.wbChunks.Inc()
+	ios.wbBytes.Add(uint64(len(buf)))
+	ios.wbWindowOcc.Observe(uint64(len(f.wb.window)))
 	return nil
 }
 
@@ -230,7 +234,10 @@ func (f *File) discard() {
 func (f *File) retransmit(av asyncWriteView) error {
 	f.wb.mismatch = false
 	f.wb.verfOK = false
+	ios := f.stats()
 	for _, r := range f.wb.dirty {
+		ios.retransOps.Inc()
+		ios.retransB.Add(uint64(len(r.buf)))
 		fin, err := av.WriteStart(f.node.fh, r.off, r.buf, nfs.Unstable)
 		if err != nil {
 			return err
@@ -526,6 +533,7 @@ func (f *File) readAtSerial(p []byte, off uint64) (int, error) {
 func (f *File) readAtPipelined(av asyncView, depth int, p []byte, off uint64) (int, error) {
 	count := uint32(len(p))
 	ra := &f.ra
+	ios := f.stats()
 	if len(ra.window) > 0 && (ra.chunk != count || ra.head != off) {
 		ra.drain() // request shape changed: speculation is useless
 	}
@@ -533,9 +541,14 @@ func (f *File) readAtPipelined(av asyncView, depth int, p []byte, off uint64) (i
 		if off != ra.lastEnd {
 			// Non-sequential access: stay serial, but remember the
 			// position so a following sequential read starts the pipe.
+			ios.raMisses.Inc()
 			return f.readAtSerial(p, off)
 		}
+		// Pipeline startup: this read still pays a full round trip.
+		ios.raMisses.Inc()
 		ra.chunk, ra.head, ra.issued = count, off, off
+	} else {
+		ios.raHits.Inc()
 	}
 	for len(ra.window) < depth {
 		fin, err := av.ReadStart(f.node.fh, ra.issued, count)
@@ -545,6 +558,7 @@ func (f *File) readAtPipelined(av asyncView, depth int, p []byte, off uint64) (i
 		}
 		ra.window = append(ra.window, fin)
 		ra.issued += uint64(count)
+		ios.raChunks.Inc()
 	}
 	fin := ra.window[0]
 	ra.window = ra.window[1:]
@@ -752,6 +766,7 @@ func (f *File) sync() error {
 func (f *File) syncSmall(av asyncWriteView) error {
 	buf, off := f.wb.buf, f.wb.bufOff
 	f.wb.buf = nil
+	f.stats().syncSmall.Inc()
 	fin, err := av.WriteStart(f.node.fh, off, buf, nfs.FileSync)
 	if err != nil {
 		putChunk(buf)

@@ -1,0 +1,208 @@
+package nfs
+
+// NFS-layer observability: per-procedure counters and latency
+// histograms keyed by procedure *name* (the RPC layer one level down
+// only knows numbers), write-stability accounting (unstable vs
+// FILE_SYNC), and COMMIT batch sizes — the counters Fig 8's "2 RPCs
+// per file vs NFS's 3" claim is asserted against. One ServerMetrics
+// belongs to one Server and aggregates every session; the embedded
+// sunrpc.Metrics block is shared with each session's per-connection
+// RPC server so transport-level counters aggregate at the same
+// granularity.
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+// procSlots: procedures 0..21 are standard NFSv3; 100..103 are the
+// SFS extensions; one overflow slot catches anything else.
+const (
+	numStdProcs = 22
+	numExtProcs = 4
+	numSlots    = numStdProcs + numExtProcs + 1
+)
+
+var procNames = map[uint32]string{
+	ProcNull: "null", ProcGetAttr: "getattr", ProcSetAttr: "setattr",
+	ProcLookup: "lookup", ProcAccess: "access", ProcReadlink: "readlink",
+	ProcRead: "read", ProcWrite: "write", ProcCreate: "create",
+	ProcMkdir: "mkdir", ProcSymlink: "symlink", ProcRemove: "remove",
+	ProcRmdir: "rmdir", ProcRename: "rename", ProcLink: "link",
+	ProcReadDir: "readdir", ProcFSInfo: "fsinfo", ProcCommit: "commit",
+	ProcMountRoot: "mountroot", ProcInvalidate: "invalidate",
+	ProcGetAttrSync: "getattrsync", ProcIDNames: "idnames",
+}
+
+// ProcName returns the NFSv3/SFS name of proc, or "procN" for
+// unnamed numbers.
+func ProcName(proc uint32) string {
+	if n, ok := procNames[proc]; ok {
+		return n
+	}
+	return "proc" + uitoa(proc)
+}
+
+// uitoa is strconv.Itoa without the import churn for a uint32.
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func slotFor(proc uint32) int {
+	switch {
+	case proc < numStdProcs:
+		return int(proc)
+	case proc >= ProcMountRoot && proc <= ProcIDNames:
+		return numStdProcs + int(proc-ProcMountRoot)
+	default:
+		return numSlots - 1
+	}
+}
+
+// slotProc inverts slotFor for snapshot labeling.
+func slotProc(slot int) (uint32, bool) {
+	switch {
+	case slot < numStdProcs:
+		return uint32(slot), true
+	case slot < numStdProcs+numExtProcs:
+		return ProcMountRoot + uint32(slot-numStdProcs), true
+	default:
+		return 0, false // overflow slot
+	}
+}
+
+type procStat struct {
+	calls stats.Counter
+	errs  stats.Counter // RPC-level failures (garbage args etc.), not NFS statuses
+	lat   stats.Histogram
+}
+
+// ServerMetrics instruments one nfs.Server across all its sessions.
+type ServerMetrics struct {
+	procs [numSlots]procStat
+
+	unstableWrites stats.Counter
+	syncWrites     stats.Counter
+	unstableBytes  stats.Counter
+	syncBytes      stats.Counter
+	commits        stats.Counter
+	commitBatch    stats.Histogram // bytes acknowledged per COMMIT
+
+	// pending tracks unstable bytes written per file since its last
+	// COMMIT, so the batch histogram reflects what each COMMIT
+	// actually flushed. Guarded by its own mutex: WRITE and COMMIT
+	// race across sessions.
+	pendingMu sync.Mutex
+	pending   map[vfs.FileID]uint64
+
+	rpc *sunrpc.Metrics // shared with every session's RPC server
+}
+
+func newServerMetrics() *ServerMetrics {
+	return &ServerMetrics{
+		pending: make(map[vfs.FileID]uint64),
+		rpc:     sunrpc.NewMetrics(),
+	}
+}
+
+func (m *ServerMetrics) noteWrite(id vfs.FileID, n int, fileSync bool) {
+	if fileSync {
+		m.syncWrites.Inc()
+		m.syncBytes.Add(uint64(n))
+		return
+	}
+	m.unstableWrites.Inc()
+	m.unstableBytes.Add(uint64(n))
+	m.pendingMu.Lock()
+	m.pending[id] += uint64(n)
+	m.pendingMu.Unlock()
+}
+
+func (m *ServerMetrics) noteCommit(id vfs.FileID) {
+	m.commits.Inc()
+	m.pendingMu.Lock()
+	batch := m.pending[id]
+	delete(m.pending, id)
+	m.pendingMu.Unlock()
+	m.commitBatch.Observe(batch)
+}
+
+// ProcStat is one procedure's totals in a ServerStats snapshot.
+type ProcStat struct {
+	Calls   uint64             `json:"calls"`
+	Errors  uint64             `json:"errors,omitempty"`
+	Latency stats.HistSnapshot `json:"latency_us"`
+}
+
+// ServerStats is the JSON form of a server's NFS-layer counters.
+type ServerStats struct {
+	Procs            map[string]ProcStat    `json:"procs,omitempty"`
+	UnstableWrites   uint64                 `json:"unstable_writes"`
+	SyncWrites       uint64                 `json:"sync_writes"`
+	UnstableBytes    uint64                 `json:"unstable_bytes"`
+	SyncBytes        uint64                 `json:"sync_bytes"`
+	Commits          uint64                 `json:"commits"`
+	CommitBatchBytes stats.HistSnapshot     `json:"commit_batch_bytes"`
+	RPC              sunrpc.MetricsSnapshot `json:"rpc"`
+}
+
+// TotalCalls sums the per-procedure call counts — the number the Fig
+// 8 RPC-economics test asserts against.
+func (st ServerStats) TotalCalls() uint64 {
+	var n uint64
+	for _, p := range st.Procs {
+		n += p.Calls
+	}
+	return n
+}
+
+// StatsSnapshot captures the server's NFS-layer counters, including
+// the shared transport metrics of all its sessions.
+func (s *Server) StatsSnapshot() ServerStats {
+	m := s.met
+	st := ServerStats{
+		UnstableWrites:   m.unstableWrites.Load(),
+		SyncWrites:       m.syncWrites.Load(),
+		UnstableBytes:    m.unstableBytes.Load(),
+		SyncBytes:        m.syncBytes.Load(),
+		Commits:          m.commits.Load(),
+		CommitBatchBytes: m.commitBatch.Snapshot(),
+		RPC:              m.rpc.Snapshot(),
+	}
+	for i := range m.procs {
+		n := m.procs[i].calls.Load()
+		if n == 0 {
+			continue
+		}
+		if st.Procs == nil {
+			st.Procs = make(map[string]ProcStat)
+		}
+		name := "other"
+		if proc, ok := slotProc(i); ok {
+			name = ProcName(proc)
+		}
+		st.Procs[name] = ProcStat{
+			Calls:   n,
+			Errors:  m.procs[i].errs.Load(),
+			Latency: m.procs[i].lat.Snapshot(),
+		}
+	}
+	return st
+}
+
+// RPCMetrics exposes the transport metrics block shared by the
+// server's sessions (e.g. to enable trace-span recording).
+func (s *Server) RPCMetrics() *sunrpc.Metrics { return s.met.rpc }

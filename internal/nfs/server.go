@@ -85,6 +85,8 @@ type Server struct {
 	// leases tracks which sessions hold cacheable attributes for
 	// which files, so mutations can trigger callbacks.
 	leases map[vfs.FileID]map[*Session]time.Time
+
+	met *ServerMetrics
 }
 
 // NewServer wraps fs with the given configuration.
@@ -97,6 +99,7 @@ func NewServer(fs *vfs.FS, cfg ServerConfig) *Server {
 		maxIO:    cfg.MaxIO,
 		sessions: make(map[*Session]struct{}),
 		leases:   make(map[vfs.FileID]map[*Session]time.Time),
+		met:      newServerMetrics(),
 	}
 	if s.codec == nil {
 		s.codec = PlainCodec{}
@@ -143,6 +146,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) *Session {
 func (s *Server) ServeConnWith(conn io.ReadWriteCloser, setup func(rpc *sunrpc.Server, sess *Session)) *Session {
 	sess := &Session{srv: s}
 	rpc := sunrpc.NewServer()
+	rpc.SetMetrics(s.met.rpc) // one transport counter block across sessions
 	rpc.Register(Program, Version, func(proc uint32, cred sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
 		return s.dispatch(sess, proc, cred, args)
 	})
@@ -174,6 +178,10 @@ func (s *Server) dropSession(sess *Session) {
 
 // Close shuts down the session.
 func (sess *Session) Close() error { return sess.peer.Close() }
+
+// Done is closed when the session's connection fails or is closed;
+// the server master uses it to log connection teardown.
+func (sess *Session) Done() <-chan struct{} { return sess.peer.Done() }
 
 // grantLease records that sess may cache attributes of id.
 func (s *Server) grantLease(sess *Session, id vfs.FileID) uint32 {
@@ -244,7 +252,23 @@ func (s *Server) attrFor(sess *Session, id vfs.FileID) *Fattr {
 	return &fa
 }
 
+// dispatch wraps dispatchProc with the per-procedure counters and
+// latency histogram. The per-proc "errors" counter tracks RPC-level
+// failures (garbage arguments, unknown procedures); NFS status
+// errors are well-formed replies and count as calls only.
 func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d *xdr.Decoder) (interface{}, error) {
+	ps := &s.met.procs[slotFor(proc)]
+	start := time.Now()
+	res, err := s.dispatchProc(sess, proc, auth, d)
+	ps.lat.ObserveDuration(time.Since(start))
+	ps.calls.Inc()
+	if err != nil {
+		ps.errs.Inc()
+	}
+	return res, err
+}
+
+func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d *xdr.Decoder) (interface{}, error) {
 	credFn := s.creds
 	if sess != nil && sess.creds != nil {
 		credFn = sess.creds
@@ -353,6 +377,7 @@ func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d 
 		if err != nil {
 			return WriteRes{Status: statusFromErr(err)}, nil
 		}
+		s.met.noteWrite(id, len(a.Data), a.Stable == FileSync)
 		s.invalidate(sess, id)
 		fa := fattrFromVFS(attr, s.grantLease(sess, id))
 		return WriteRes{Status: OK, Attr: &fa, Count: uint32(len(a.Data)), Verf: verf}, nil
@@ -524,6 +549,7 @@ func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d 
 		if err := s.fs.Commit(id); err != nil {
 			return CommitRes{Status: statusFromErr(err)}, nil
 		}
+		s.met.noteCommit(id)
 		// Verifier read after the flush: a restart racing the COMMIT
 		// yields a verifier mismatch and a redundant retransmission
 		// instead of a silently dropped stability promise.

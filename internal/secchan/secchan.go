@@ -170,6 +170,16 @@ func readMsg(r io.Reader, v interface{}) error {
 // server answers with a valid revocation certificate, the returned
 // error is ErrRevoked and the certificate is returned for the agent.
 func ClientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, tempKey *rabin.PrivateKey, rng *prng.Generator, extensions ...string) (*Conn, *Info, *core.PathRevoke, error) {
+	c, info, cert, err := clientHandshake(conn, service, path, tempKey, rng, extensions...)
+	if err != nil {
+		chanStats.handshakeF.Inc()
+	} else {
+		chanStats.handshakes.Inc()
+	}
+	return c, info, cert, err
+}
+
+func clientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, tempKey *rabin.PrivateKey, rng *prng.Generator, extensions ...string) (*Conn, *Info, *core.PathRevoke, error) {
 	if extensions == nil {
 		extensions = []string{}
 	}
@@ -324,6 +334,16 @@ func RejectRevoked(conn io.Writer, cert *core.PathRevoke) error {
 // ServerHandshake completes the server side of connection setup for a
 // connect request that the caller has matched to priv.
 func ServerHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator) (*Conn, *Info, error) {
+	c, info, err := serverHandshake(conn, req, priv, rng)
+	if err != nil {
+		chanStats.handshakeF.Inc()
+	} else {
+		chanStats.handshakes.Inc()
+	}
+	return c, info, err
+}
+
+func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator) (*Conn, *Info, error) {
 	pub := priv.PublicKey.Bytes()
 	if err := writeMsg(conn, connectResponse{Status: connectOK, ServerKey: pub, Revocation: []byte{}}); err != nil {
 		return nil, nil, err
@@ -465,6 +485,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if _, err := c.raw.Write(rec); err != nil {
 		return 0, err
 	}
+	chanStats.seals.Inc()
+	chanStats.sealPlain.Add(uint64(len(p)))
+	chanStats.sealCipher.Add(uint64(len(rec)))
 	return len(p), nil
 }
 
@@ -507,6 +530,7 @@ func (c *Conn) readRecord() error {
 	}
 	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
 	if n < 0 || n > MaxRecord {
+		chanStats.macDrops.Inc()
 		return ErrBadMAC // garbled length ≈ tampering
 	}
 	body, ret := sized(c.openBuf, n+sha1mac.Size)
@@ -521,8 +545,12 @@ func (c *Conn) readRecord() error {
 	}
 	payload, mac := body[:n], body[n:]
 	if !sha1mac.Verify(c.recvMacKey[:], payload, mac) {
+		chanStats.macDrops.Inc()
 		return ErrBadMAC
 	}
+	chanStats.opens.Inc()
+	chanStats.openPlain.Add(uint64(n))
+	chanStats.openCipher.Add(uint64(len(body) + 4))
 	c.readBuf = payload
 	return nil
 }

@@ -1,0 +1,168 @@
+package server
+
+// Server-master observability: connection accounting at the front
+// door (accepts, rejects, handshake failures), login-protocol
+// outcomes including sequence-number replay drops, and single-line
+// structured accept/close logging for sfssd. Per-location NFS
+// counters live on each servedFS's nfs.Server and are aggregated
+// into the master's snapshot.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nfs"
+	"repro/internal/secchan"
+	"repro/internal/stats"
+)
+
+type masterMetrics struct {
+	accepts    stats.Counter
+	active     stats.Gauge // connections between accept and close
+	rejRevoked stats.Counter
+	rejNoFS    stats.Counter
+	hsFails    stats.Counter // key-negotiation handshakes that died
+	extConns   stats.Counter // handed to protocol extensions
+
+	logins     stats.Counter // login RPCs received
+	loginOK    stats.Counter
+	loginFails stats.Counter // any non-OK outcome
+	seqReplays stats.Counter // rejected by the sequence-number window
+}
+
+// Logf is the logging hook: log.Printf-shaped. A nil hook (the
+// default, and what -quiet restores) disables connection logging.
+type Logf func(format string, args ...interface{})
+
+// SetLogf installs the accept/close logging hook.
+func (s *Server) SetLogf(f Logf) {
+	s.logMu.Lock()
+	s.logf = f
+	s.logMu.Unlock()
+}
+
+func (s *Server) logConn(format string, args ...interface{}) {
+	s.logMu.Lock()
+	f := s.logf
+	s.logMu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// countingConn wraps a raw connection to meter bytes both ways and
+// fire a one-shot close hook — the "close" log line and the active
+// gauge decrement — no matter which subsystem ends up owning the
+// connection.
+type countingConn struct {
+	net.Conn
+	in, out atomic.Uint64
+	once    sync.Once
+	onClose func(in, out uint64)
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() {
+		if c.onClose != nil {
+			c.onClose(c.in.Load(), c.out.Load())
+		}
+	})
+	return err
+}
+
+// serviceName labels a connect request's service number for logs.
+func serviceName(service uint32) string {
+	switch service {
+	case secchan.ServiceFile:
+		return "file"
+	case secchan.ServiceAuth:
+		return "auth"
+	case secchan.ServiceFileRO:
+		return "file-ro"
+	default:
+		return "ext"
+	}
+}
+
+// MasterStats is the JSON form of the master's connection and login
+// counters, with each served location's NFS-layer snapshot.
+type MasterStats struct {
+	Accepts        uint64              `json:"accepts"`
+	Active         stats.GaugeSnapshot `json:"active"`
+	RejectsRevoked uint64              `json:"rejects_revoked"`
+	RejectsNoFS    uint64              `json:"rejects_nosuchfs"`
+	HandshakeFails uint64              `json:"handshake_fails"`
+	ExtConns       uint64              `json:"extension_conns"`
+
+	Logins     uint64 `json:"logins"`
+	LoginOK    uint64 `json:"login_ok"`
+	LoginFails uint64 `json:"login_fails"`
+	SeqReplays uint64 `json:"seq_replays"`
+
+	Locations map[string]nfs.ServerStats `json:"locations,omitempty"`
+}
+
+// StatsSnapshot captures the master's counters and, per served
+// location, its NFS server's.
+func (s *Server) StatsSnapshot() MasterStats {
+	m := &s.met
+	st := MasterStats{
+		Accepts:        m.accepts.Load(),
+		Active:         m.active.Snapshot(),
+		RejectsRevoked: m.rejRevoked.Load(),
+		RejectsNoFS:    m.rejNoFS.Load(),
+		HandshakeFails: m.hsFails.Load(),
+		ExtConns:       m.extConns.Load(),
+		Logins:         m.logins.Load(),
+		LoginOK:        m.loginOK.Load(),
+		LoginFails:     m.loginFails.Load(),
+		SeqReplays:     m.seqReplays.Load(),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sfs := range s.byHost {
+		if st.Locations == nil {
+			st.Locations = make(map[string]nfs.ServerStats)
+		}
+		st.Locations[sfs.path.Location] = sfs.nfss.StatsSnapshot()
+	}
+	return st
+}
+
+// NFSStats returns one served location's NFS-layer counters — what
+// the Fig 8 RPC-economics test asserts against.
+func (s *Server) NFSStats(location string) (nfs.ServerStats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sfs := range s.byHost {
+		if sfs.path.Location == location {
+			return sfs.nfss.StatsSnapshot(), true
+		}
+	}
+	return nfs.ServerStats{}, false
+}
+
+// durRound trims a duration for log lines.
+func durRound(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(time.Millisecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/authserv"
 	"repro/internal/core"
@@ -124,6 +125,10 @@ type ExtensionHandler func(conn net.Conn, req *secchan.ConnectRequest)
 // Server is the server master.
 type Server struct {
 	rng *prng.Generator
+	met masterMetrics
+
+	logMu sync.Mutex
+	logf  Logf
 
 	mu     sync.RWMutex
 	byHost map[core.HostID]*servedFS
@@ -223,17 +228,32 @@ func (s *Server) ListenAndServe(l net.Listener) error {
 }
 
 // HandleConn runs the connect protocol on one raw connection and
-// hands it to the selected subsystem.
-func (s *Server) HandleConn(conn net.Conn) {
-	defer func() {
-		// The file service keeps the connection; other paths close
-		// it via their own lifecycles, and errors close it here.
-	}()
+// hands it to the selected subsystem. The connection is wrapped to
+// meter bytes both ways, and a single structured log line is emitted
+// at accept and at close (whichever subsystem ends up closing it).
+func (s *Server) HandleConn(rawConn net.Conn) {
+	start := time.Now()
+	s.met.accepts.Inc()
+	s.met.active.Inc()
+	peer := "?"
+	if a := rawConn.RemoteAddr(); a != nil {
+		peer = a.String()
+	}
+	dialect := "connect" // refined once the request is parsed
+	cc := &countingConn{Conn: rawConn}
+	cc.onClose = func(in, out uint64) {
+		s.met.active.Dec()
+		s.logConn("close peer=%s dialect=%s dur=%s in=%d out=%d",
+			peer, dialect, durRound(time.Since(start)), in, out)
+	}
+	var conn net.Conn = cc
 	req, err := secchan.ReadConnect(conn)
 	if err != nil {
 		conn.Close()
 		return
 	}
+	dialect = serviceName(req.Service)
+	s.logConn("accept peer=%s dialect=%s location=%s", peer, dialect, req.Location)
 	var hostID core.HostID
 	copy(hostID[:], req.HostID[:])
 	s.mu.RLock()
@@ -242,6 +262,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 	ext := s.exts[req.Service]
 	s.mu.RUnlock()
 	if rev != nil {
+		s.met.rejRevoked.Inc()
 		secchan.RejectRevoked(conn, rev) //nolint:errcheck
 		conn.Close()
 		return
@@ -249,16 +270,19 @@ func (s *Server) HandleConn(conn net.Conn) {
 	if ext != nil {
 		// Protocol extensions (e.g. the read-only dialect) own the
 		// connection from here; they run their own exchange.
+		s.met.extConns.Inc()
 		ext(conn, req)
 		return
 	}
 	if sfs == nil || sfs.path.Location != req.Location {
+		s.met.rejNoFS.Inc()
 		secchan.RejectNoSuchFS(conn) //nolint:errcheck
 		conn.Close()
 		return
 	}
 	sec, info, err := secchan.ServerHandshake(conn, req, sfs.cfg.Key, s.rng)
 	if err != nil {
+		s.met.hsFails.Inc()
 		conn.Close()
 		return
 	}
@@ -325,7 +349,7 @@ func (s *Server) serveFile(sec *secchan.Conn, info *secchan.Info, sfs *servedFS)
 	nextAuthNo := uint32(1)
 	var seqs seqWindow
 
-	sfs.nfss.ServeConnWith(sec, func(rpc *sunrpc.Server, sess *nfs.Session) {
+	sess := sfs.nfss.ServeConnWith(sec, func(rpc *sunrpc.Server, sess *nfs.Session) {
 		// Credential tagging: the server, not the client, decides
 		// what a given authentication number means.
 		sess.SetCreds(func(a sunrpc.OpaqueAuth) vfs.Cred {
@@ -348,32 +372,45 @@ func (s *Server) serveFile(sec *secchan.Conn, info *secchan.Info, sfs *servedFS)
 			if err := args.Decode(&la); err != nil {
 				return nil, sunrpc.ErrGarbageArgs
 			}
+			s.met.logins.Inc()
 			if sfs.cfg.Auth == nil {
+				s.met.loginFails.Inc()
 				return sfsrpc.LoginRes{Status: sfsrpc.LoginNo}, nil
 			}
 			res := sfs.cfg.Auth.Validate(sfsrpc.ValidateArgs{
 				AuthInfo: authInfo, SeqNo: la.SeqNo, AuthMsg: la.AuthMsg,
 			})
 			if !res.OK {
+				s.met.loginFails.Inc()
 				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
 			}
 			// The server itself re-checks what the authserver
 			// echoes: the AuthID must match this session and the
 			// sequence number must be fresh (paper §3.1.2).
 			if res.AuthID != wantAuthID {
+				s.met.loginFails.Inc()
 				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
 			}
 			mu.Lock()
 			defer mu.Unlock()
 			if !seqs.accept(res.SeqNo) {
+				s.met.seqReplays.Inc()
+				s.met.loginFails.Inc()
 				return sfsrpc.LoginRes{Status: sfsrpc.LoginAgain}, nil
 			}
 			no := nextAuthNo
 			nextAuthNo++
 			authNos[no] = vfs.Cred{UID: res.Creds.UID, GIDs: res.Creds.GIDs}
+			s.met.loginOK.Inc()
 			return sfsrpc.LoginRes{Status: sfsrpc.LoginOK, AuthNo: no}, nil
 		})
 	})
+	// Close the channel when the session dies, so the byte accounting
+	// and close log fire even when the peer vanishes.
+	go func() {
+		<-sess.Done()
+		sec.Close()
+	}()
 }
 
 // serveAuth serves the sfskey management service (SRP password login
@@ -385,7 +422,10 @@ func (s *Server) serveAuth(sec *secchan.Conn, sfs *servedFS) {
 	}
 	rpc := sunrpc.NewServer()
 	rpc.Register(sfsrpc.KeyProgram, sfsrpc.Version, sfs.cfg.Auth.KeyServiceHandler())
-	go rpc.ServeConn(sec) //nolint:errcheck
+	go func() {
+		rpc.ServeConn(sec) //nolint:errcheck
+		sec.Close()        // fire the byte accounting / close log
+	}()
 }
 
 // Path returns the self-certifying pathname of a served location, for

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +36,56 @@ type Replica struct {
 	mu   sync.RWMutex
 	db   *DB
 	path core.Path
+	logf func(format string, args ...interface{})
+}
+
+// SetLogf installs a log.Printf-shaped hook for single-line
+// structured accept/close connection logging (nil disables it, the
+// default — what sfsrodb serve -quiet restores).
+func (r *Replica) SetLogf(f func(format string, args ...interface{})) {
+	r.mu.Lock()
+	r.logf = f
+	r.mu.Unlock()
+}
+
+func (r *Replica) logConn(format string, args ...interface{}) {
+	r.mu.RLock()
+	f := r.logf
+	r.mu.RUnlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// meteredConn counts bytes both ways and fires a one-shot hook on
+// close, feeding the replica's close log line.
+type meteredConn struct {
+	net.Conn
+	in, out atomic.Uint64
+	once    sync.Once
+	onClose func(in, out uint64)
+}
+
+func (c *meteredConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+func (c *meteredConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() {
+		if c.onClose != nil {
+			c.onClose(c.in.Load(), c.out.Load())
+		}
+	})
+	return err
 }
 
 // NewReplica wraps a database. The replica serves exactly the
@@ -90,6 +141,18 @@ func (r *Replica) handler() sunrpc.Handler {
 // has already had its connect request read (server-master extension
 // entry point).
 func (r *Replica) HandleConn(conn net.Conn, req *secchan.ConnectRequest) {
+	start := time.Now()
+	peer := "?"
+	if a := conn.RemoteAddr(); a != nil {
+		peer = a.String()
+	}
+	r.logConn("accept peer=%s dialect=file-ro location=%s", peer, req.Location)
+	mc := &meteredConn{Conn: conn}
+	mc.onClose = func(in, out uint64) {
+		r.logConn("close peer=%s dialect=file-ro dur=%s in=%d out=%d",
+			peer, time.Since(start).Round(time.Microsecond), in, out)
+	}
+	conn = mc
 	r.mu.RLock()
 	path := r.path
 	key := r.db.Signed.Key
@@ -107,7 +170,10 @@ func (r *Replica) HandleConn(conn net.Conn, req *secchan.ConnectRequest) {
 	}
 	rpc := sunrpc.NewServer()
 	rpc.Register(sfsrpc.ROProgram, sfsrpc.Version, r.handler())
-	go rpc.ServeConn(conn) //nolint:errcheck
+	go func() {
+		rpc.ServeConn(conn) //nolint:errcheck
+		conn.Close()        // fire the close log even when the peer vanishes
+	}()
 }
 
 // ListenAndServe runs a standalone replica (the untrusted-mirror

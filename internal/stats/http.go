@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the observability surface:
+//
+//	/stats         — indented JSON of snapshot()
+//	/debug/pprof/  — the stdlib profiler endpoints
+//
+// snapshot is called per request; it should return a
+// JSON-marshalable value (the daemons return a map of subsystem
+// snapshots).
+func Handler(snapshot func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshot()) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("endpoints: /stats /debug/pprof/\n")) //nolint:errcheck
+	})
+	return mux
+}
+
+// Serve listens on addr and serves Handler(snapshot) until the
+// returned listener is closed. Used by the daemons' -stats flag.
+func Serve(addr string, snapshot func() any) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(l, Handler(snapshot)) //nolint:errcheck
+	return l, nil
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one completed RPC dispatch, tagged with the wire xid so a
+// snapshot can be correlated with a packet capture or a client-side
+// log line. DurUS is the dispatch-to-reply time in microseconds.
+type Span struct {
+	XID   uint32 `json:"xid"`
+	Prog  uint32 `json:"prog"`
+	Vers  uint32 `json:"vers"`
+	Proc  uint32 `json:"proc"`
+	DurUS int64  `json:"dur_us"`
+	Err   bool   `json:"err,omitempty"`
+}
+
+// TraceRing keeps the last N spans in a fixed ring. Recording is
+// allocation-free and a no-op while disabled (a single atomic load),
+// so the ring can stay wired into the dispatch path permanently and
+// be switched on by the -stats listener. When enabled, Record takes a
+// short mutex — spans are for introspection, not the fast path's
+// steady state.
+type TraceRing struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	total   uint64
+}
+
+// NewTraceRing returns a ring holding the most recent n spans.
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 1
+	}
+	return &TraceRing{spans: make([]Span, n)}
+}
+
+// SetEnabled switches recording on or off.
+func (t *TraceRing) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether spans are being recorded.
+func (t *TraceRing) Enabled() bool { return t.enabled.Load() }
+
+// Record stores s if the ring is enabled.
+func (t *TraceRing) Record(s Span) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.spans[t.next] = s
+	t.next = (t.next + 1) % len(t.spans)
+	t.total++
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the JSON form of a TraceRing: how many spans were
+// ever recorded, and the most recent ones oldest-first.
+type TraceSnapshot struct {
+	Recorded uint64 `json:"recorded"`
+	Spans    []Span `json:"spans,omitempty"`
+}
+
+// Snapshot returns the buffered spans, oldest first.
+func (t *TraceRing) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceSnapshot{Recorded: t.total}
+	n := len(t.spans)
+	if t.total < uint64(n) {
+		out.Spans = append(out.Spans, t.spans[:t.next]...)
+		return out
+	}
+	out.Spans = append(out.Spans, t.spans[t.next:]...)
+	out.Spans = append(out.Spans, t.spans[:t.next]...)
+	return out
+}

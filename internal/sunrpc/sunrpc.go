@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/stats"
 	"repro/internal/xdr"
 )
 
@@ -187,6 +190,10 @@ func WriteRecord(w io.Writer, payload []byte) error {
 	_, err := w.Write(buf)
 	*bp = buf
 	putBuf(bp)
+	if err == nil {
+		wire.recordsOut.Inc()
+		wire.bytesOut.Add(uint64(len(payload) + 4))
+	}
 	return err
 }
 
@@ -215,8 +222,11 @@ func ReadRecord(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	if h&0x80000000 != 0 { // last fragment: the common case
+		wire.recordsIn.Inc()
+		wire.bytesIn.Add(uint64(n + 4))
 		return out, nil
 	}
+	frags := uint64(1)
 	for {
 		if _, err := io.ReadFull(r, hdr); err != nil {
 			return nil, err
@@ -237,7 +247,10 @@ func ReadRecord(r io.Reader) ([]byte, error) {
 		if _, err := io.ReadFull(r, out[m:]); err != nil {
 			return nil, err
 		}
+		frags++
 		if h&0x80000000 != 0 {
+			wire.recordsIn.Inc()
+			wire.bytesIn.Add(uint64(len(out)) + 4*frags)
 			return out, nil
 		}
 	}
@@ -300,6 +313,7 @@ func (c *Client) readLoop() {
 		}
 		if binary.BigEndian.Uint32(rec[4:]) == msgCall {
 			if c.srv != nil {
+				c.srv.met.Load().InFlight.Inc()
 				c.sem <- struct{}{} // bound outstanding dispatches
 				go c.serveCall(rec)
 			}
@@ -319,7 +333,9 @@ func (c *Client) readLoop() {
 }
 
 func (c *Client) serveCall(rec record) {
-	defer func() { <-c.sem }()
+	met := c.srv.met.Load()
+	met.Workers.Inc()
+	defer func() { met.Workers.Dec(); met.InFlight.Dec(); <-c.sem }()
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
 	ok, err := c.srv.dispatch(rec, e)
@@ -509,11 +525,26 @@ type Server struct {
 	handlers map[progVers]Handler
 	workers  int  // 0 → DefaultWorkers; 1 → serial
 	inOrder  bool // replies in call order instead of completion order
+	met      atomic.Pointer[Metrics]
 }
 
-// NewServer returns an empty server.
+// NewServer returns an empty server with its own metrics block.
 func NewServer() *Server {
-	return &Server{handlers: make(map[progVers]Handler)}
+	s := &Server{handlers: make(map[progVers]Handler)}
+	s.met.Store(NewMetrics())
+	return s
+}
+
+// Metrics returns the server's metrics block.
+func (s *Server) Metrics() *Metrics { return s.met.Load() }
+
+// SetMetrics replaces the server's metrics block, typically to share
+// one block across the per-connection Servers of a daemon so the
+// daemon's counters aggregate every session.
+func (s *Server) SetMetrics(m *Metrics) {
+	if m != nil {
+		s.met.Store(m)
+	}
 }
 
 // Register installs h for (prog, vers), replacing any previous handler.
@@ -616,6 +647,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 	}
 
 	sem := make(chan struct{}, n)
+	met := s.met.Load()
 	var readErr error
 	for {
 		rec, err := ReadRecord(conn)
@@ -628,10 +660,12 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 			slot = make(chan *xdr.Encoder, 1)
 			slots <- slot
 		}
+		met.InFlight.Inc() // read off the wire, not yet replied
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(rec []byte, slot chan *xdr.Encoder) {
-			defer func() { <-sem; wg.Done() }()
+			met.Workers.Inc()
+			defer func() { met.Workers.Dec(); met.InFlight.Dec(); <-sem; wg.Done() }()
 			e := xdr.GetEncoder()
 			ok, err := s.dispatch(rec, e)
 			if err != nil {
@@ -677,6 +711,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
+	met := s.met.Load()
 	for {
 		rec, err := ReadRecord(conn)
 		if err != nil {
@@ -685,14 +720,20 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 			}
 			return err
 		}
+		met.InFlight.Inc()
+		met.Workers.Inc()
 		ok, err := s.dispatch(rec, e)
+		met.Workers.Dec()
 		if err != nil {
+			met.InFlight.Dec()
 			return err
 		}
 		if ok {
-			if err := WriteRecord(conn, e.Bytes()); err != nil {
-				return err
-			}
+			err = WriteRecord(conn, e.Bytes())
+		}
+		met.InFlight.Dec()
+		if err != nil {
+			return err
 		}
 	}
 }
@@ -702,26 +743,54 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 // unparseable records are dropped. e never escapes: the caller owns it.
 func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
 	e.Reset()
+	m := s.met.Load()
 	d := xdr.NewDecoder(rec)
 	xid, err := d.Uint32()
 	if err != nil {
+		m.Dropped.Inc()
 		return false, nil //nolint:nilerr // unparseable record: drop
 	}
 	mtype, err := d.Uint32()
 	if err != nil || mtype != msgCall {
+		m.Dropped.Inc()
 		return false, nil
 	}
 	var hdr callHeader
 	if err := d.Decode(&hdr); err != nil {
+		m.Dropped.Inc()
 		return false, nil //nolint:nilerr
 	}
+	m.Calls.Inc()
+	start := time.Now()
+	ok, success, err := s.dispatchCall(xid, hdr, d, e)
+	dur := time.Since(start)
+	m.Latency.ObserveDuration(dur)
+	m.prog(progVers{hdr.Prog, hdr.Vers}).observe(hdr.Proc, !success)
+	switch {
+	case err != nil:
+		m.Errors.Inc()
+	case ok:
+		m.Replies.Inc()
+	}
+	m.Trace.Record(stats.Span{
+		XID: xid, Prog: hdr.Prog, Vers: hdr.Vers, Proc: hdr.Proc,
+		DurUS: dur.Microseconds(), Err: !success,
+	})
+	return ok, err
+}
+
+// dispatchCall routes one decoded call header. success reports
+// whether the reply (if any) carries accept status SUCCESS — the
+// per-procedure error counters' notion of failure.
+func (s *Server) dispatchCall(xid uint32, hdr callHeader, d *xdr.Decoder, e *xdr.Encoder) (ok, success bool, err error) {
 	if hdr.RPCVers != RPCVersion {
-		return replyInto(e, xid, acceptSystemErr, nil)
+		ok, err = replyInto(e, xid, acceptSystemErr, nil)
+		return ok, false, err
 	}
 	s.mu.RLock()
-	h, ok := s.handlers[progVers{hdr.Prog, hdr.Vers}]
+	h, found := s.handlers[progVers{hdr.Prog, hdr.Vers}]
 	s.mu.RUnlock()
-	if !ok {
+	if !found {
 		s.mu.RLock()
 		progKnown := false
 		for pv := range s.handlers {
@@ -732,22 +801,26 @@ func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
 		}
 		s.mu.RUnlock()
 		if progKnown {
-			return replyInto(e, xid, acceptProgMismatch, nil)
+			ok, err = replyInto(e, xid, acceptProgMismatch, nil)
+		} else {
+			ok, err = replyInto(e, xid, acceptProgUnavail, nil)
 		}
-		return replyInto(e, xid, acceptProgUnavail, nil)
+		return ok, false, err
 	}
-	res, err := h(hdr.Proc, hdr.Cred, d)
-	if err != nil {
+	res, herr := h(hdr.Proc, hdr.Cred, d)
+	if herr != nil {
 		switch {
-		case errors.Is(err, ErrProcUnavail):
-			return replyInto(e, xid, acceptProcUnavail, nil)
-		case errors.Is(err, ErrGarbageArgs):
-			return replyInto(e, xid, acceptGarbageArgs, nil)
+		case errors.Is(herr, ErrProcUnavail):
+			ok, err = replyInto(e, xid, acceptProcUnavail, nil)
+		case errors.Is(herr, ErrGarbageArgs):
+			ok, err = replyInto(e, xid, acceptGarbageArgs, nil)
 		default:
-			return replyInto(e, xid, acceptSystemErr, nil)
+			ok, err = replyInto(e, xid, acceptSystemErr, nil)
 		}
+		return ok, false, err
 	}
-	return replyInto(e, xid, acceptSuccess, res)
+	ok, err = replyInto(e, xid, acceptSuccess, res)
+	return ok, err == nil, err
 }
 
 // replyInto encodes an accepted reply message into e.

@@ -7,29 +7,54 @@ package repro
 // Tier-1 practice: the concurrent RPC pipeline makes the race
 // detector part of the bar. Alongside `go test ./...`, run
 //
-//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client
+//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client ./internal/stats
 //
-// before merging — those four packages share connections between the
+// before merging — those packages share connections between the
 // reader loop, the dispatch worker pool, and readahead/write-behind
 // futures, and their stress tests are written to surface cross-talk
 // only a race build catches: client.TestConcurrentRPCPipelineOneChannel
 // for reads, client.TestConcurrentWriteSyncCloseOneFile (WriteAt, Sync,
 // and Close racing on one File) and client.TestMixedReadWriteOneChannel
 // (both pipelines draining each other on one channel) for writes.
+// internal/stats rides along because every layer above hammers its
+// counters concurrently; stats.TestConcurrentIncrementAndSnapshot
+// races increments against snapshots directly.
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
+
+// lockedBuffer collects a child process's output; os/exec writes from
+// its own copier goroutine, so reads must synchronize.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.String()
+}
 
 // buildTools compiles the commands once per test run.
 func buildTools(t *testing.T) string {
@@ -104,16 +129,23 @@ func TestToolsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := freePort(t)
+	statsAddr := freePort(t)
 	userKeyPath := filepath.Join(work, "alice.sfs")
 	sd := exec.Command(filepath.Join(bin, "sfssd"),
 		"-listen", addr,
 		"-location", "files.example.com",
 		"-keyfile", srvKey,
 		"-seed", seedDir,
+		"-stats", statsAddr,
 		"-user", "alice:1000:correct horse:"+userKeyPath,
 	)
-	sdOut := &bytes.Buffer{}
+	sdOut := &lockedBuffer{}
 	sd.Stdout, sd.Stderr = sdOut, sdOut
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("sfssd output:\n%s", sdOut.String())
+		}
+	})
 	if err := sd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +166,11 @@ func TestToolsEndToEnd(t *testing.T) {
 	}
 
 	// 4. Drive sfscd interactively: read the served file through the
-	// self-certifying pathname, write one back as alice.
+	// self-certifying pathname, write one back as alice. -v makes the
+	// shell report wall time and RPC count after each command.
 	cd := exec.Command(filepath.Join(bin, "sfscd"),
 		"-server", "files.example.com="+addr,
-		"-user", "alice", "-keyfile", fetched)
+		"-user", "alice", "-keyfile", fetched, "-v")
 	stdin, err := cd.StdinPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +186,7 @@ func TestToolsEndToEnd(t *testing.T) {
 	t.Cleanup(func() { cd.Process.Kill(); cd.Wait() }) //nolint:errcheck
 	fmt.Fprintf(stdin, "cat %s/pub/hello.txt\n", selfPath)
 	fmt.Fprintf(stdin, "pwd %s/pub\n", selfPath)
+	fmt.Fprintln(stdin, "stats")
 	fmt.Fprintln(stdin, "quit")
 	out, _ := io.ReadAll(bufio.NewReader(stdout))
 	if !strings.Contains(string(out), "tool-served content") {
@@ -160,6 +194,32 @@ func TestToolsEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), selfPath) {
 		t.Fatalf("sfscd pwd output:\n%s", out)
+	}
+	if !strings.Contains(string(out), " RPCs)") {
+		t.Fatalf("sfscd -v did not report per-command RPC counts:\n%s", out)
+	}
+	if !strings.Contains(string(out), "readahead_hits") {
+		t.Fatalf("sfscd stats command printed no pipeline counters:\n%s", out)
+	}
+
+	// 4b. The sfssd -stats endpoint serves one JSON document covering
+	// every instrumented subsystem, with the traffic above recorded.
+	resp, err := http.Get("http://" + statsAddr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"master", "nfs", "sunrpc", "secchan", "authserv"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("stats snapshot missing %q section (have %d sections)", key, len(snap))
+		}
+	}
+	if !strings.Contains(string(snap["master"]), `"accepts"`) {
+		t.Errorf("master section lacks connection counters: %s", snap["master"])
 	}
 
 	// 5. Read-only dialect: build a signed database, serve it from a
@@ -170,7 +230,13 @@ func TestToolsEndToEnd(t *testing.T) {
 		"-o", dbFile)
 	roAddr := freePort(t)
 	ro := exec.Command(filepath.Join(bin, "sfsrodb"), "serve", "-db", dbFile, "-listen", roAddr)
-	ro.Stdout, ro.Stderr = io.Discard, io.Discard
+	roOut := &lockedBuffer{}
+	ro.Stdout, ro.Stderr = roOut, roOut
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("sfsrodb serve output:\n%s", roOut.String())
+		}
+	})
 	if err := ro.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -180,6 +246,14 @@ func TestToolsEndToEnd(t *testing.T) {
 		"-addr", roAddr, "-path", selfPath, "-file", "pub/hello.txt")
 	if !strings.Contains(got, "tool-served content") {
 		t.Fatalf("sfsrodb get returned %q", got)
+	}
+	// The replica logs one structured line per connection.
+	logDeadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(roOut.String(), "accept peer=") {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("sfsrodb serve never logged the accept:\n%s", roOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 
 	// 6. sfsauthd: manage a database offline and export the public

@@ -192,3 +192,20 @@ func BenchmarkFig9LargeNFSUDP(b *testing.B)   { benchSpriteLarge(b, bench.KindNF
 func BenchmarkFig9LargeNFSTCP(b *testing.B)   { benchSpriteLarge(b, bench.KindNFSTCP) }
 func BenchmarkFig9LargeSFS(b *testing.B)      { benchSpriteLarge(b, bench.KindSFS) }
 func BenchmarkFig9LargeSFSNoEnc(b *testing.B) { benchSpriteLarge(b, bench.KindSFSNoEnc) }
+
+// --- Scalability: concurrent clients against one server ---
+
+func benchScalability(b *testing.B, clients int) {
+	for i := 0; i < b.N; i++ {
+		p, _, err := bench.ScalabilityPoint(clients, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.MBps(), "MB/s")
+		b.ReportMetric(p.RPCps(), "RPC/s")
+	}
+}
+
+func BenchmarkScalability1Client(b *testing.B)  { benchScalability(b, 1) }
+func BenchmarkScalability4Clients(b *testing.B) { benchScalability(b, 4) }
+func BenchmarkScalability8Clients(b *testing.B) { benchScalability(b, 8) }

@@ -7,11 +7,16 @@
 //
 // Usage:
 //
-//	sfsbench [-quick] [-fig 5|6|7|8|9|wb|all] [-json dir]
+//	sfsbench [-quick] [-fig 5|6|7|8|9|wb|scal|all] [-json dir]
+//	sfsbench -clients N
 //
 // With -json, every figure is also written to dir as a
 // machine-readable BENCH_<slug>.json (schema in EXPERIMENTS.md), so
-// the performance trajectory can be tracked across changes.
+// the performance trajectory can be tracked across changes. With
+// -clients, instead of a whole figure, one scalability point (N
+// concurrent clients, mixed 8 KB read/write against one server) runs
+// and prints its aggregate throughput — the quickest way to reproduce
+// a single point of BENCH_scalability.json from the command line.
 package main
 
 import (
@@ -24,26 +29,46 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, scal, or all")
 	jsonDir := flag.String("json", "", "directory to write BENCH_*.json files into (empty disables)")
+	clients := flag.Int("clients", 0, "run one scalability point with N concurrent clients and exit")
 	flag.Parse()
+
+	if *clients > 0 {
+		per := int64(4 << 20)
+		if *quick {
+			per = 1 << 20
+		}
+		p, ss, err := bench.ScalabilityPoint(*clients, per)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("clients=%d bytes=%d elapsed=%s throughput=%.2f MB/s rpcs=%d rate=%.0f RPC/s\n",
+			p.Clients, p.Bytes, p.Elapsed, p.MBps(), p.RPCs, p.RPCps())
+		fmt.Printf("server: node_locks=%d node_contended=%d map_contended=%d order_restarts=%d lease_stripe_contended=%d\n",
+			ss.VFSLocks.NodeLocks, ss.VFSLocks.NodeContended, ss.VFSLocks.MapContended,
+			ss.VFSLocks.OrderRestarts, ss.Leases.StripeContended)
+		return
+	}
 
 	opts := bench.Options{Quick: *quick, Out: os.Stdout}
 	runners := map[string]func(bench.Options) (*bench.Figure, error){
-		"5":  bench.Fig5,
-		"6":  bench.Fig6,
-		"7":  bench.Fig7,
-		"8":  bench.Fig8,
-		"9":  bench.Fig9,
-		"wb": bench.FigWriteBehind,
+		"5":    bench.Fig5,
+		"6":    bench.Fig6,
+		"7":    bench.Fig7,
+		"8":    bench.Fig8,
+		"9":    bench.Fig9,
+		"wb":   bench.FigWriteBehind,
+		"scal": bench.FigScalability,
 	}
 	var order []string
 	if *fig == "all" {
-		order = []string{"5", "6", "7", "8", "9", "wb"}
+		order = []string{"5", "6", "7", "8", "9", "wb", "scal"}
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, scal, or all)\n", *fig)
 		os.Exit(2)
 	}
 	for _, id := range order {

@@ -136,6 +136,8 @@ func main() {
 		die(err)
 	}
 	if *statsAddr != "" {
+		// See sfssd: contention profiling comes with the endpoint.
+		stats.EnableContentionProfiles(5, int(time.Millisecond))
 		ln, err := stats.Serve(*statsAddr, func() any { return cl.StatsSnapshot() })
 		if err != nil {
 			die(err)

@@ -28,6 +28,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/authserv"
 	"repro/internal/core"
@@ -91,6 +92,10 @@ func main() {
 		die(err)
 	}
 	if *statsAddr != "" {
+		// Mutex/block profiling rides along with the stats endpoint:
+		// /debug/pprof/mutex and /debug/pprof/block then localize any
+		// contention the sharded-lock counters report.
+		stats.EnableContentionProfiles(5, int(time.Millisecond))
 		ln, err := stats.Serve(*statsAddr, func() any {
 			ms := master.StatsSnapshot()
 			nfsByLoc := ms.Locations

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestScalabilityClusterScales asserts the qualitative claim of the
+// scalability figure with deliberately loose margins: the aggregate
+// throughput of 4 concurrent clients against one server must clearly
+// beat a single client's (the committed BENCH_scalability.json curve
+// shows ~4x; the bar here is 1.5x so scheduler noise cannot flake
+// it), and the server's sharded-lock counters must be live.
+func TestScalabilityClusterScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const perClient = 1 << 20
+	p1, _, err := ScalabilityPoint(1, perClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, ss, err := ScalabilityPoint(4, perClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 client: %.2f MB/s, 4 clients: %.2f MB/s", p1.MBps(), p4.MBps())
+	if p4.MBps() < 1.5*p1.MBps() {
+		t.Errorf("4 clients reached only %.2f MB/s vs %.2f MB/s for one — server hot path serialized",
+			p4.MBps(), p1.MBps())
+	}
+	if ss.VFSLocks.NodeLocks == 0 {
+		t.Error("server counter snapshot carries no vfs lock stats")
+	}
+	if ss.Leases.Granted == 0 {
+		t.Error("server counter snapshot carries no lease stats")
+	}
+	if p4.RPCs == 0 {
+		t.Error("no RPCs counted across the cluster")
+	}
+}

@@ -550,8 +550,21 @@ func readAheadDepth(disabled bool) int {
 	return 0 // default depth
 }
 
-// NewSFS builds the full SFS stack over fs.
-func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
+// sfsServer is the server half of an SFS deployment — master, auth
+// database, shaped listener — shared between the single-client stack
+// (NewSFS) and the multi-client scalability cluster (NewSFSCluster).
+type sfsServer struct {
+	master   *server.Server
+	ln       net.Listener
+	location string
+	base     string
+	profile  netsim.Profile
+	userKey  *rabin.PrivateKey
+	rng      *prng.Generator
+}
+
+// startSFSServer boots the SFS server side over fs.
+func startSFSServer(fs *vfs.FS, opts SFSOptions) (*sfsServer, error) {
 	secchan.SetEncryption(opts.Encrypt)
 	profile := netsim.SFS(opts.Encrypt)
 	rng := prng.NewSeeded([]byte("bench-sfs"))
@@ -586,31 +599,53 @@ func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
 		return nil, err
 	}
 	go master.ListenAndServe(netsim.ShapeListener(l, profile)) //nolint:errcheck
+	return &sfsServer{
+		master: master, ln: l, location: "bench.example.com",
+		base: path.String(), profile: profile, userKey: userKey, rng: rng,
+	}, nil
+}
 
+// newClient connects one client daemon to the server, with its own
+// temporary key and agents. seed names the client's deterministic RNG
+// so cluster members key their channels independently.
+func (sv *sfsServer) newClient(seed string, opts SFSOptions) (*client.Client, error) {
 	cl, err := client.New(client.Config{
 		Dial: func(string) (net.Conn, error) {
-			c, err := net.Dial("tcp", l.Addr().String())
+			c, err := net.Dial("tcp", sv.ln.Addr().String())
 			if err != nil {
 				return nil, err
 			}
-			return netsim.Shape(c, profile), nil
+			return netsim.Shape(c, sv.profile), nil
 		},
-		RNG:             prng.NewSeeded([]byte("bench-sfs-client")),
+		RNG:             prng.NewSeeded([]byte(seed)),
 		TempKeyBits:     768,
 		EnhancedCaching: opts.EnhancedCaching,
 		ReadAhead:       readAheadDepth(opts.NoReadAhead),
 		WriteBehind:     opts.WriteBehind,
 	})
 	if err != nil {
-		l.Close()
 		return nil, err
 	}
 	// The benchmark user authenticates as root through the agent;
 	// a second keyless agent exercises unauthorized operations.
-	benchAgent := agent.New("bench", rng)
-	benchAgent.AddKey(userKey)
+	benchAgent := agent.New("bench", sv.rng)
+	benchAgent.AddKey(sv.userKey)
 	cl.RegisterAgent("bench", benchAgent)
-	cl.RegisterAgent("nonowner", agent.New("nonowner", rng))
+	cl.RegisterAgent("nonowner", agent.New("nonowner", sv.rng))
+	return cl, nil
+}
+
+// NewSFS builds the full SFS stack over fs.
+func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
+	sv, err := startSFSServer(fs, opts)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := sv.newClient("bench-sfs-client", opts)
+	if err != nil {
+		sv.ln.Close()
+		return nil, err
+	}
 	name := "SFS"
 	switch {
 	case !opts.Encrypt:
@@ -619,8 +654,8 @@ func NewSFS(fs *vfs.FS, opts SFSOptions) (Stack, error) {
 		name = "SFS w/o enhanced caching"
 	}
 	return &sfsStack{
-		name: name, cl: cl, master: master, location: "bench.example.com",
-		base: path.String(), ln: l, opts: opts,
+		name: name, cl: cl, master: sv.master, location: sv.location,
+		base: sv.base, ln: sv.ln, opts: opts,
 	}, nil
 }
 

@@ -101,6 +101,14 @@ type ServerMetrics struct {
 	commits        stats.Counter
 	commitBatch    stats.Histogram // bytes acknowledged per COMMIT
 
+	// Lease-table accounting: grants, callback fires, and how often a
+	// stripe lock acquisition had to wait (the number that would
+	// explode if the stripes were one global mutex again).
+	leasesGranted        stats.Counter
+	leaseBreaks          stats.Counter
+	leaseStripeLocks     stats.Counter
+	leaseStripeContended stats.Counter
+
 	// pending tracks unstable bytes written per file since its last
 	// COMMIT, so the batch histogram reflects what each COMMIT
 	// actually flushed. Guarded by its own mutex: WRITE and COMMIT
@@ -147,6 +155,14 @@ type ProcStat struct {
 	Latency stats.HistSnapshot `json:"latency_us"`
 }
 
+// LeaseStats is the JSON form of the striped lease table's counters.
+type LeaseStats struct {
+	Granted         uint64 `json:"granted"`
+	Breaks          uint64 `json:"breaks"`
+	StripeLocks     uint64 `json:"stripe_locks"`
+	StripeContended uint64 `json:"stripe_contended"`
+}
+
 // ServerStats is the JSON form of a server's NFS-layer counters.
 type ServerStats struct {
 	Procs            map[string]ProcStat    `json:"procs,omitempty"`
@@ -156,6 +172,8 @@ type ServerStats struct {
 	SyncBytes        uint64                 `json:"sync_bytes"`
 	Commits          uint64                 `json:"commits"`
 	CommitBatchBytes stats.HistSnapshot     `json:"commit_batch_bytes"`
+	Leases           LeaseStats             `json:"leases"`
+	VFSLocks         vfs.LockStats          `json:"vfs_locks"`
 	RPC              sunrpc.MetricsSnapshot `json:"rpc"`
 }
 
@@ -180,7 +198,14 @@ func (s *Server) StatsSnapshot() ServerStats {
 		SyncBytes:        m.syncBytes.Load(),
 		Commits:          m.commits.Load(),
 		CommitBatchBytes: m.commitBatch.Snapshot(),
-		RPC:              m.rpc.Snapshot(),
+		Leases: LeaseStats{
+			Granted:         m.leasesGranted.Load(),
+			Breaks:          m.leaseBreaks.Load(),
+			StripeLocks:     m.leaseStripeLocks.Load(),
+			StripeContended: m.leaseStripeContended.Load(),
+		},
+		VFSLocks: s.fs.LockStatsSnapshot(),
+		RPC:      m.rpc.Snapshot(),
 	}
 	for i := range m.procs {
 		n := m.procs[i].calls.Load()

@@ -72,6 +72,22 @@ type ServerConfig struct {
 	IDNames func(uid uint32, group bool) string
 }
 
+// NumLeaseStripes is the number of stripes in the lease table,
+// matching vfs.NumShards so a file's lease bookkeeping and its node
+// lock have the same collision odds under concurrent clients.
+const NumLeaseStripes = 64
+
+// leaseStripe is one stripe of the lease table. Leases shard by
+// FileID — not by session — because the write path looks leases up by
+// the file being mutated: WRITE on one file must never contend with
+// lease bookkeeping for another. Each stripe's mutex guards only its
+// slice of the map and is never held across an RPC; callbacks fire
+// from fresh goroutines after the stripe is released.
+type leaseStripe struct {
+	mu sync.Mutex
+	m  map[vfs.FileID]map[*Session]time.Time
+}
+
 // Server serves the NFS-style protocol over a vfs.FS.
 type Server struct {
 	fs    *vfs.FS
@@ -80,13 +96,29 @@ type Server struct {
 	creds CredFunc
 	maxIO uint32
 
+	// mu guards sessions only. Lease state lives in the striped
+	// table below so the per-file hot path never crosses a global
+	// lock; the only code that touches many stripes is session
+	// teardown.
 	mu       sync.Mutex
 	sessions map[*Session]struct{}
-	// leases tracks which sessions hold cacheable attributes for
-	// which files, so mutations can trigger callbacks.
-	leases map[vfs.FileID]map[*Session]time.Time
+	leases   [NumLeaseStripes]leaseStripe
 
 	met *ServerMetrics
+}
+
+// leaseStripeOf returns the stripe holding id's leases.
+func (s *Server) leaseStripeOf(id vfs.FileID) *leaseStripe {
+	return &s.leases[uint64(id)&(NumLeaseStripes-1)]
+}
+
+// lockStripe locks one lease stripe, counting contention.
+func (s *Server) lockStripe(ls *leaseStripe) {
+	if !ls.mu.TryLock() {
+		s.met.leaseStripeContended.Inc()
+		ls.mu.Lock()
+	}
+	s.met.leaseStripeLocks.Inc()
 }
 
 // NewServer wraps fs with the given configuration.
@@ -98,8 +130,10 @@ func NewServer(fs *vfs.FS, cfg ServerConfig) *Server {
 		creds:    cfg.Creds,
 		maxIO:    cfg.MaxIO,
 		sessions: make(map[*Session]struct{}),
-		leases:   make(map[vfs.FileID]map[*Session]time.Time),
 		met:      newServerMetrics(),
+	}
+	for i := range s.leases {
+		s.leases[i].m = make(map[vfs.FileID]map[*Session]time.Time)
 	}
 	if s.codec == nil {
 		s.codec = PlainCodec{}
@@ -166,13 +200,18 @@ func (s *Server) ServeConnWith(conn io.ReadWriteCloser, setup func(rpc *sunrpc.S
 
 func (s *Server) dropSession(sess *Session) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.sessions, sess)
-	for id, m := range s.leases {
-		delete(m, sess)
-		if len(m) == 0 {
-			delete(s.leases, id)
+	s.mu.Unlock()
+	for i := range s.leases {
+		ls := &s.leases[i]
+		s.lockStripe(ls)
+		for id, m := range ls.m {
+			delete(m, sess)
+			if len(m) == 0 {
+				delete(ls.m, id)
+			}
 		}
+		ls.mu.Unlock()
 	}
 }
 
@@ -189,14 +228,16 @@ func (s *Server) grantLease(sess *Session, id vfs.FileID) uint32 {
 		return 0
 	}
 	if s.cfg.Callbacks {
-		s.mu.Lock()
-		m := s.leases[id]
+		ls := s.leaseStripeOf(id)
+		s.lockStripe(ls)
+		m := ls.m[id]
 		if m == nil {
 			m = make(map[*Session]time.Time)
-			s.leases[id] = m
+			ls.m[id] = m
 		}
 		m[sess] = time.Now().Add(time.Duration(s.cfg.LeaseMS) * time.Millisecond)
-		s.mu.Unlock()
+		ls.mu.Unlock()
+		s.met.leasesGranted.Inc()
 	}
 	return s.cfg.LeaseMS
 }
@@ -204,7 +245,10 @@ func (s *Server) grantLease(sess *Session, id vfs.FileID) uint32 {
 // invalidate notifies every session other than actor holding a live
 // lease on id. The server does not wait for acknowledgments;
 // consistency does not need to be perfect, just better than NFS 3
-// (paper §3.3).
+// (paper §3.3). Targets are collected under the lease stripes of the
+// ids alone and the callbacks fire from fresh goroutines with no lock
+// held — a stalled client can delay its own invalidation but never a
+// writer or another session (see TestStalledSessionDoesNotBlockWriters).
 func (s *Server) invalidate(actor *Session, ids ...vfs.FileID) {
 	if !s.cfg.Callbacks || s.cfg.LeaseMS == 0 {
 		return
@@ -215,9 +259,10 @@ func (s *Server) invalidate(actor *Session, ids ...vfs.FileID) {
 		fh   FH
 	}
 	var targets []target
-	s.mu.Lock()
 	for _, id := range ids {
-		m := s.leases[id]
+		ls := s.leaseStripeOf(id)
+		s.lockStripe(ls)
+		m := ls.m[id]
 		for sess, exp := range m {
 			if sess == actor {
 				continue
@@ -228,10 +273,13 @@ func (s *Server) invalidate(actor *Session, ids ...vfs.FileID) {
 			delete(m, sess)
 		}
 		if m != nil && len(m) == 0 {
-			delete(s.leases, id)
+			delete(ls.m, id)
 		}
+		ls.mu.Unlock()
 	}
-	s.mu.Unlock()
+	if len(targets) > 0 {
+		s.met.leaseBreaks.Add(uint64(len(targets)))
+	}
 	for _, t := range targets {
 		t := t
 		go func() {

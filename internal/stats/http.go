@@ -5,7 +5,27 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 )
+
+// EnableContentionProfiles turns on the runtime's mutex and block
+// profilers so /debug/pprof/mutex and /debug/pprof/block show where
+// goroutines wait — the ground truth behind the sharded-lock
+// contention counters. mutexFraction samples 1/n of mutex contention
+// events (runtime.SetMutexProfileFraction); blockRateNs records
+// blocking events lasting at least that many nanoseconds
+// (runtime.SetBlockProfileRate). Zero for either leaves that profiler
+// off. The daemons call this when -stats is set; profiling costs a
+// few percent, which an operator who asked for a stats endpoint has
+// opted into.
+func EnableContentionProfiles(mutexFraction, blockRateNs int) {
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs > 0 {
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
+}
 
 // Handler returns an http.Handler serving the observability surface:
 //

@@ -9,6 +9,33 @@
 // a bare FS as the "Local" baseline. An optional Disk model charges
 // simulated media time so benchmark shapes involving synchronous
 // writes (e.g. the Sprite LFS unlink phase) match the paper's.
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use. The file system is sharded
+// so that the data path of one file never contends with another's:
+// nodes live in a NumShards-way striped table keyed by FileID, each
+// stripe guarding only its slice of the id→node map, and every node
+// carries its own RWMutex guarding its attributes, data, and directory
+// entries. Read/Write/Commit/GetAttr touch exactly one node lock;
+// namespace operations (Create/Remove/Rename/Link/...) lock the
+// directories and nodes they mutate. The lock hierarchy (see
+// DESIGN.md §9):
+//
+//  1. Node locks before shard-map locks. A shard-map lock is only ever
+//     taken to look an id up (released before any node lock) or to
+//     insert/delete a map entry while the affected node locks are
+//     already held. No path acquires a node lock while holding a
+//     shard-map lock.
+//  2. Multiple node locks are acquired in ascending FileID order.
+//     When an operation discovers — mid-flight — that it needs a lock
+//     ordered before one it holds (a child with a lower id than its
+//     directory), it releases what it holds, re-acquires in ascending
+//     order, and re-validates the directory entries it read; the
+//     LockStats OrderRestarts counter tracks how often that happens.
+//  3. A directory entry pins its node: while a directory's lock is
+//     held, every id in its children map refers to a live node,
+//     because all entry-removal paths hold that directory's lock.
 package vfs
 
 import (
@@ -43,6 +70,11 @@ const (
 
 // MaxNameLen bounds a single path component.
 const MaxNameLen = 255
+
+// NumShards is the number of stripes in the node table. A power of
+// two so the shard of an id is a mask, sized so that tens of
+// concurrent clients rarely collide on a stripe.
+const NumShards = 64
 
 // Errors mirroring the NFS 3 status codes the server maps them to.
 var (
@@ -122,90 +154,264 @@ type dirent struct {
 	cookie uint64
 }
 
+// node is one inode. Its mu guards every field below it; id is
+// immutable. dead marks a node whose last link is gone (or whose
+// removal is committed) — operations that find it set return ErrStale.
 type node struct {
-	id       FileID
+	id FileID
+
+	mu       sync.RWMutex
+	dead     bool
 	attr     Attr
 	data     []byte            // TypeReg
 	children map[string]dirent // TypeDir
 	parent   FileID            // TypeDir
 	target   string            // TypeSymlink
 	nlink    uint32
+	// shadow holds the last stable image of the data while unstable
+	// writes are outstanding (RFC 1813 §4.8). Restart reverts to it;
+	// Commit and synchronous writes drop it.
+	shadow    []byte
+	hasShadow bool
 }
 
+// shard is one stripe of the node table plus its contention counters.
+// The per-node counters live here too, attributed to the shard of the
+// node's id, so hot stripes are visible in LockStats.
+type shard struct {
+	mu    sync.RWMutex
+	nodes map[FileID]*node
+
+	mapLocks      atomic.Uint64
+	mapContended  atomic.Uint64
+	nodeLocks     atomic.Uint64
+	nodeContended atomic.Uint64
+}
+
+// diskBox wraps the Disk interface for atomic swapping by SetDisk.
+type diskBox struct{ d Disk }
+
 // FS is an in-memory file system. All methods are safe for concurrent
-// use.
+// use; see the package comment for the lock hierarchy.
 type FS struct {
-	mu         sync.RWMutex
-	nodes      map[FileID]*node
+	shards     [NumShards]shard
 	root       FileID
-	nextID     FileID
-	nextCookie uint64
-	disk       Disk
+	nextID     atomic.Uint64
+	nextCookie atomic.Uint64
+	disk       atomic.Pointer[diskBox]
 	clock      func() time.Time
 	// verf is the write verifier of the current "boot" (RFC 1813
 	// §4.8): it changes across Restart so clients can detect that
 	// unstable data may have been lost.
-	verf uint64
-	// shadow holds, per file with uncommitted unstable writes, the
-	// last stable image of its data. Restart reverts to it; Commit
-	// and synchronous writes drop it.
-	shadow map[FileID][]byte
+	verf atomic.Uint64
+	// orderRestarts counts lock-ordering restarts (rule 2 above).
+	orderRestarts atomic.Uint64
 }
 
 // bootCount disambiguates verifiers minted within one clock tick.
 var bootCount atomic.Uint64
 
-func newVerf() uint64 {
-	return uint64(time.Now().UnixNano()) ^ bootCount.Add(1)<<48
+// newVerf mints a boot verifier from the file system's clock, so
+// restart tests driven by an injected clock are deterministic.
+func (fs *FS) newVerf() uint64 {
+	return uint64(fs.clock().UnixNano()) ^ bootCount.Add(1)<<48
 }
 
 // New returns an empty file system whose root directory is owned by
 // rootUID/rootGID with mode 0755.
 func New() *FS {
-	fs := &FS{
-		nodes:  make(map[FileID]*node),
-		nextID: 1,
-		clock:  time.Now,
-		verf:   newVerf(),
-		shadow: make(map[FileID][]byte),
+	fs := &FS{clock: time.Now}
+	for i := range fs.shards {
+		fs.shards[i].nodes = make(map[FileID]*node)
 	}
+	fs.verf.Store(fs.newVerf())
 	now := fs.clock()
 	r := &node{
-		id: fs.nextID,
+		id: FileID(fs.nextID.Add(1)),
 		attr: Attr{
 			Type: TypeDir, Mode: 0o755, Nlink: 2,
-			FileID: fs.nextID, Atime: now, Mtime: now, Ctime: now,
+			Atime: now, Mtime: now, Ctime: now,
 		},
 		children: make(map[string]dirent),
 		nlink:    2,
 	}
+	r.attr.FileID = r.id
 	r.parent = r.id
-	fs.nodes[r.id] = r
+	fs.insertNode(r)
 	fs.root = r.id
-	fs.nextID++
 	return fs
 }
 
 // SetDisk installs a disk cost model; nil removes it.
 func (fs *FS) SetDisk(d Disk) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.disk = d
+	if d == nil {
+		fs.disk.Store(nil)
+		return
+	}
+	fs.disk.Store(&diskBox{d: d})
+}
+
+func (fs *FS) diskModel() Disk {
+	if b := fs.disk.Load(); b != nil {
+		return b.d
+	}
+	return nil
 }
 
 // Root returns the FileID of the root directory.
-func (fs *FS) Root() FileID {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.root
+func (fs *FS) Root() FileID { return fs.root }
+
+func (fs *FS) shardOf(id FileID) *shard {
+	return &fs.shards[uint64(id)&(NumShards-1)]
 }
 
+// get returns the node for id without locking it. Callers must lock
+// the node and re-check its dead flag before touching its fields.
 func (fs *FS) get(id FileID) (*node, error) {
-	n, ok := fs.nodes[id]
+	sh := fs.shardOf(id)
+	if !sh.mu.TryRLock() {
+		sh.mapContended.Add(1)
+		sh.mu.RLock()
+	}
+	sh.mapLocks.Add(1)
+	n, ok := sh.nodes[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, ErrStale
 	}
 	return n, nil
+}
+
+// insertNode publishes a fully built node in its shard's map.
+func (fs *FS) insertNode(n *node) {
+	sh := fs.shardOf(n.id)
+	if !sh.mu.TryLock() {
+		sh.mapContended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.mapLocks.Add(1)
+	sh.nodes[n.id] = n
+	sh.mu.Unlock()
+}
+
+// deleteNode removes a dead node from its shard's map. The caller
+// holds the node's lock (node → shard-map order, rule 1).
+func (fs *FS) deleteNode(n *node) {
+	sh := fs.shardOf(n.id)
+	if !sh.mu.TryLock() {
+		sh.mapContended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.mapLocks.Add(1)
+	delete(sh.nodes, n.id)
+	sh.mu.Unlock()
+}
+
+// lockNode write-locks n, counting contention against its shard.
+func (fs *FS) lockNode(n *node) {
+	sh := fs.shardOf(n.id)
+	if !n.mu.TryLock() {
+		sh.nodeContended.Add(1)
+		n.mu.Lock()
+	}
+	sh.nodeLocks.Add(1)
+}
+
+// rlockNode read-locks n, counting contention against its shard.
+func (fs *FS) rlockNode(n *node) {
+	sh := fs.shardOf(n.id)
+	if !n.mu.TryRLock() {
+		sh.nodeContended.Add(1)
+		n.mu.RLock()
+	}
+	sh.nodeLocks.Add(1)
+}
+
+// getLocked returns the node write-locked and alive.
+func (fs *FS) getLocked(id FileID) (*node, error) {
+	n, err := fs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	fs.lockNode(n)
+	if n.dead {
+		n.mu.Unlock()
+		return nil, ErrStale
+	}
+	return n, nil
+}
+
+// getRLocked returns the node read-locked and alive.
+func (fs *FS) getRLocked(id FileID) (*node, error) {
+	n, err := fs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	fs.rlockNode(n)
+	if n.dead {
+		n.mu.RUnlock()
+		return nil, ErrStale
+	}
+	return n, nil
+}
+
+// lockAscending write-locks the given nodes in ascending FileID order.
+// The slice is sorted and deduplicated in place; the returned slice
+// holds the nodes actually locked (unlock in any order).
+func (fs *FS) lockAscending(ns []*node) []*node {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].id < ns[j].id })
+	out := ns[:0]
+	var prev *node
+	for _, n := range ns {
+		if n == prev {
+			continue
+		}
+		fs.lockNode(n)
+		out = append(out, n)
+		prev = n
+	}
+	return out
+}
+
+func unlockAll(ns []*node) {
+	for _, n := range ns {
+		n.mu.Unlock()
+	}
+}
+
+// lockChild locks the child entry id of the already write-locked
+// directory d, following the ascending-id rule: when id > d.id the
+// child is locked directly; otherwise d is released, both are locked
+// in ascending order, and the entry is re-validated. ok reports
+// whether d is still locked, alive, and maps name to id — when false,
+// everything is unlocked and the caller must restart.
+func (fs *FS) lockChild(d *node, name string, id FileID) (child *node, ok bool) {
+	if id > d.id {
+		// A directory's lock pins its entries (rule 3), so the
+		// child must be in the table.
+		n, err := fs.get(id)
+		if err != nil || n.dead {
+			// Unreachable while d is locked; treat as a restart.
+			d.mu.Unlock()
+			return nil, false
+		}
+		fs.lockNode(n)
+		return n, true
+	}
+	fs.orderRestarts.Add(1)
+	d.mu.Unlock()
+	n, err := fs.get(id)
+	if err != nil {
+		return nil, false
+	}
+	fs.lockNode(n)
+	fs.lockNode(d)
+	if d.dead || n.dead || d.children[name].id != id {
+		d.mu.Unlock()
+		n.mu.Unlock()
+		return nil, false
+	}
+	return n, true
 }
 
 // access checks whether cred may perform want (a ModeRead/Write/Exec
@@ -253,14 +459,13 @@ func checkName(name string) error {
 
 // GetAttr returns the attributes of id.
 func (fs *FS) GetAttr(id FileID) (Attr, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, err := fs.get(id)
+	n, err := fs.getRLocked(id)
 	if err != nil {
 		return Attr{}, err
 	}
 	a := n.attr
 	a.Nlink = n.nlink
+	n.mu.RUnlock()
 	return a, nil
 }
 
@@ -268,22 +473,23 @@ func (fs *FS) GetAttr(id FileID) (Attr, error) {
 // checks: chmod/chown require ownership (or root); size and time
 // updates require write permission.
 func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	n, err := fs.get(id)
+	n, err := fs.getLocked(id)
 	if err != nil {
 		return Attr{}, err
 	}
 	owner := cred.UID == 0 || cred.UID == n.attr.UID
 	if (sa.Mode != nil || sa.UID != nil || sa.GID != nil) && !owner {
+		n.mu.Unlock()
 		return Attr{}, ErrPerm
 	}
 	if sa.UID != nil && *sa.UID != n.attr.UID && cred.UID != 0 {
+		n.mu.Unlock()
 		return Attr{}, ErrPerm // only root may give files away
 	}
 	if sa.Size != nil || sa.Mtime != nil || sa.Atime != nil {
 		if !owner {
 			if err := access(cred, n, ModeWrite); err != nil {
+				n.mu.Unlock()
 				return Attr{}, err
 			}
 		}
@@ -298,8 +504,10 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 	if sa.GID != nil {
 		n.attr.GID = *sa.GID
 	}
+	truncated := false
 	if sa.Size != nil {
 		if n.attr.Type != TypeReg {
+			n.mu.Unlock()
 			return Attr{}, ErrIsDir
 		}
 		sz := *sa.Size
@@ -310,10 +518,9 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 		}
 		n.attr.Size = sz
 		n.attr.Mtime = now
-		delete(fs.shadow, id) // truncate is a synchronous, stable update
-		if fs.disk != nil {
-			fs.disk.Sync()
-		}
+		// Truncate is a synchronous, stable update.
+		n.shadow, n.hasShadow = nil, false
+		truncated = true
 	}
 	if sa.Mtime != nil {
 		n.attr.Mtime = *sa.Mtime
@@ -324,63 +531,81 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 	n.attr.Ctime = now
 	a := n.attr
 	a.Nlink = n.nlink
+	n.mu.Unlock()
+	if truncated {
+		if disk := fs.diskModel(); disk != nil {
+			disk.Sync()
+		}
+	}
 	return a, nil
 }
 
 // Access reports whether cred may perform want on id, without side
 // effects — the NFS ACCESS procedure.
 func (fs *FS) Access(cred Cred, id FileID, want uint32) error {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, err := fs.get(id)
+	n, err := fs.getRLocked(id)
 	if err != nil {
 		return err
 	}
-	return access(cred, n, want)
+	err = access(cred, n, want)
+	n.mu.RUnlock()
+	return err
 }
 
 // Lookup resolves name within directory dir.
 func (fs *FS) Lookup(cred Cred, dir FileID, name string) (FileID, Attr, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	d, err := fs.get(dir)
+	d, err := fs.getRLocked(dir)
 	if err != nil {
 		return 0, Attr{}, err
 	}
 	if d.attr.Type != TypeDir {
+		d.mu.RUnlock()
 		return 0, Attr{}, ErrNotDir
 	}
 	if err := access(cred, d, ModeExec); err != nil {
+		d.mu.RUnlock()
 		return 0, Attr{}, err
 	}
 	switch name {
 	case ".":
 		a := d.attr
 		a.Nlink = d.nlink
+		d.mu.RUnlock()
 		return d.id, a, nil
 	case "..":
-		p, err := fs.get(d.parent)
+		// Release d before locking the parent: the parent usually has
+		// a smaller id, and holding both would invert the ascending
+		// order (rule 2).
+		parent := d.parent
+		d.mu.RUnlock()
+		p, err := fs.getRLocked(parent)
 		if err != nil {
 			return 0, Attr{}, err
 		}
 		a := p.attr
 		a.Nlink = p.nlink
+		p.mu.RUnlock()
 		return p.id, a, nil
 	}
 	if err := checkName(name); err != nil {
+		d.mu.RUnlock()
 		return 0, Attr{}, err
 	}
 	ent, ok := d.children[name]
+	d.mu.RUnlock()
 	if !ok {
 		return 0, Attr{}, ErrNotFound
 	}
-	n, err := fs.get(ent.id)
+	n, err := fs.getRLocked(ent.id)
 	if err != nil {
-		return 0, Attr{}, err
+		// The entry was removed between the two locks; report the
+		// name as gone rather than the handle as stale.
+		return 0, Attr{}, ErrNotFound
 	}
 	a := n.attr
 	a.Nlink = n.nlink
-	return n.id, a, nil
+	n.mu.RUnlock()
+	return a.FileID, a, nil
 }
 
 // Create makes a regular file owned by cred in dir. If exclusive is
@@ -390,51 +615,67 @@ func (fs *FS) Create(cred Cred, dir FileID, name string, mode uint32, exclusive 
 	if err := checkName(name); err != nil {
 		return 0, Attr{}, err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	d, err := fs.get(dir)
-	if err != nil {
-		return 0, Attr{}, err
-	}
-	if d.attr.Type != TypeDir {
-		return 0, Attr{}, ErrNotDir
-	}
-	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
-		return 0, Attr{}, err
-	}
-	if ent, ok := d.children[name]; ok {
-		if exclusive {
-			return 0, Attr{}, ErrExist
-		}
-		n, err := fs.get(ent.id)
+	for {
+		d, err := fs.getLocked(dir)
 		if err != nil {
 			return 0, Attr{}, err
 		}
+		if d.attr.Type != TypeDir {
+			d.mu.Unlock()
+			return 0, Attr{}, ErrNotDir
+		}
+		if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+			d.mu.Unlock()
+			return 0, Attr{}, err
+		}
+		ent, ok := d.children[name]
+		if !ok {
+			n := fs.newNode(TypeReg, mode, cred)
+			a := n.attr
+			a.Nlink = n.nlink
+			fs.insertNode(n)
+			d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+			fs.touchDir(d)
+			d.mu.Unlock()
+			if disk := fs.diskModel(); disk != nil {
+				disk.Sync() // metadata creation is synchronous on FFS
+			}
+			return a.FileID, a, nil
+		}
+		if exclusive {
+			d.mu.Unlock()
+			return 0, Attr{}, ErrExist
+		}
+		n, ok := fs.lockChild(d, name, ent.id)
+		if !ok {
+			continue
+		}
 		if n.attr.Type != TypeReg {
+			d.mu.Unlock()
+			n.mu.Unlock()
 			return 0, Attr{}, ErrExist
 		}
 		if err := access(cred, n, ModeWrite); err != nil {
+			d.mu.Unlock()
+			n.mu.Unlock()
 			return 0, Attr{}, err
 		}
 		n.data = n.data[:0]
 		n.attr.Size = 0
+		// Truncation is stable: drop any unstable-write shadow.
+		n.shadow, n.hasShadow = nil, false
 		now := fs.clock()
 		n.attr.Mtime, n.attr.Ctime = now, now
 		a := n.attr
 		a.Nlink = n.nlink
-		return n.id, a, nil
+		d.mu.Unlock()
+		n.mu.Unlock()
+		return a.FileID, a, nil
 	}
-	n := fs.newNode(TypeReg, mode, cred)
-	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
-	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync() // metadata creation is synchronous on FFS
-	}
-	a := n.attr
-	a.Nlink = n.nlink
-	return n.id, a, nil
 }
 
+// newNode builds a node without publishing it; the caller copies what
+// it needs and then calls insertNode.
 func (fs *FS) newNode(t FileType, mode uint32, cred Cred) *node {
 	now := fs.clock()
 	gid := uint32(NobodyGID)
@@ -442,26 +683,22 @@ func (fs *FS) newNode(t FileType, mode uint32, cred Cred) *node {
 		gid = cred.GIDs[0]
 	}
 	n := &node{
-		id: fs.nextID,
+		id: FileID(fs.nextID.Add(1)),
 		attr: Attr{
 			Type: t, Mode: mode & 0o7777, UID: cred.UID, GID: gid,
-			FileID: fs.nextID, Atime: now, Mtime: now, Ctime: now,
+			Atime: now, Mtime: now, Ctime: now,
 		},
 		nlink: 1,
 	}
+	n.attr.FileID = n.id
 	if t == TypeDir {
 		n.children = make(map[string]dirent)
 		n.nlink = 2
 	}
-	fs.nodes[n.id] = n
-	fs.nextID++
 	return n
 }
 
-func (fs *FS) cookie() uint64 {
-	fs.nextCookie++
-	return fs.nextCookie
-}
+func (fs *FS) cookie() uint64 { return fs.nextCookie.Add(1) }
 
 func (fs *FS) touchDir(d *node) {
 	now := fs.clock()
@@ -473,32 +710,35 @@ func (fs *FS) Mkdir(cred Cred, dir FileID, name string, mode uint32) (FileID, At
 	if err := checkName(name); err != nil {
 		return 0, Attr{}, err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	d, err := fs.get(dir)
+	d, err := fs.getLocked(dir)
 	if err != nil {
 		return 0, Attr{}, err
 	}
 	if d.attr.Type != TypeDir {
+		d.mu.Unlock()
 		return 0, Attr{}, ErrNotDir
 	}
 	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		d.mu.Unlock()
 		return 0, Attr{}, err
 	}
 	if _, ok := d.children[name]; ok {
+		d.mu.Unlock()
 		return 0, Attr{}, ErrExist
 	}
 	n := fs.newNode(TypeDir, mode, cred)
 	n.parent = d.id
+	a := n.attr
+	a.Nlink = n.nlink
+	fs.insertNode(n)
 	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
 	d.nlink++
 	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync()
+	d.mu.Unlock()
+	if disk := fs.diskModel(); disk != nil {
+		disk.Sync()
 	}
-	a := n.attr
-	a.Nlink = n.nlink
-	return n.id, a, nil
+	return a.FileID, a, nil
 }
 
 // Symlink creates a symbolic link to target.
@@ -509,46 +749,50 @@ func (fs *FS) Symlink(cred Cred, dir FileID, name, target string) (FileID, Attr,
 	if len(target) > 4096 {
 		return 0, Attr{}, ErrNameTooLong
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	d, err := fs.get(dir)
+	d, err := fs.getLocked(dir)
 	if err != nil {
 		return 0, Attr{}, err
 	}
 	if d.attr.Type != TypeDir {
+		d.mu.Unlock()
 		return 0, Attr{}, ErrNotDir
 	}
 	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		d.mu.Unlock()
 		return 0, Attr{}, err
 	}
 	if _, ok := d.children[name]; ok {
+		d.mu.Unlock()
 		return 0, Attr{}, ErrExist
 	}
 	n := fs.newNode(TypeSymlink, 0o777, cred)
 	n.target = target
 	n.attr.Size = uint64(len(target))
-	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
-	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync()
-	}
 	a := n.attr
 	a.Nlink = n.nlink
-	return n.id, a, nil
+	fs.insertNode(n)
+	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	fs.touchDir(d)
+	d.mu.Unlock()
+	if disk := fs.diskModel(); disk != nil {
+		disk.Sync()
+	}
+	return a.FileID, a, nil
 }
 
 // Readlink returns the target of a symbolic link.
 func (fs *FS) Readlink(id FileID) (string, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, err := fs.get(id)
+	n, err := fs.getRLocked(id)
 	if err != nil {
 		return "", err
 	}
 	if n.attr.Type != TypeSymlink {
+		n.mu.RUnlock()
 		return "", ErrNotSymlink
 	}
-	return n.target, nil
+	target := n.target
+	n.mu.RUnlock()
+	return target, nil
 }
 
 // Link creates a hard link to an existing regular file.
@@ -556,34 +800,43 @@ func (fs *FS) Link(cred Cred, file, dir FileID, name string) error {
 	if err := checkName(name); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	// Both ids are known up front: lock straight in ascending order.
 	n, err := fs.get(file)
 	if err != nil {
 		return err
-	}
-	if n.attr.Type == TypeDir {
-		return ErrIsDir
 	}
 	d, err := fs.get(dir)
 	if err != nil {
 		return err
 	}
+	locked := fs.lockAscending([]*node{n, d})
+	if n.dead || d.dead {
+		unlockAll(locked)
+		return ErrStale
+	}
+	if n.attr.Type == TypeDir {
+		unlockAll(locked)
+		return ErrIsDir
+	}
 	if d.attr.Type != TypeDir {
+		unlockAll(locked)
 		return ErrNotDir
 	}
 	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+		unlockAll(locked)
 		return err
 	}
 	if _, ok := d.children[name]; ok {
+		unlockAll(locked)
 		return ErrExist
 	}
 	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
 	n.nlink++
 	n.attr.Ctime = fs.clock()
 	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync()
+	unlockAll(locked)
+	if disk := fs.diskModel(); disk != nil {
+		disk.Sync()
 	}
 	return nil
 }
@@ -593,42 +846,50 @@ func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
 	if err := checkName(name); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	d, err := fs.get(dir)
-	if err != nil {
-		return err
+	for {
+		d, err := fs.getLocked(dir)
+		if err != nil {
+			return err
+		}
+		if d.attr.Type != TypeDir {
+			d.mu.Unlock()
+			return ErrNotDir
+		}
+		if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		ent, ok := d.children[name]
+		if !ok {
+			d.mu.Unlock()
+			return ErrNotFound
+		}
+		n, ok := fs.lockChild(d, name, ent.id)
+		if !ok {
+			continue
+		}
+		if n.attr.Type == TypeDir {
+			d.mu.Unlock()
+			n.mu.Unlock()
+			return ErrIsDir
+		}
+		delete(d.children, name)
+		n.nlink--
+		if n.nlink == 0 {
+			n.dead = true
+			n.shadow, n.hasShadow = nil, false
+			fs.deleteNode(n)
+		} else {
+			n.attr.Ctime = fs.clock()
+		}
+		fs.touchDir(d)
+		d.mu.Unlock()
+		n.mu.Unlock()
+		if disk := fs.diskModel(); disk != nil {
+			disk.Sync() // unlink is a synchronous metadata write
+		}
+		return nil
 	}
-	if d.attr.Type != TypeDir {
-		return ErrNotDir
-	}
-	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
-		return err
-	}
-	ent, ok := d.children[name]
-	if !ok {
-		return ErrNotFound
-	}
-	n, err := fs.get(ent.id)
-	if err != nil {
-		return err
-	}
-	if n.attr.Type == TypeDir {
-		return ErrIsDir
-	}
-	delete(d.children, name)
-	n.nlink--
-	if n.nlink == 0 {
-		delete(fs.nodes, n.id)
-		delete(fs.shadow, n.id)
-	} else {
-		n.attr.Ctime = fs.clock()
-	}
-	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync() // unlink is a synchronous metadata write
-	}
-	return nil
 }
 
 // Rmdir removes an empty directory.
@@ -636,41 +897,56 @@ func (fs *FS) Rmdir(cred Cred, dir FileID, name string) error {
 	if err := checkName(name); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	d, err := fs.get(dir)
-	if err != nil {
-		return err
+	for {
+		d, err := fs.getLocked(dir)
+		if err != nil {
+			return err
+		}
+		if err := access(cred, d, ModeWrite|ModeExec); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		ent, ok := d.children[name]
+		if !ok {
+			d.mu.Unlock()
+			return ErrNotFound
+		}
+		n, ok := fs.lockChild(d, name, ent.id)
+		if !ok {
+			continue
+		}
+		if n.attr.Type != TypeDir {
+			d.mu.Unlock()
+			n.mu.Unlock()
+			return ErrNotDir
+		}
+		if len(n.children) != 0 {
+			d.mu.Unlock()
+			n.mu.Unlock()
+			return ErrNotEmpty
+		}
+		delete(d.children, name)
+		n.dead = true
+		fs.deleteNode(n)
+		d.nlink--
+		fs.touchDir(d)
+		d.mu.Unlock()
+		n.mu.Unlock()
+		if disk := fs.diskModel(); disk != nil {
+			disk.Sync()
+		}
+		return nil
 	}
-	if err := access(cred, d, ModeWrite|ModeExec); err != nil {
-		return err
-	}
-	ent, ok := d.children[name]
-	if !ok {
-		return ErrNotFound
-	}
-	n, err := fs.get(ent.id)
-	if err != nil {
-		return err
-	}
-	if n.attr.Type != TypeDir {
-		return ErrNotDir
-	}
-	if len(n.children) != 0 {
-		return ErrNotEmpty
-	}
-	delete(d.children, name)
-	delete(fs.nodes, n.id)
-	d.nlink--
-	fs.touchDir(d)
-	if fs.disk != nil {
-		fs.disk.Sync()
-	}
-	return nil
 }
 
 // Rename moves fromName in fromDir to toName in toDir, replacing any
 // existing non-directory target.
+//
+// Rename is the one operation that can need four node locks (two
+// directories, the moved node, a replaced victim), so it always runs
+// the two-phase protocol of rule 2: peek at the entries under the
+// directory locks, release, lock the full set in ascending id order,
+// and re-validate; any interleaved change restarts the loop.
 func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, toName string) error {
 	if err := checkName(fromName); err != nil {
 		return err
@@ -678,94 +954,152 @@ func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, t
 	if err := checkName(toName); err != nil {
 		return err
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fd, err := fs.get(fromDir)
-	if err != nil {
-		return err
-	}
-	td, err := fs.get(toDir)
-	if err != nil {
-		return err
-	}
-	if fd.attr.Type != TypeDir || td.attr.Type != TypeDir {
-		return ErrNotDir
-	}
-	if err := access(cred, fd, ModeWrite|ModeExec); err != nil {
-		return err
-	}
-	if err := access(cred, td, ModeWrite|ModeExec); err != nil {
-		return err
-	}
-	ent, ok := fd.children[fromName]
-	if !ok {
-		return ErrNotFound
-	}
-	n, err := fs.get(ent.id)
-	if err != nil {
-		return err
-	}
-	if old, ok := td.children[toName]; ok {
-		if old.id == ent.id {
-			return nil
-		}
-		o, err := fs.get(old.id)
+	for {
+		// Peek phase: discover which nodes the rename involves.
+		fd, err := fs.get(fromDir)
 		if err != nil {
 			return err
 		}
-		if o.attr.Type == TypeDir {
-			if n.attr.Type != TypeDir {
-				return ErrIsDir
+		td, err := fs.get(toDir)
+		if err != nil {
+			return err
+		}
+		dirs := fs.lockAscending([]*node{fd, td})
+		if fd.dead || td.dead {
+			unlockAll(dirs)
+			return ErrStale
+		}
+		if fd.attr.Type != TypeDir || td.attr.Type != TypeDir {
+			unlockAll(dirs)
+			return ErrNotDir
+		}
+		if err := access(cred, fd, ModeWrite|ModeExec); err != nil {
+			unlockAll(dirs)
+			return err
+		}
+		if err := access(cred, td, ModeWrite|ModeExec); err != nil {
+			unlockAll(dirs)
+			return err
+		}
+		ent, ok := fd.children[fromName]
+		if !ok {
+			unlockAll(dirs)
+			return ErrNotFound
+		}
+		old, hasOld := td.children[toName]
+		if hasOld && old.id == ent.id {
+			unlockAll(dirs)
+			return nil
+		}
+		n, err := fs.get(ent.id)
+		if err != nil {
+			unlockAll(dirs)
+			continue // unreachable while fd is locked; restart
+		}
+		var o *node
+		if hasOld {
+			if o, err = fs.get(old.id); err != nil {
+				unlockAll(dirs)
+				continue
 			}
-			if len(o.children) != 0 {
-				return ErrNotEmpty
+		}
+
+		// Lock phase: if every extra node orders after the held
+		// directories, lock them in place; otherwise release and
+		// re-acquire the full set ascending.
+		maxHeld := fd.id
+		if td.id > maxHeld {
+			maxHeld = td.id
+		}
+		var locked []*node
+		if n.id > maxHeld && (o == nil || o.id > maxHeld) {
+			extra := []*node{n}
+			if o != nil && o != n {
+				extra = append(extra, o)
 			}
-			delete(fs.nodes, o.id)
-			td.nlink--
+			locked = append(dirs, fs.lockAscending(extra)...)
 		} else {
-			o.nlink--
-			if o.nlink == 0 {
-				delete(fs.nodes, o.id)
-				delete(fs.shadow, o.id)
+			fs.orderRestarts.Add(1)
+			unlockAll(dirs)
+			all := []*node{fd, td, n}
+			if o != nil {
+				all = append(all, o)
+			}
+			locked = fs.lockAscending(all)
+			// Re-validate everything read during the peek.
+			stale := fd.dead || td.dead || n.dead || (o != nil && o.dead) ||
+				fd.children[fromName] != ent
+			if !stale {
+				old2, has2 := td.children[toName]
+				stale = has2 != hasOld || (hasOld && old2 != old)
+			}
+			if stale {
+				unlockAll(locked)
+				continue
 			}
 		}
-	}
-	delete(fd.children, fromName)
-	td.children[toName] = dirent{id: n.id, cookie: fs.cookie()}
-	if n.attr.Type == TypeDir {
-		n.parent = td.id
-		if fd.id != td.id {
-			fd.nlink--
-			td.nlink++
+
+		// Mutation phase: all involved nodes are locked.
+		if o != nil {
+			if o.attr.Type == TypeDir {
+				if n.attr.Type != TypeDir {
+					unlockAll(locked)
+					return ErrIsDir
+				}
+				if len(o.children) != 0 {
+					unlockAll(locked)
+					return ErrNotEmpty
+				}
+				o.dead = true
+				fs.deleteNode(o)
+				td.nlink--
+			} else {
+				o.nlink--
+				if o.nlink == 0 {
+					o.dead = true
+					o.shadow, o.hasShadow = nil, false
+					fs.deleteNode(o)
+				}
+			}
 		}
+		delete(fd.children, fromName)
+		td.children[toName] = dirent{id: n.id, cookie: fs.cookie()}
+		if n.attr.Type == TypeDir {
+			n.parent = td.id
+			if fd.id != td.id {
+				fd.nlink--
+				td.nlink++
+			}
+		}
+		fs.touchDir(fd)
+		fs.touchDir(td)
+		unlockAll(locked)
+		if disk := fs.diskModel(); disk != nil {
+			disk.Sync()
+		}
+		return nil
 	}
-	fs.touchDir(fd)
-	fs.touchDir(td)
-	if fs.disk != nil {
-		fs.disk.Sync()
-	}
-	return nil
 }
 
 // Read returns up to count bytes of file data starting at off, and
-// whether the read reached end of file.
+// whether the read reached end of file. The copy is made under the
+// file's own read lock, so concurrent reads — of this file or any
+// other — proceed in parallel.
 func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool, error) {
-	fs.mu.RLock()
-	n, err := fs.get(id)
+	n, err := fs.getRLocked(id)
 	if err != nil {
-		fs.mu.RUnlock()
 		return nil, false, err
 	}
 	if n.attr.Type == TypeDir {
-		fs.mu.RUnlock()
+		n.mu.RUnlock()
 		return nil, false, ErrIsDir
 	}
 	if err := access(cred, n, ModeRead); err != nil {
-		fs.mu.RUnlock()
+		n.mu.RUnlock()
 		return nil, false, err
 	}
 	if off >= uint64(len(n.data)) {
-		fs.mu.RUnlock()
+		n.mu.RUnlock()
 		return []byte{}, true, nil
 	}
 	end := off + uint64(count)
@@ -775,9 +1109,8 @@ func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool
 	out := make([]byte, end-off)
 	copy(out, n.data[off:end])
 	eof := end == uint64(len(n.data))
-	disk := fs.disk
-	fs.mu.RUnlock()
-	if disk != nil {
+	n.mu.RUnlock()
+	if disk := fs.diskModel(); disk != nil {
 		disk.Read(len(out))
 	}
 	return out, eof, nil
@@ -786,27 +1119,24 @@ func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool
 // Write stores data at off, extending the file as needed. If sync is
 // set the write is charged as stable storage.
 func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (Attr, error) {
-	fs.mu.Lock()
-	n, err := fs.get(id)
+	n, err := fs.getLocked(id)
 	if err != nil {
-		fs.mu.Unlock()
 		return Attr{}, err
 	}
 	if n.attr.Type == TypeDir {
-		fs.mu.Unlock()
+		n.mu.Unlock()
 		return Attr{}, ErrIsDir
 	}
 	if err := access(cred, n, ModeWrite); err != nil {
-		fs.mu.Unlock()
+		n.mu.Unlock()
 		return Attr{}, err
 	}
-	if !sync {
+	if !sync && !n.hasShadow {
 		// First unstable write since the last stable point: keep the
 		// stable image so Restart can lose this data like a real
 		// server reboot would.
-		if _, ok := fs.shadow[id]; !ok {
-			fs.shadow[id] = append([]byte(nil), n.data...)
-		}
+		n.shadow = append([]byte(nil), n.data...)
+		n.hasShadow = true
 	}
 	end := off + uint64(len(data))
 	if end > uint64(len(n.data)) {
@@ -817,13 +1147,12 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 	now := fs.clock()
 	n.attr.Mtime, n.attr.Ctime = now, now
 	if sync {
-		delete(fs.shadow, id)
+		n.shadow, n.hasShadow = nil, false
 	}
 	a := n.attr
 	a.Nlink = n.nlink
-	disk := fs.disk
-	fs.mu.Unlock()
-	if disk != nil {
+	n.mu.Unlock()
+	if disk := fs.diskModel(); disk != nil {
 		disk.Write(len(data))
 		if sync {
 			disk.Sync()
@@ -834,17 +1163,13 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 
 // Commit flushes a file to stable storage (the NFS COMMIT operation).
 func (fs *FS) Commit(id FileID) error {
-	fs.mu.Lock()
-	_, err := fs.get(id)
-	if err == nil {
-		delete(fs.shadow, id)
-	}
-	disk := fs.disk
-	fs.mu.Unlock()
+	n, err := fs.getLocked(id)
 	if err != nil {
 		return err
 	}
-	if disk != nil {
+	n.shadow, n.hasShadow = nil, false
+	n.mu.Unlock()
+	if disk := fs.diskModel(); disk != nil {
 		disk.Sync()
 	}
 	return nil
@@ -854,41 +1179,52 @@ func (fs *FS) Commit(id FileID) error {
 // clients compare the verifiers carried by WRITE and COMMIT replies: a
 // change means unstable data may have been discarded and must be
 // retransmitted (RFC 1813 §4.8).
-func (fs *FS) Verifier() uint64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.verf
-}
+func (fs *FS) Verifier() uint64 { return fs.verf.Load() }
 
 // Restart simulates a server crash and reboot: every file's
 // uncommitted unstable writes revert to the last stable image, and
 // the write verifier changes so clients can detect the loss.
+//
+// Restart is not atomic against in-flight writes — neither is a real
+// crash. A write that lands mid-restart saw the old verifier when its
+// reply was stamped, so the client observes a verifier change and
+// retransmits data that may in fact have survived: a redundant
+// retransmission, never a silently dropped stability promise.
 func (fs *FS) Restart() {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	for id, data := range fs.shadow {
-		if n, ok := fs.nodes[id]; ok {
-			n.data = data
-			n.attr.Size = uint64(len(data))
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.RLock()
+		ns := make([]*node, 0, len(sh.nodes))
+		for _, n := range sh.nodes {
+			ns = append(ns, n)
 		}
-		delete(fs.shadow, id)
+		sh.mu.RUnlock()
+		for _, n := range ns {
+			fs.lockNode(n)
+			if n.hasShadow {
+				n.data = n.shadow
+				n.attr.Size = uint64(len(n.data))
+				n.shadow, n.hasShadow = nil, false
+			}
+			n.mu.Unlock()
+		}
 	}
-	fs.verf = newVerf()
+	fs.verf.Store(fs.newVerf())
 }
 
 // ReadDir returns directory entries with cookies greater than cookie,
 // in cookie order, up to max entries (0 means all).
 func (fs *FS) ReadDir(cred Cred, dir FileID, cookie uint64, max int) ([]DirEntry, bool, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	d, err := fs.get(dir)
+	d, err := fs.getRLocked(dir)
 	if err != nil {
 		return nil, false, err
 	}
 	if d.attr.Type != TypeDir {
+		d.mu.RUnlock()
 		return nil, false, ErrNotDir
 	}
 	if err := access(cred, d, ModeRead); err != nil {
+		d.mu.RUnlock()
 		return nil, false, err
 	}
 	ents := make([]DirEntry, 0, len(d.children))
@@ -897,6 +1233,7 @@ func (fs *FS) ReadDir(cred Cred, dir FileID, cookie uint64, max int) ([]DirEntry
 			ents = append(ents, DirEntry{Name: name, FileID: ent.id, Cookie: ent.cookie})
 		}
 	}
+	d.mu.RUnlock()
 	sort.Slice(ents, func(i, j int) bool { return ents[i].Cookie < ents[j].Cookie })
 	eof := true
 	if max > 0 && len(ents) > max {
@@ -908,7 +1245,59 @@ func (fs *FS) ReadDir(cred Cred, dir FileID, cookie uint64, max int) ([]DirEntry
 
 // NumNodes reports the number of live nodes, for tests.
 func (fs *FS) NumNodes() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.nodes)
+	total := 0
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		sh.mu.RLock()
+		total += len(sh.nodes)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ShardLockStats is one stripe's slice of a LockStats snapshot.
+type ShardLockStats struct {
+	Shard         int    `json:"shard"`
+	MapLocks      uint64 `json:"map_locks"`
+	MapContended  uint64 `json:"map_contended,omitempty"`
+	NodeLocks     uint64 `json:"node_locks"`
+	NodeContended uint64 `json:"node_contended,omitempty"`
+}
+
+// LockStats is a snapshot of the sharded lock hierarchy's contention
+// counters: how often the shard-map and per-node locks were taken,
+// how often an acquisition had to wait, and how often a namespace
+// operation restarted to respect the ascending lock order. Shards
+// lists the per-stripe numbers for stripes that saw contention.
+type LockStats struct {
+	MapLocks      uint64           `json:"map_locks"`
+	MapContended  uint64           `json:"map_contended"`
+	NodeLocks     uint64           `json:"node_locks"`
+	NodeContended uint64           `json:"node_contended"`
+	OrderRestarts uint64           `json:"order_restarts"`
+	Shards        []ShardLockStats `json:"shards,omitempty"`
+}
+
+// LockStatsSnapshot captures the contention counters of every stripe.
+func (fs *FS) LockStatsSnapshot() LockStats {
+	var st LockStats
+	st.OrderRestarts = fs.orderRestarts.Load()
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		s := ShardLockStats{
+			Shard:         i,
+			MapLocks:      sh.mapLocks.Load(),
+			MapContended:  sh.mapContended.Load(),
+			NodeLocks:     sh.nodeLocks.Load(),
+			NodeContended: sh.nodeContended.Load(),
+		}
+		st.MapLocks += s.MapLocks
+		st.MapContended += s.MapContended
+		st.NodeLocks += s.NodeLocks
+		st.NodeContended += s.NodeContended
+		if s.MapContended > 0 || s.NodeContended > 0 {
+			st.Shards = append(st.Shards, s)
+		}
+	}
+	return st
 }

@@ -7,7 +7,7 @@ package repro
 // Tier-1 practice: the concurrent RPC pipeline makes the race
 // detector part of the bar. Alongside `go test ./...`, run
 //
-//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client ./internal/stats
+//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client ./internal/stats ./internal/vfs
 //
 // before merging — those packages share connections between the
 // reader loop, the dispatch worker pool, and readahead/write-behind
@@ -18,7 +18,15 @@ package repro
 // (both pipelines draining each other on one channel) for writes.
 // internal/stats rides along because every layer above hammers its
 // counters concurrently; stats.TestConcurrentIncrementAndSnapshot
-// races increments against snapshots directly.
+// races increments against snapshots directly. The sharded server hot
+// path added its own targets: vfs.TestStressNamespaceVsData
+// (Create/Rename/Remove interleaved with Read/Write/Commit across the
+// striped node table, including the cross-directory rename pattern
+// that deadlocks under naive lock orders), vfs.TestStressRestartVsWrite
+// (boot-verifier rollover racing unstable writes), and
+// nfs.TestConcurrentLeaseAttachDetachInvalidate plus
+// nfs.TestStalledSessionDoesNotBlockWriters (striped lease table and
+// the no-RPC-under-lock rule).
 
 import (
 	"bufio"

@@ -285,6 +285,47 @@ func TestFig9WriteBehindAblation(t *testing.T) {
 	}
 }
 
+// TestFigWarmReadShape asserts the warm-read figure's claims from its
+// own rows: the warm re-read crosses the wire zero times and is far
+// faster than the cold pass, while both the cacheless ablation and the
+// post-invalidation re-read pay READs again. CI's bench-smoke step
+// runs exactly this test.
+func TestFigWarmReadShape(t *testing.T) {
+	fig, err := FigWarmRead(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cached = "SFS (data cache)"
+	cold, ok := fig.RowFor(cached, "cold read")
+	if !ok {
+		t.Fatal("no cold read row")
+	}
+	warm, ok := fig.RowFor(cached, "warm re-read")
+	if !ok {
+		t.Fatal("no warm re-read row")
+	}
+	if warm.RPCs != 0 {
+		t.Errorf("warm re-read issued %d RPCs, want 0", warm.RPCs)
+	}
+	if warm.Value <= 5*cold.Value {
+		t.Errorf("warm re-read %.1f MB/s not >5x cold %.1f MB/s", warm.Value, cold.Value)
+	}
+	inval, ok := fig.RowFor(cached, "re-read after remote write")
+	if !ok {
+		t.Fatal("no post-invalidation row")
+	}
+	if inval.RPCs == 0 {
+		t.Error("re-read after remote write cost no RPCs — invalidation did not drop the blocks")
+	}
+	nocache, ok := fig.RowFor("SFS w/o data cache", "warm re-read")
+	if !ok {
+		t.Fatal("no ablation row")
+	}
+	if nocache.RPCs == 0 {
+		t.Error("cacheless re-read cost no RPCs")
+	}
+}
+
 // TestFig8RPCEconomics asserts the mechanism behind Figure 8's create
 // phase from the server's own counters: writing a fresh 1 KB file
 // costs SFS exactly 2 server RPCs (CREATE plus one FILE_SYNC WRITE —

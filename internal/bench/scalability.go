@@ -29,7 +29,13 @@ type SFSCluster struct {
 // NewSFSCluster boots the full SFS stack (encryption and enhanced
 // caching on) with n client daemons, each with its own channel keys.
 func NewSFSCluster(fs *vfs.FS, n int) (*SFSCluster, error) {
-	opts := SFSOptions{Encrypt: true, EnhancedCaching: true}
+	return newSFSClusterOpts(fs, n, SFSOptions{Encrypt: true, EnhancedCaching: true})
+}
+
+// newSFSClusterOpts is NewSFSCluster with explicit ablation knobs —
+// the warm-read figure uses it to boot clusters with the data cache
+// enabled.
+func newSFSClusterOpts(fs *vfs.FS, n int, opts SFSOptions) (*SFSCluster, error) {
 	sv, err := startSFSServer(fs, opts)
 	if err != nil {
 		return nil, err

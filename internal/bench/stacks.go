@@ -529,6 +529,21 @@ type SFSOptions struct {
 	// disables the pipeline — one synchronous WRITE per chunk, the
 	// pre-pipeline behaviour (the Fig. 9 write-behind ablation).
 	WriteBehind int
+	// DataCacheBytes sizes the client data block cache for the
+	// warm-read figure. Zero keeps the cache OFF — the opposite of
+	// the client default — so figures 5–9 keep reproducing the
+	// paper's cacheless client and their committed JSONs stay
+	// comparable; only workloads that opt in measure the cache.
+	DataCacheBytes int64
+}
+
+// dataCacheBytes maps the bench knob (zero = off) onto the client
+// knob (zero = default on, negative = off).
+func dataCacheBytes(opt int64) int64 {
+	if opt == 0 {
+		return -1
+	}
+	return opt
 }
 
 type sfsStack struct {
@@ -622,6 +637,7 @@ func (sv *sfsServer) newClient(seed string, opts SFSOptions) (*client.Client, er
 		EnhancedCaching: opts.EnhancedCaching,
 		ReadAhead:       readAheadDepth(opts.NoReadAhead),
 		WriteBehind:     opts.WriteBehind,
+		DataCacheBytes:  dataCacheBytes(opts.DataCacheBytes),
 	})
 	if err != nil {
 		return nil, err

@@ -72,6 +72,14 @@ type Config struct {
 	// selects nfs.DefaultWriteBehind; negative disables write-behind
 	// (every WriteAt waits for its WRITE reply, as before).
 	WriteBehind int
+	// DataCacheBytes bounds each mount's lease-coherent data block
+	// cache (shared by all users of the mount, served per principal).
+	// Zero selects nfs.DefaultDataCacheBytes; negative disables data
+	// caching.
+	DataCacheBytes int64
+	// ReadDirPage is the number of directory entries requested per
+	// READDIR page. Zero selects 256.
+	ReadDirPage int
 	// LocalUsers is the client machine's own uid→name table, used
 	// by the libsfs "%name" convention: when client and server
 	// agree on an ID's name, the percent prefix is dropped.
@@ -241,11 +249,12 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 		return nil, err
 	}
 	clCfg := nfs.ClientConfig{
-		UseLeases:   c.cfg.EnhancedCaching,
-		AccessCache: c.cfg.EnhancedCaching,
-		AttrTimeout: c.cfg.AttrTimeout,
-		ReadAhead:   c.cfg.ReadAhead,
-		WriteBehind: c.cfg.WriteBehind,
+		UseLeases:      c.cfg.EnhancedCaching,
+		AccessCache:    c.cfg.EnhancedCaching,
+		AttrTimeout:    c.cfg.AttrTimeout,
+		ReadAhead:      c.cfg.ReadAhead,
+		WriteBehind:    c.cfg.WriteBehind,
+		DataCacheBytes: c.cfg.DataCacheBytes,
 	}
 	base := nfs.Dial(sec, clCfg)
 	root, _, err := base.MountRoot()

@@ -82,6 +82,16 @@ type MountStats struct {
 	AttrHits uint64 `json:"attr_hits"`
 	AccHits  uint64 `json:"access_hits"`
 	Invals   uint64 `json:"invalidations"`
+	// Data block cache (PR 5): hits avoided a READ RPC entirely;
+	// bytes_cached is the current occupancy; singleflight_shared
+	// counts cold reads that rode another reader's RPC.
+	DataHits           uint64 `json:"data_hits"`
+	DataMisses         uint64 `json:"data_misses"`
+	DataBytesCached    uint64 `json:"data_bytes_cached"`
+	DataEvictions      uint64 `json:"data_evictions"`
+	SingleFlightShared uint64 `json:"singleflight_shared"`
+	CacheLocks         uint64 `json:"cache_locks"`
+	CacheContended     uint64 `json:"cache_contended"`
 }
 
 // mountStats snapshots every live mount's counters.
@@ -105,6 +115,9 @@ func (c *Client) mountStats() []MountStats {
 		}
 		s := ns.Stats()
 		st.Calls, st.AttrHits, st.AccHits, st.Invals = s.Calls, s.AttrHits, s.AccessHits, s.Invals
+		st.DataHits, st.DataMisses, st.DataBytesCached = s.DataHits, s.DataMisses, s.DataBytesCached
+		st.DataEvictions, st.SingleFlightShared = s.Evictions, s.SingleFlightShared
+		st.CacheLocks, st.CacheContended = s.CacheLocks, s.CacheContended
 		out = append(out, st)
 	}
 	return out

@@ -395,16 +395,25 @@ func (c *Client) Rename(user, from, to string) error {
 	return fromDir.view.Rename(fromDir.fh, fromName, toDir.fh, toName)
 }
 
+// readDirPage reports the configured READDIR page size.
+func (c *Client) readDirPage() uint32 {
+	if c.cfg.ReadDirPage > 0 {
+		return uint32(c.cfg.ReadDirPage)
+	}
+	return 256
+}
+
 // ReadDir lists a directory.
 func (c *Client) ReadDir(user, path string) ([]nfs.Entry, error) {
 	n, err := c.resolve(user, path, true, 0)
 	if err != nil {
 		return nil, err
 	}
+	page := c.readDirPage()
 	var out []nfs.Entry
 	cookie := uint64(0)
 	for {
-		ents, eof, err := n.view.ReadDir(n.fh, cookie, 256)
+		ents, eof, err := n.view.ReadDir(n.fh, cookie, page)
 		if err != nil {
 			return nil, err
 		}

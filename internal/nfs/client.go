@@ -33,6 +33,14 @@ type ClientConfig struct {
 	// selects DefaultWriteBehind; negative disables write-behind,
 	// reverting to one synchronous WRITE per chunk.
 	WriteBehind int
+	// DataCacheBytes bounds the lease-coherent data block cache
+	// shared by every view of the connection: 8 KB-aligned blocks,
+	// valid only while the file's attribute entry is live, evicted
+	// CLOCK-wise past the budget. Zero selects DefaultDataCacheBytes;
+	// negative disables data caching. Without leases (or a nonzero
+	// AttrTimeout) the cache never serves: block lifetime is bounded
+	// by attribute lifetime, and there is none.
+	DataCacheBytes int64
 	// Auth supplies per-call credentials; nil means anonymous.
 	Auth func() sunrpc.OpaqueAuth
 }
@@ -55,6 +63,14 @@ type Stats struct {
 	AttrHits   uint64 // GETATTRs avoided
 	AccessHits uint64 // ACCESSes avoided
 	Invals     uint64 // callbacks received
+
+	DataHits           uint64 // READs served from the data block cache
+	DataMisses         uint64 // cacheable READs that went to the wire
+	DataBytesCached    uint64 // bytes currently held by the data cache
+	Evictions          uint64 // blocks evicted past the byte budget
+	SingleFlightShared uint64 // cold-block READs joined to another reader's flight
+	CacheLocks         uint64 // cache lock acquisitions (read + write)
+	CacheContended     uint64 // acquisitions that found the lock held
 }
 
 type attrEntry struct {
@@ -82,7 +98,7 @@ type clientCore struct {
 	cfg  ClientConfig
 	peer *sunrpc.Client
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	attrs  map[string]attrEntry
 	access map[string]accessEntry // keyed by principal + handle
 	// names caches LOOKUP results under leases (dir handle + name →
@@ -90,11 +106,45 @@ type clientCore struct {
 	// any mutation or callback on the directory forgets them, so the
 	// cache stays as consistent as the attribute cache.
 	names map[string]nameEntry
+	// dc caches file data blocks (nil when disabled); flights is the
+	// single-flight table collapsing concurrent cold-block READs.
+	dc      *dataCache
+	flights map[string]*readFlight
+	// invalEpoch advances on every forget and on truncation. A READ
+	// reply may only populate the cache if the epoch it was issued
+	// under is still current — otherwise an invalidation that raced
+	// the RPC would be undone by a stale reply.
+	invalEpoch atomic.Uint64
 
 	calls      atomic.Uint64
 	attrHits   atomic.Uint64
 	accessHits atomic.Uint64
 	invals     atomic.Uint64
+	dataHits   atomic.Uint64
+	dataMisses atomic.Uint64
+	evictions  atomic.Uint64
+	sfShared   atomic.Uint64
+	cacheLocks atomic.Uint64
+	contended  atomic.Uint64
+}
+
+// lock and rlock wrap the cache mutex with the same TryLock-first
+// contention accounting the server's vfs_locks counters use: a failed
+// try means another goroutine held the lock when we arrived.
+func (core *clientCore) lock() {
+	if !core.mu.TryLock() {
+		core.contended.Add(1)
+		core.mu.Lock()
+	}
+	core.cacheLocks.Add(1)
+}
+
+func (core *clientCore) rlock() {
+	if !core.mu.TryRLock() {
+		core.contended.Add(1)
+		core.mu.RLock()
+	}
+	core.cacheLocks.Add(1)
 }
 
 // Client is one principal's view of a connection. Views created with
@@ -112,10 +162,22 @@ type Client struct {
 // invalidation callbacks from SFS-enhanced servers.
 func Dial(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
 	core := &clientCore{
-		cfg:    cfg,
-		attrs:  make(map[string]attrEntry),
-		access: make(map[string]accessEntry),
-		names:  make(map[string]nameEntry),
+		cfg:     cfg,
+		attrs:   make(map[string]attrEntry),
+		access:  make(map[string]accessEntry),
+		names:   make(map[string]nameEntry),
+		flights: make(map[string]*readFlight),
+	}
+	if cfg.DataCacheBytes >= 0 {
+		max := cfg.DataCacheBytes
+		if max == 0 {
+			max = DefaultDataCacheBytes
+		}
+		core.dc = &dataCache{
+			max:   max,
+			files: make(map[string]map[uint64]*dataBlock),
+			auth:  make(map[string]map[string]struct{}),
+		}
 	}
 	cb := sunrpc.NewServer()
 	cb.Register(Program, Version, func(proc uint32, _ sunrpc.OpaqueAuth, args *xdr.Decoder) (interface{}, error) {
@@ -156,12 +218,22 @@ func (c *Client) Done() <-chan struct{} { return c.core.peer.Done() }
 
 // Stats returns a snapshot of the connection-wide counters.
 func (c *Client) Stats() Stats {
-	return Stats{
-		Calls:      c.core.calls.Load(),
-		AttrHits:   c.core.attrHits.Load(),
-		AccessHits: c.core.accessHits.Load(),
-		Invals:     c.core.invals.Load(),
+	st := Stats{
+		Calls:              c.core.calls.Load(),
+		AttrHits:           c.core.attrHits.Load(),
+		AccessHits:         c.core.accessHits.Load(),
+		Invals:             c.core.invals.Load(),
+		DataHits:           c.core.dataHits.Load(),
+		DataMisses:         c.core.dataMisses.Load(),
+		Evictions:          c.core.evictions.Load(),
+		SingleFlightShared: c.core.sfShared.Load(),
+		CacheLocks:         c.core.cacheLocks.Load(),
+		CacheContended:     c.core.contended.Load(),
 	}
+	if c.core.dc != nil {
+		st.DataBytesCached = uint64(c.core.dc.size.Load())
+	}
+	return st
 }
 
 func (c *Client) call(proc uint32, args, res interface{}) error {
@@ -170,10 +242,17 @@ func (c *Client) call(proc uint32, args, res interface{}) error {
 }
 
 // forget drops cached state for a handle across all principals,
-// including any name-cache entries under it (when it is a directory).
+// including any name-cache entries under it (when it is a directory)
+// and every cached data block: attribute-entry lifetime bounds block
+// lifetime, so this one choke point is the cache's whole coherence
+// protocol. The epoch bump fences in-flight READ replies.
 func (core *clientCore) forget(fh FH) {
-	core.mu.Lock()
+	core.lock()
+	core.invalEpoch.Add(1)
 	delete(core.attrs, string(fh))
+	if core.dc != nil {
+		core.dc.dropFileLocked(string(fh))
+	}
 	for k := range core.access {
 		if len(k) >= len(fh) && k[len(k)-len(fh):] == string(fh) {
 			delete(core.access, k)
@@ -192,7 +271,7 @@ func nameKey(dir FH, name string) string { return string(dir) + "\x00" + name }
 
 // dropName removes one name-cache entry.
 func (core *clientCore) dropName(dir FH, name string) {
-	core.mu.Lock()
+	core.lock()
 	delete(core.names, nameKey(dir, name))
 	core.mu.Unlock()
 }
@@ -222,7 +301,7 @@ func (c *Client) remember(fh FH, attr *Fattr) {
 	if ttl <= 0 {
 		return
 	}
-	c.core.mu.Lock()
+	c.core.lock()
 	c.core.attrs[string(fh)] = attrEntry{attr: *attr, expires: time.Now().Add(ttl)}
 	c.core.mu.Unlock()
 }
@@ -256,13 +335,13 @@ func deref(a *Fattr) Fattr {
 
 // GetAttr returns attributes, from cache when fresh.
 func (c *Client) GetAttr(fh FH) (Fattr, error) {
-	c.core.mu.Lock()
+	c.core.rlock()
 	if e, ok := c.core.attrs[string(fh)]; ok && time.Now().Before(e.expires) {
-		c.core.mu.Unlock()
+		c.core.mu.RUnlock()
 		c.core.attrHits.Add(1)
 		return e.attr, nil
 	}
-	c.core.mu.Unlock()
+	c.core.mu.RUnlock()
 	var res AttrRes
 	if err := c.call(ProcGetAttr, FHArgs{FH: fh}, &res); err != nil {
 		return Fattr{}, err
@@ -284,6 +363,11 @@ func (c *Client) SetAttr(args SetAttrArgs) (Fattr, error) {
 		c.core.forget(args.FH)
 		return Fattr{}, err
 	}
+	if args.SetSize != nil {
+		// Truncation keeps the attributes (the reply's are fresh) but
+		// not the bytes.
+		c.core.dropFileBlocks(args.FH)
+	}
 	c.remember(args.FH, res.Attr)
 	return deref(res.Attr), nil
 }
@@ -294,15 +378,15 @@ func (c *Client) SetAttr(args SetAttrArgs) (Fattr, error) {
 func (c *Client) Lookup(dir FH, name string) (FH, Fattr, error) {
 	if c.core.cfg.UseLeases {
 		key := nameKey(dir, name)
-		c.core.mu.Lock()
+		c.core.rlock()
 		if e, ok := c.core.names[key]; ok && time.Now().Before(e.expires) {
 			if a, ok := c.core.attrs[string(e.fh)]; ok && time.Now().Before(a.expires) {
-				c.core.mu.Unlock()
+				c.core.mu.RUnlock()
 				c.core.attrHits.Add(1)
 				return e.fh, a.attr, nil
 			}
 		}
-		c.core.mu.Unlock()
+		c.core.mu.RUnlock()
 	}
 	var res LookupRes
 	if err := c.call(ProcLookup, DirOpArgs{Dir: dir, Name: name}, &res); err != nil {
@@ -314,7 +398,7 @@ func (c *Client) Lookup(dir FH, name string) (FH, Fattr, error) {
 	c.remember(res.FH, res.Attr)
 	if c.core.cfg.UseLeases {
 		if ttl := c.ttlFor(res.Attr); ttl > 0 {
-			c.core.mu.Lock()
+			c.core.lock()
 			c.core.names[nameKey(dir, name)] = nameEntry{fh: res.FH, expires: time.Now().Add(ttl)}
 			c.core.mu.Unlock()
 		}
@@ -327,14 +411,14 @@ func (c *Client) Lookup(dir FH, name string) (FH, Fattr, error) {
 func (c *Client) Access(fh FH, want uint32) (uint32, error) {
 	if c.core.cfg.AccessCache {
 		key := c.accessKey(fh)
-		c.core.mu.Lock()
+		c.core.rlock()
 		if e, ok := c.core.access[key]; ok && time.Now().Before(e.expires) && e.checked&want == want {
 			granted := e.granted & want
-			c.core.mu.Unlock()
+			c.core.mu.RUnlock()
 			c.core.accessHits.Add(1)
 			return granted, nil
 		}
-		c.core.mu.Unlock()
+		c.core.mu.RUnlock()
 	}
 	var res AccessRes
 	if err := c.call(ProcAccess, AccessArgs{FH: fh, Access: want}, &res); err != nil {
@@ -347,7 +431,7 @@ func (c *Client) Access(fh FH, want uint32) (uint32, error) {
 	if c.core.cfg.AccessCache {
 		if ttl := c.ttlFor(res.Attr); ttl > 0 {
 			key := c.accessKey(fh)
-			c.core.mu.Lock()
+			c.core.lock()
 			e := c.core.access[key]
 			e.granted |= res.Access & want
 			e.granted &^= want &^ res.Access
@@ -372,8 +456,33 @@ func (c *Client) Readlink(fh FH) (string, error) {
 	return res.Target, nil
 }
 
-// Read fetches up to count bytes at offset.
+// Read fetches up to count bytes at offset. With the data cache
+// enabled, single-block requests are served from memory while the
+// file's attribute entry is live; cold full blocks go through the
+// single-flight table so concurrent readers cost one READ. The
+// returned slice may alias the cache — callers must not modify it.
 func (c *Client) Read(fh FH, offset uint64, count uint32) ([]byte, bool, error) {
+	core := c.core
+	if core.dc != nil && blockSpan(offset, count) {
+		if data, eof, ok := c.dataLookup(fh, offset, count); ok {
+			core.dataHits.Add(1)
+			return data, eof, nil
+		}
+		core.dataMisses.Add(1)
+		if offset%DataBlockSize == 0 && count == DataBlockSize {
+			return c.readShared(fh, offset)
+		}
+	}
+	epoch := core.invalEpoch.Load()
+	data, eof, err := c.readWire(fh, offset, count)
+	if err == nil {
+		c.populate(fh, offset, data, eof, epoch)
+	}
+	return data, eof, err
+}
+
+// readWire is the uncached READ round trip.
+func (c *Client) readWire(fh FH, offset uint64, count uint32) ([]byte, bool, error) {
 	var res ReadRes
 	if err := c.call(ProcRead, ReadArgs{FH: fh, Offset: offset, Count: count}, &res); err != nil {
 		return nil, false, err
@@ -383,6 +492,35 @@ func (c *Client) Read(fh FH, offset uint64, count uint32) ([]byte, bool, error) 
 	}
 	c.remember(fh, res.Attr)
 	return res.Data, res.EOF, nil
+}
+
+// readShared reads one cold full block through the single-flight
+// table: the first caller becomes the leader and issues the RPC,
+// later callers block on its flight and share the reply.
+func (c *Client) readShared(fh FH, offset uint64) ([]byte, bool, error) {
+	core := c.core
+	key := flightKey(c.principal, fh, offset/DataBlockSize)
+	core.lock()
+	if fl, ok := core.flights[key]; ok {
+		core.mu.Unlock()
+		core.sfShared.Add(1)
+		<-fl.done
+		return fl.data, fl.eof, fl.err
+	}
+	fl := &readFlight{done: make(chan struct{})}
+	core.flights[key] = fl
+	epoch := core.invalEpoch.Load()
+	core.mu.Unlock()
+	data, eof, err := c.readWire(fh, offset, DataBlockSize)
+	if err == nil {
+		c.populate(fh, offset, data, eof, epoch)
+	}
+	fl.data, fl.eof, fl.err = data, eof, err
+	core.lock()
+	delete(core.flights, key)
+	core.mu.Unlock()
+	close(fl.done)
+	return data, eof, err
 }
 
 // ReadAheadDepth reports the configured pipelining depth: how many
@@ -403,8 +541,39 @@ func (c *Client) ReadAheadDepth() int {
 // yields its result. Multiple futures may be outstanding on the same
 // channel — XIDs match replies to calls — which is how sequential
 // reads overlap server work with wire time. Every future returned
-// must eventually be called, or the reply slot leaks.
+// must be called exactly once, or the reply slot leaks. Cache-warm
+// requests return an immediate future with no RPC; completions of
+// cold full-block reads populate the cache, so the read-ahead
+// pipeline doubles as the cache filler. Futures must be finished in
+// the order they were started when several cover the same blocks.
 func (c *Client) ReadStart(fh FH, offset uint64, count uint32) (func() ([]byte, bool, error), error) {
+	core := c.core
+	if core.dc != nil && blockSpan(offset, count) {
+		if data, eof, ok := c.dataLookup(fh, offset, count); ok {
+			core.dataHits.Add(1)
+			return func() ([]byte, bool, error) { return data, eof, nil }, nil
+		}
+		core.dataMisses.Add(1)
+		if offset%DataBlockSize == 0 && count == DataBlockSize {
+			return c.readStartShared(fh, offset)
+		}
+	}
+	epoch := core.invalEpoch.Load()
+	fin, err := c.readStartWire(fh, offset, count)
+	if err != nil || core.dc == nil {
+		return fin, err
+	}
+	return func() ([]byte, bool, error) {
+		data, eof, err := fin()
+		if err == nil {
+			c.populate(fh, offset, data, eof, epoch)
+		}
+		return data, eof, err
+	}, nil
+}
+
+// readStartWire is the uncached asynchronous READ.
+func (c *Client) readStartWire(fh FH, offset uint64, count uint32) (func() ([]byte, bool, error), error) {
 	c.core.calls.Add(1)
 	ch, err := c.core.peer.Start(Program, Version, ProcRead, c.auth(), ReadArgs{FH: fh, Offset: offset, Count: count})
 	if err != nil {
@@ -423,18 +592,64 @@ func (c *Client) ReadStart(fh FH, offset uint64, count uint32) (func() ([]byte, 
 	}, nil
 }
 
+// readStartShared is ReadStart's single-flight path for cold full
+// blocks. The leader's future resolves the flight; joiners' futures
+// wait on it. Deadlock-free as long as callers finish futures in
+// start order: a joiner can only exist after its leader's flight was
+// registered, so wait-for cycles between pipelines are impossible.
+func (c *Client) readStartShared(fh FH, offset uint64) (func() ([]byte, bool, error), error) {
+	core := c.core
+	key := flightKey(c.principal, fh, offset/DataBlockSize)
+	core.lock()
+	if fl, ok := core.flights[key]; ok {
+		core.mu.Unlock()
+		core.sfShared.Add(1)
+		return func() ([]byte, bool, error) {
+			<-fl.done
+			return fl.data, fl.eof, fl.err
+		}, nil
+	}
+	fl := &readFlight{done: make(chan struct{})}
+	core.flights[key] = fl
+	epoch := core.invalEpoch.Load()
+	core.mu.Unlock()
+	resolve := func(data []byte, eof bool, err error) {
+		fl.data, fl.eof, fl.err = data, eof, err
+		core.lock()
+		delete(core.flights, key)
+		core.mu.Unlock()
+		close(fl.done)
+	}
+	fin, err := c.readStartWire(fh, offset, DataBlockSize)
+	if err != nil {
+		resolve(nil, false, err)
+		return nil, err
+	}
+	return func() ([]byte, bool, error) {
+		data, eof, err := fin()
+		if err == nil {
+			c.populate(fh, offset, data, eof, epoch)
+		}
+		resolve(data, eof, err)
+		return data, eof, err
+	}, nil
+}
+
 // sizeHint returns the file's cached size, if fresh.
 func (c *Client) sizeHint(fh FH) (uint64, bool) {
-	c.core.mu.Lock()
-	defer c.core.mu.Unlock()
+	c.core.rlock()
+	defer c.core.mu.RUnlock()
 	if e, ok := c.core.attrs[string(fh)]; ok && time.Now().Before(e.expires) {
 		return e.attr.Size, true
 	}
 	return 0, false
 }
 
-// Write stores data at offset with the given stability.
+// Write stores data at offset with the given stability. Acknowledged
+// bytes are folded into the data cache so re-reads of freshly written
+// data stay off the wire.
 func (c *Client) Write(fh FH, offset uint64, data []byte, stable uint32) (uint32, error) {
+	epoch := c.core.invalEpoch.Load()
 	var res WriteRes
 	if err := c.call(ProcWrite, WriteArgs{FH: fh, Offset: offset, Stable: stable, Data: data}, &res); err != nil {
 		return 0, err
@@ -444,6 +659,7 @@ func (c *Client) Write(fh FH, offset uint64, data []byte, stable uint32) (uint32
 		return 0, err
 	}
 	c.remember(fh, res.Attr)
+	c.noteWrite(fh, offset, data, epoch, false)
 	return res.Count, nil
 }
 
@@ -468,10 +684,18 @@ func (c *Client) WriteBehindDepth() int {
 // ReadStart, every future returned must eventually be called, or the
 // reply slot leaks.
 func (c *Client) WriteStart(fh FH, offset uint64, data []byte, stable uint32) (func() (uint32, uint64, error), error) {
+	epoch := c.core.invalEpoch.Load()
 	c.core.calls.Add(1)
 	ch, err := c.core.peer.Start(Program, Version, ProcWrite, c.auth(), WriteArgs{FH: fh, Offset: offset, Stable: stable, Data: data})
 	if err != nil {
 		return nil, err
+	}
+	// The cache copy is taken before WriteStart returns: write-behind
+	// recycles its pooled chunks as soon as it regains control, so
+	// the future must not look at data.
+	var cached []byte
+	if c.core.dc != nil && len(data) > 0 {
+		cached = append([]byte(nil), data...)
 	}
 	return func() (uint32, uint64, error) {
 		var res WriteRes
@@ -483,6 +707,9 @@ func (c *Client) WriteStart(fh FH, offset uint64, data []byte, stable uint32) (f
 			return 0, 0, err
 		}
 		c.remember(fh, res.Attr)
+		if cached != nil {
+			c.noteWrite(fh, offset, cached, epoch, true)
+		}
 		return res.Count, res.Verf, nil
 	}, nil
 }

@@ -26,7 +26,11 @@ package repro
 // (boot-verifier rollover racing unstable writes), and
 // nfs.TestConcurrentLeaseAttachDetachInvalidate plus
 // nfs.TestStalledSessionDoesNotBlockWriters (striped lease table and
-// the no-RPC-under-lock rule).
+// the no-RPC-under-lock rule). The client data block cache adds
+// nfs.TestDataCacheStressRace (concurrent readers, a local writer,
+// and a remote writer whose callbacks invalidate mid-flight, under a
+// tiny budget so eviction churns) and
+// nfs.TestSingleFlightSharesColdRead (cold-read flight sharing).
 
 import (
 	"bufio"
@@ -208,6 +212,9 @@ func TestToolsEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "readahead_hits") {
 		t.Fatalf("sfscd stats command printed no pipeline counters:\n%s", out)
+	}
+	if !strings.Contains(string(out), "data_hits") {
+		t.Fatalf("sfscd stats command printed no data cache counters:\n%s", out)
 	}
 
 	// 4b. The sfssd -stats endpoint serves one JSON document covering

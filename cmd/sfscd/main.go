@@ -241,7 +241,10 @@ func run(cl *client.Client, a *agent.Agent, user, line string) bool {
 		os.Stdout.Write(data) //nolint:errcheck
 		fmt.Println()
 	case "put":
-		if err := cl.WriteFile(user, arg(1), []byte(strings.Join(fields[2:], " "))); err != nil {
+		// Unlike client.WriteFile (flush only — acknowledged unstable),
+		// put ends with a COMMIT: once the prompt returns, the data must
+		// survive a server crash. The CI recovery smoke relies on this.
+		if err := putDurable(cl, user, arg(1), strings.Join(fields[2:], " ")); err != nil {
 			warn(err)
 		}
 	case "ln":
@@ -292,6 +295,24 @@ func run(cl *client.Client, a *agent.Agent, user, line string) bool {
 		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs stats quit")
 	}
 	return false
+}
+
+// putDurable writes text to path and waits for the server to commit
+// it to stable storage.
+func putDurable(cl *client.Client, user, path, text string) error {
+	f, err := cl.Create(user, path, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(text), 0); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	return f.Close()
 }
 
 func warn(err error) { fmt.Fprintln(os.Stderr, "sfscd:", err) }

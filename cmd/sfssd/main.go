@@ -6,10 +6,19 @@
 // Usage:
 //
 //	sfssd -listen :4655 -location files.example.com -keyfile srv.sfs \
-//	      [-seed DIR] [-lease 60000] [-user name:uid:password:keyfile]...
+//	      [-store mem|disk -dir PATH] [-seed DIR] [-lease 60000] \
+//	      [-user name:uid:password:keyfile]...
 //
-// -seed copies a host directory tree into the served (in-memory)
-// substrate file system. Each -user registers a user with the
+// -store selects the durable storage backend: "mem" (default) serves
+// from memory and loses everything at exit; "disk" journals every
+// mutation to a group-commit write-ahead log under -dir and replays
+// it at boot, so acknowledged COMMITs survive a kill -9 (DESIGN.md
+// §11).
+//
+// -seed copies a host directory tree into the served substrate file
+// system (on every boot — pair it with -store disk only for first
+// runs, since re-seeding re-journals the tree). Each -user registers
+// a user with the
 // authserver: a key pair is generated and written to the named file,
 // and, when a password is given, SRP data plus an encrypted copy of
 // the private key are stored so "sfskey fetch" works against this
@@ -38,6 +47,7 @@ import (
 	"repro/internal/secchan"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/storage/diskstore"
 	"repro/internal/sunrpc"
 	"repro/internal/vfs"
 )
@@ -51,6 +61,8 @@ func main() {
 	listen := flag.String("listen", ":4655", "TCP listen address")
 	location := flag.String("location", "", "server location (DNS name in pathnames)")
 	kf := flag.String("keyfile", "", "server private key (sfskey gen)")
+	store := flag.String("store", "mem", "storage backend: mem (volatile) or disk (WAL under -dir)")
+	dir := flag.String("dir", "", "disk store directory (required with -store disk)")
 	seed := flag.String("seed", "", "host directory to copy into the served file system")
 	lease := flag.Uint("lease", 60000, "attribute lease in ms (0 disables SFS caching extensions)")
 	statsAddr := flag.String("stats", "", "serve JSON counters and pprof on this address")
@@ -67,7 +79,33 @@ func main() {
 		die(err)
 	}
 	rng := prng.New()
-	fsys := vfs.New()
+	var fsys *vfs.FS
+	switch *store {
+	case "mem":
+		fsys = vfs.New()
+	case "disk":
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "sfssd: -store disk requires -dir")
+			os.Exit(2)
+		}
+		if err := os.MkdirAll(*dir, 0o700); err != nil {
+			die(err)
+		}
+		ds, err := diskstore.Open(*dir, diskstore.Options{})
+		if err != nil {
+			die(err)
+		}
+		fsys, err = vfs.NewWithStores(ds, ds)
+		if err != nil {
+			die(err)
+		}
+		rp := fsys.LastReplay()
+		fmt.Printf("sfssd: disk store in %s (epoch %d, replayed %d records, %d bytes)\n",
+			*dir, ds.Epoch(), rp.Records, rp.Bytes)
+	default:
+		fmt.Fprintf(os.Stderr, "sfssd: unknown -store %q (want mem or disk)\n", *store)
+		os.Exit(2)
+	}
 	if *seed != "" {
 		if err := fsys.SeedFromHost(vfs.Cred{UID: 0}, *seed); err != nil {
 			die(err)
@@ -100,13 +138,20 @@ func main() {
 			ms := master.StatsSnapshot()
 			nfsByLoc := ms.Locations
 			ms.Locations = nil
-			return map[string]any{
+			doc := map[string]any{
 				"master":   ms,
 				"nfs":      nfsByLoc,
 				"sunrpc":   sunrpc.WireSnapshot(),
 				"secchan":  secchan.StatsSnapshot(),
 				"authserv": auth.StatsSnapshot(),
 			}
+			// The disk store's WAL counters also appear per-location
+			// under "nfs"; the top-level section is the convenient
+			// handle for dashboards and the CI recovery smoke.
+			if ss := fsys.StorageStats(); ss != nil {
+				doc["storage"] = ss
+			}
+			return doc
 		})
 		if err != nil {
 			die(err)

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestFigRecoveryShape runs the crash-recovery figure in Quick mode
+// and asserts its invariants: the verifier changed (enforced inside
+// FigRecovery), zero acknowledged-COMMIT bytes lost, a non-empty WAL
+// replay, a retransmitting post-crash sync, and the storage counter
+// block in the figure's counter snapshot.
+func TestFigRecoveryShape(t *testing.T) {
+	fig, err := FigRecovery(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("FigRecovery: %v", err)
+	}
+	const label = "SFS (disk store)"
+	lost, ok := fig.RowFor(label, "acked commits lost")
+	if !ok {
+		t.Fatal("missing 'acked commits lost' row")
+	}
+	if lost.Value != 0 {
+		t.Fatalf("acked commits lost = %v bytes, want 0", lost.Value)
+	}
+	replay, ok := fig.RowFor(label, "replay records")
+	if !ok || replay.Value <= 0 {
+		t.Fatalf("replay records row = %+v (ok=%v), want a positive count", replay, ok)
+	}
+	sync, ok := fig.RowFor(label, "post-crash sync")
+	if !ok || sync.RPCs == 0 {
+		t.Fatalf("post-crash sync row = %+v (ok=%v), want retransmission RPCs", sync, ok)
+	}
+	ss, ok := fig.Counters[label]
+	if !ok {
+		t.Fatal("missing server counter snapshot")
+	}
+	if ss.Storage == nil {
+		t.Fatal("counter snapshot has no storage block")
+	}
+	if ss.Storage.Kind != "disk" {
+		t.Fatalf("storage kind = %q, want disk", ss.Storage.Kind)
+	}
+	if ss.Storage.Fsyncs == 0 {
+		t.Fatal("storage fsyncs = 0, want > 0 (retransmitted COMMIT must fsync)")
+	}
+	if ss.Storage.ReplayRecords == 0 {
+		t.Fatal("storage replay_records = 0, want > 0")
+	}
+}

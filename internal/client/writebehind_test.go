@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/lab"
+	"repro/internal/storage/diskstore"
 	"repro/internal/vfs"
 )
 
@@ -81,8 +82,42 @@ func TestDeferredWriteErrorSurfaces(t *testing.T) {
 // the write verifier), then Syncs: the client must notice the verifier
 // change at COMMIT and retransmit every dirty range, ending with the
 // data stable — the scenario RFC 1813 §4.8 verifiers exist for.
+//
+// The scenario runs against both storage backends: on the default
+// in-memory store Restart is the test-only shadow-revert hook; on the
+// disk store it is a real crash — the WAL tears off its user-space
+// buffer (auto-flush disabled so the unstable batch is actually
+// lost), reopens with a bumped epoch, and replays.
 func TestWriteRetransmitAcrossServerRestart(t *testing.T) {
-	w, s, cl := newWorld(t, "wbverf")
+	t.Run("mem", func(t *testing.T) { testWriteRetransmit(t, vfs.New()) })
+	t.Run("disk", func(t *testing.T) {
+		ds, err := diskstore.Open(t.TempDir(), diskstore.Options{AutoFlushBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		fs, err := vfs.NewWithStores(ds, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testWriteRetransmit(t, fs)
+	})
+}
+
+func testWriteRetransmit(t *testing.T, fs *vfs.FS) {
+	w, err := lab.NewWorld("wbverf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	s, err := w.ServeFSOn("server.example.com", 30000, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := w.NewClient(lab.ClientOptions{EnhancedCaching: true, Seed: "wbverf"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	user, dir := setupWriter(t, w, s, cl, "wbverf", 3200)
 	path := dir + "/big.bin"
 	f, err := cl.Create(user, path, 0o644)

@@ -87,11 +87,17 @@ func (w *World) addr() string {
 // for location and registers them with the server master. leaseMS
 // enables the SFS caching extensions.
 func (w *World) ServeFS(location string, leaseMS uint32) (*Served, error) {
+	return w.ServeFSOn(location, leaseMS, vfs.New())
+}
+
+// ServeFSOn is ServeFS with a caller-built substrate file system —
+// the hook tests use to serve a disk-backed (storage/diskstore) FS
+// whose Restart crashes and replays for real.
+func (w *World) ServeFSOn(location string, leaseMS uint32, fs *vfs.FS) (*Served, error) {
 	key, err := rabin.GenerateKey(w.RNG, KeyBits)
 	if err != nil {
 		return nil, err
 	}
-	fs := vfs.New()
 	path := core.MakePath(location, key.PublicKey.Bytes())
 	auth := authserv.New(path.String(), w.RNG)
 	db := authserv.NewDB("local", true)

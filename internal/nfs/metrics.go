@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/sunrpc"
 	"repro/internal/vfs"
 )
@@ -175,6 +176,10 @@ type ServerStats struct {
 	Leases           LeaseStats             `json:"leases"`
 	VFSLocks         vfs.LockStats          `json:"vfs_locks"`
 	RPC              sunrpc.MetricsSnapshot `json:"rpc"`
+	// Storage carries the durable store's WAL counters; nil (omitted)
+	// for the default in-memory store, so memstore stats documents are
+	// unchanged by the storage refactor.
+	Storage *storage.Stats `json:"storage,omitempty"`
 }
 
 // TotalCalls sums the per-procedure call counts — the number the Fig
@@ -206,6 +211,7 @@ func (s *Server) StatsSnapshot() ServerStats {
 		},
 		VFSLocks: s.fs.LockStatsSnapshot(),
 		RPC:      m.rpc.Snapshot(),
+		Storage:  s.fs.StorageStats(),
 	}
 	for i := range m.procs {
 		n := m.procs[i].calls.Load()

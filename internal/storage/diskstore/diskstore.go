@@ -1,0 +1,261 @@
+// Package diskstore implements storage.MetadataStore and
+// storage.BlockStore on disk: every mutation appends a record to a
+// group-commit write-ahead log (storage/wal) while an embedded
+// memstore holds the serving copy rebuilt from the log at each open.
+//
+// Durability follows the NFS 3 stability model the vfs exposes:
+// unstable WriteAt appends asynchronously (user-space buffer, spilled
+// to the OS past a threshold), Commit and stable writes wait for one
+// group-committed fsync, and LogMeta — namespace mutations — is
+// synchronous like FFS metadata updates. The log is the only
+// persistent structure; checkpointing/compaction is future work
+// (ROADMAP), so the log grows for the life of the directory and every
+// open replays it from the start.
+//
+// CrashRestart is the kill -9 model: buffered records are torn off,
+// the log reopens with a bumped epoch, and the store rebuilds its
+// serving copy from what survived. The vfs then calls Replay to
+// rebuild the node tree and derives a fresh write verifier from the
+// epoch, which is exactly what lets acknowledged COMMITs survive the
+// crash while clients retransmit the unstable tail.
+package diskstore
+
+import (
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/storage/memstore"
+	"repro/internal/storage/wal"
+)
+
+// LogName is the journal file created inside the store directory.
+const LogName = "wal.log"
+
+// Options tunes a disk store.
+type Options struct {
+	// AutoFlushBytes is passed to the WAL (0 selects the default).
+	AutoFlushBytes int
+}
+
+// Store is a durable store over a single WAL file. All methods are
+// safe for concurrent use under the vfs contract (per-id mutations
+// serialized by the caller).
+type Store struct {
+	dir  string
+	opts Options
+
+	// mu guards the swappable state below across CrashRestart. Ops
+	// snapshot the pointers under mu and then run lock-free against
+	// them; an op that loses the race to a crash writes to the old
+	// (closed) WAL and reports an error, or mutates an orphaned
+	// serving copy — the same "lost at the crash" outcome a real
+	// kill -9 gives, and the verifier change makes clients retransmit.
+	mu      sync.Mutex
+	w       *wal.WAL
+	mem     *memstore.Store
+	pending []pendingRec
+	scan    time.Duration // recovery scan + serving-copy rebuild time
+}
+
+// pendingRec is one decoded journal record awaiting the vfs's Replay
+// pass (tree rebuild). Data payloads were already applied to the
+// serving copy during open.
+type pendingRec struct {
+	rec storage.Record
+}
+
+// Open opens (or creates) the store rooted at dir, scanning the
+// journal and rebuilding the serving copy. The caller must follow
+// with a storage.Replayer Replay pass (vfs.NewWithStores does) to
+// rebuild the namespace.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{dir: dir, opts: opts}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// open scans the WAL into a fresh serving copy and pending record
+// list. Callers hold s.mu or are the constructor.
+func (s *Store) open() error {
+	start := time.Now()
+	mem := memstore.New()
+	var pending []pendingRec
+	w, err := wal.Open(filepath.Join(s.dir, LogName), wal.Options{AutoFlushBytes: s.opts.AutoFlushBytes},
+		func(payload []byte) error {
+			rec, data, err := storage.DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			// Rebuild the serving copy here, in journal order. The
+			// namespace (applied later by the vfs) never reorders
+			// against content for one id, because the vfs emits both
+			// under the same node lock. Records for since-removed ids
+			// leave orphaned content — harmless, ids are never reused
+			// and the vfs only reads within live files' sizes.
+			if d := rec.Data; d != nil {
+				if err := mem.WriteAt(d.ID, d.Off, data, true, d.Time); err != nil {
+					return err
+				}
+			} else if m := rec.Meta; m != nil && m.Op == storage.OpSetAttr && m.SetMask&storage.SetSize != 0 {
+				if err := mem.Truncate(m.ID, m.Size); err != nil {
+					return err
+				}
+			}
+			pending = append(pending, pendingRec{rec: rec})
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	s.w, s.mem, s.pending = w, mem, pending
+	s.scan = time.Since(start)
+	return nil
+}
+
+// state snapshots the swappable store state.
+func (s *Store) state() (*wal.WAL, *memstore.Store) {
+	s.mu.Lock()
+	w, mem := s.w, s.mem
+	s.mu.Unlock()
+	return w, mem
+}
+
+// Replay implements storage.Replayer: it streams the records scanned
+// at open through apply so the vfs can rebuild its node tree, then
+// drops them. Serving-copy content was already rebuilt during open;
+// apply must not call back into the store.
+func (s *Store) Replay(apply func(storage.Record) error) (storage.ReplayStats, error) {
+	s.mu.Lock()
+	w, pending := s.w, s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, p := range pending {
+		if err := apply(p.rec); err != nil {
+			return storage.ReplayStats{}, err
+		}
+	}
+	info := w.ReplayInfo()
+	s.mu.Lock()
+	elapsed := s.scan
+	s.mu.Unlock()
+	return storage.ReplayStats{
+		Records: info.Records,
+		Bytes:   info.Bytes,
+		NanoSec: uint64(elapsed.Nanoseconds()),
+	}, nil
+}
+
+// LogMeta journals one namespace/attribute mutation and waits for it
+// to reach stable storage (one group-committed fsync) — metadata
+// updates are synchronous, as on the paper's FFS server.
+func (s *Store) LogMeta(rec *storage.MetaRecord) error {
+	w, _ := s.state()
+	if err := w.Append(storage.MetaLen(rec), func(dst []byte) {
+		storage.PutMeta(dst, rec)
+	}); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// ReadAt serves reads from the in-memory copy.
+func (s *Store) ReadAt(id, off uint64, p []byte) error {
+	_, mem := s.state()
+	return mem.ReadAt(id, off, p)
+}
+
+// WriteAt applies the write to the serving copy and appends a journal
+// record. Unstable writes return once buffered (the WRITE(unstable)
+// fast path); stable writes additionally wait for the group commit.
+func (s *Store) WriteAt(id, off uint64, data []byte, stable bool, t int64) error {
+	w, mem := s.state()
+	// The serving copy needs no shadow bookkeeping: recovery rebuilds
+	// it from the journal, so "the last stable image" is whatever the
+	// surviving log prefix says.
+	if err := mem.WriteAt(id, off, data, true, t); err != nil {
+		return err
+	}
+	rec := storage.DataRecord{ID: id, Off: off, Len: uint32(len(data)), Stable: stable, Time: t}
+	if err := w.Append(storage.DataLen(len(data)), func(dst []byte) {
+		storage.PutData(dst, &rec, data)
+	}); err != nil {
+		return err
+	}
+	if stable {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Truncate resizes the serving copy only: the durable record is the
+// OpSetAttr MetaRecord the vfs journals for the same operation, so
+// logging here would double-record it.
+func (s *Store) Truncate(id, size uint64) error {
+	_, mem := s.state()
+	return mem.Truncate(id, size)
+}
+
+// Commit waits for every prior write of any file to reach stable
+// storage — the group-commit point backing NFS COMMIT.
+func (s *Store) Commit(uint64) error {
+	w, _ := s.state()
+	return w.Sync()
+}
+
+// Remove drops serving-copy content; durability rides on the vfs's
+// OpRemove/OpRename MetaRecord.
+func (s *Store) Remove(id uint64) error {
+	_, mem := s.state()
+	return mem.Remove(id)
+}
+
+// Epoch implements storage.Epocher.
+func (s *Store) Epoch() uint64 {
+	w, _ := s.state()
+	return w.Epoch()
+}
+
+// CrashRestart implements storage.CrashRestarter: kill -9 the log
+// (dropping user-space buffered records, keeping what reached the
+// OS), then reopen and rebuild the serving copy. The caller follows
+// with Replay to rebuild the namespace.
+func (s *Store) CrashRestart() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Crash(); err != nil {
+		return err
+	}
+	return s.open()
+}
+
+// Close flushes and syncs the journal and closes the store.
+func (s *Store) Close() error {
+	w, _ := s.state()
+	return w.Close()
+}
+
+// StorageStats implements storage.StatsReporter.
+func (s *Store) StorageStats() *storage.Stats {
+	s.mu.Lock()
+	w, scan := s.w, s.scan
+	s.mu.Unlock()
+	ws := w.StatsSnapshot()
+	info := w.ReplayInfo()
+	rs := storage.ReplayStats{Records: info.Records, Bytes: info.Bytes, NanoSec: uint64(scan.Nanoseconds())}
+	return &storage.Stats{
+		Kind:          "disk",
+		Epoch:         ws.Epoch,
+		WALAppends:    ws.Appends,
+		WALBytes:      ws.AppendBytes,
+		Flushes:       ws.Flushes,
+		Fsyncs:        ws.Fsyncs,
+		BatchRecords:  ws.Batch,
+		ReplayRecords: info.Records,
+		ReplayBytes:   info.Bytes,
+		ReplayMBps:    rs.MBps(),
+	}
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Journal record payload encoding. The WAL frames each payload with a
+// length and CRC (storage/wal); this file defines only the payload:
+//
+//	meta: kind=1 | op u8 | setmask u8 | 9 × u64 fixed fields |
+//	      3 × u32 fixed fields | name str16 | toName str16 | target str16
+//	data: kind=2 | stable u8 | time i64 | id u64 | off u64 |
+//	      len u32 | len bytes of content
+//
+// All integers are little-endian; str16 is a u16 length prefix plus
+// bytes. Encoders fill a caller-provided buffer in place so the WAL
+// append path stays allocation-free.
+
+const (
+	kindMeta = 1
+	kindData = 2
+
+	metaFixedLen = 3 + 9*8 + 3*4 // kind, op, mask + u64s + u32s
+	dataFixedLen = 2 + 3*8 + 4   // kind, stable + time,id,off + len
+)
+
+// ErrBadRecord reports a payload that passed the WAL's CRC but does
+// not decode — a format bug, not a torn write.
+var ErrBadRecord = errors.New("storage: malformed journal record")
+
+// MetaLen returns the encoded size of r.
+func MetaLen(r *MetaRecord) int {
+	return metaFixedLen + 2 + len(r.Name) + 2 + len(r.ToName) + 2 + len(r.Target)
+}
+
+// PutMeta encodes r into dst, which must be exactly MetaLen(r) bytes.
+func PutMeta(dst []byte, r *MetaRecord) {
+	dst[0] = kindMeta
+	dst[1] = byte(r.Op)
+	dst[2] = r.SetMask
+	le := binary.LittleEndian
+	le.PutUint64(dst[3:], uint64(r.Time))
+	le.PutUint64(dst[11:], r.Dir)
+	le.PutUint64(dst[19:], r.ID)
+	le.PutUint64(dst[27:], r.Cookie)
+	le.PutUint64(dst[35:], r.ToDir)
+	le.PutUint64(dst[43:], r.ToCookie)
+	le.PutUint64(dst[51:], r.Size)
+	le.PutUint64(dst[59:], uint64(r.Mtime))
+	le.PutUint64(dst[67:], uint64(r.Atime))
+	le.PutUint32(dst[75:], r.Mode)
+	le.PutUint32(dst[79:], r.UID)
+	le.PutUint32(dst[83:], r.GID)
+	off := metaFixedLen
+	off = putStr16(dst, off, r.Name)
+	off = putStr16(dst, off, r.ToName)
+	off = putStr16(dst, off, r.Target)
+	if off != len(dst) {
+		panic("storage: PutMeta buffer size mismatch")
+	}
+}
+
+func putStr16(dst []byte, off int, s string) int {
+	if len(s) > 0xffff {
+		panic("storage: journal string too long")
+	}
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(s)))
+	off += 2
+	copy(dst[off:], s)
+	return off + len(s)
+}
+
+// DataLen returns the encoded size of a data record carrying n
+// payload bytes.
+func DataLen(n int) int { return dataFixedLen + n }
+
+// PutData encodes r plus its payload into dst, which must be exactly
+// DataLen(len(payload)) bytes.
+func PutData(dst []byte, r *DataRecord, payload []byte) {
+	dst[0] = kindData
+	dst[1] = 0
+	if r.Stable {
+		dst[1] = 1
+	}
+	le := binary.LittleEndian
+	le.PutUint64(dst[2:], uint64(r.Time))
+	le.PutUint64(dst[10:], r.ID)
+	le.PutUint64(dst[18:], r.Off)
+	le.PutUint32(dst[26:], uint32(len(payload)))
+	if copy(dst[dataFixedLen:], payload) != len(payload) || len(dst) != DataLen(len(payload)) {
+		panic("storage: PutData buffer size mismatch")
+	}
+}
+
+// DecodeRecord parses one journal payload. For data records the
+// returned slice aliases p; callers that keep it past p's lifetime
+// must copy.
+func DecodeRecord(p []byte) (Record, []byte, error) {
+	if len(p) < 1 {
+		return Record{}, nil, ErrBadRecord
+	}
+	le := binary.LittleEndian
+	switch p[0] {
+	case kindMeta:
+		if len(p) < metaFixedLen {
+			return Record{}, nil, ErrBadRecord
+		}
+		r := &MetaRecord{
+			Op:       MetaOp(p[1]),
+			SetMask:  p[2],
+			Time:     int64(le.Uint64(p[3:])),
+			Dir:      le.Uint64(p[11:]),
+			ID:       le.Uint64(p[19:]),
+			Cookie:   le.Uint64(p[27:]),
+			ToDir:    le.Uint64(p[35:]),
+			ToCookie: le.Uint64(p[43:]),
+			Size:     le.Uint64(p[51:]),
+			Mtime:    int64(le.Uint64(p[59:])),
+			Atime:    int64(le.Uint64(p[67:])),
+			Mode:     le.Uint32(p[75:]),
+			UID:      le.Uint32(p[79:]),
+			GID:      le.Uint32(p[83:]),
+		}
+		if r.Op < OpCreate || r.Op > OpSetAttr {
+			return Record{}, nil, fmt.Errorf("%w: op %d", ErrBadRecord, r.Op)
+		}
+		off := metaFixedLen
+		var err error
+		if r.Name, off, err = getStr16(p, off); err != nil {
+			return Record{}, nil, err
+		}
+		if r.ToName, off, err = getStr16(p, off); err != nil {
+			return Record{}, nil, err
+		}
+		if r.Target, off, err = getStr16(p, off); err != nil {
+			return Record{}, nil, err
+		}
+		if off != len(p) {
+			return Record{}, nil, ErrBadRecord
+		}
+		return Record{Meta: r}, nil, nil
+	case kindData:
+		if len(p) < dataFixedLen {
+			return Record{}, nil, ErrBadRecord
+		}
+		r := &DataRecord{
+			Stable: p[1] != 0,
+			Time:   int64(le.Uint64(p[2:])),
+			ID:     le.Uint64(p[10:]),
+			Off:    le.Uint64(p[18:]),
+			Len:    le.Uint32(p[26:]),
+		}
+		if len(p) != dataFixedLen+int(r.Len) {
+			return Record{}, nil, ErrBadRecord
+		}
+		return Record{Data: r}, p[dataFixedLen:], nil
+	default:
+		return Record{}, nil, fmt.Errorf("%w: kind %d", ErrBadRecord, p[0])
+	}
+}
+
+func getStr16(p []byte, off int) (string, int, error) {
+	if off+2 > len(p) {
+		return "", 0, ErrBadRecord
+	}
+	n := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if off+n > len(p) {
+		return "", 0, ErrBadRecord
+	}
+	return string(p[off : off+n]), off + n, nil
+}

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestMetaRecordRoundTrip(t *testing.T) {
+	recs := []MetaRecord{
+		{Op: OpCreate, Time: 42, Dir: 1, Name: "file.txt", ID: 7, Cookie: 99,
+			Mode: 0o644, UID: 1000, GID: 100},
+		{Op: OpMkdir, Time: -5, Dir: 1, Name: "d", ID: 8, Cookie: 100, Mode: 0o755},
+		{Op: OpSymlink, Dir: 8, Name: "ln", ID: 9, Cookie: 101, Target: "../elsewhere"},
+		{Op: OpLink, Dir: 8, Name: "hard", ID: 7, Cookie: 102},
+		{Op: OpRemove, Dir: 1, Name: "file.txt", ID: 7},
+		{Op: OpRmdir, Dir: 1, Name: "d", ID: 8},
+		{Op: OpRename, Dir: 1, Name: "old", ToDir: 8, ToName: "new", ID: 7, ToCookie: 103},
+		{Op: OpSetAttr, ID: 7, SetMask: SetSize | SetMtime, Size: 4096, Mtime: 1234567890},
+		{Op: OpSetAttr, ID: 7, SetMask: SetMode | SetUID | SetGID | SetAtime,
+			Mode: 0o600, UID: 2, GID: 3, Atime: -1},
+		{Op: OpCreate, Dir: 1, Name: "", ID: 10}, // empty strings
+	}
+	for i, r := range recs {
+		buf := make([]byte, MetaLen(&r))
+		PutMeta(buf, &r)
+		got, payload, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: DecodeRecord: %v", i, err)
+		}
+		if payload != nil {
+			t.Fatalf("record %d: meta decode returned payload", i)
+		}
+		if got.Meta == nil || got.Data != nil {
+			t.Fatalf("record %d: decoded wrong kind: %+v", i, got)
+		}
+		if !reflect.DeepEqual(*got.Meta, r) {
+			t.Fatalf("record %d round trip:\n got %+v\nwant %+v", i, *got.Meta, r)
+		}
+	}
+}
+
+func TestDataRecordRoundTrip(t *testing.T) {
+	payload := []byte("some file content, not aligned to anything")
+	r := DataRecord{ID: 7, Off: 8192, Len: uint32(len(payload)), Stable: true, Time: 77}
+	buf := make([]byte, DataLen(len(payload)))
+	PutData(buf, &r, payload)
+	got, gotPayload, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if got.Data == nil || got.Meta != nil {
+		t.Fatalf("decoded wrong kind: %+v", got)
+	}
+	if !reflect.DeepEqual(*got.Data, r) {
+		t.Fatalf("round trip: got %+v, want %+v", *got.Data, r)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload round trip: got %q, want %q", gotPayload, payload)
+	}
+
+	// Zero-length data records are legal (zero-fill writes).
+	r2 := DataRecord{ID: 3, Off: 0, Len: 0, Stable: false, Time: 1}
+	buf2 := make([]byte, DataLen(0))
+	PutData(buf2, &r2, nil)
+	got2, p2, err := DecodeRecord(buf2)
+	if err != nil || got2.Data == nil || len(p2) != 0 {
+		t.Fatalf("zero-length record: rec=%+v payload=%v err=%v", got2, p2, err)
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	good := make([]byte, DataLen(4))
+	PutData(good, &DataRecord{ID: 1, Len: 4}, []byte("abcd"))
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown kind":   {9, 0, 0},
+		"short data":     good[:2],
+		"truncated data": good[:len(good)-1],
+		"oversized len":  append(append([]byte(nil), good...), 0xff),
+		"bad op":         func() []byte { b := make([]byte, MetaLen(&MetaRecord{})); PutMeta(b, &MetaRecord{Op: 0}); return b }(),
+	}
+	for name, p := range cases {
+		if _, _, err := DecodeRecord(p); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("%s: DecodeRecord = %v, want ErrBadRecord", name, err)
+		}
+	}
+}

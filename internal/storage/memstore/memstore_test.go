@@ -1,0 +1,128 @@
+package memstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func readT(t *testing.T, s *Store, id, off uint64, n int) []byte {
+	t.Helper()
+	p := make([]byte, n)
+	if err := s.ReadAt(id, off, p); err != nil {
+		t.Fatalf("ReadAt(%d, %d, %d): %v", id, off, n, err)
+	}
+	return p
+}
+
+func TestWriteReadTruncate(t *testing.T) {
+	s := New()
+	if err := s.WriteAt(1, 4, []byte("hello"), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The gap before the write zero-fills.
+	if got := readT(t, s, 1, 0, 9); !bytes.Equal(got, append(make([]byte, 4), "hello"...)) {
+		t.Fatalf("read = %q", got)
+	}
+	if err := s.Truncate(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(1, 0, make([]byte, 9)); err == nil {
+		t.Fatal("read beyond truncated extent succeeded")
+	}
+	if err := s.Truncate(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Growing truncate zero-fills too.
+	if got := readT(t, s, 1, 4, 4); !bytes.Equal(got, []byte{'h', 'e', 0, 0}) {
+		t.Fatalf("after grow: read = %q", got)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(1, 0, make([]byte, 1)); err == nil {
+		t.Fatal("read of removed id succeeded")
+	}
+}
+
+// TestShadowSemantics pins the RFC 1813 unstable-write machinery the
+// vfs Restart hook depends on: the first unstable write snapshots the
+// stable image, Revert restores it, and Commit / Truncate / stable
+// writes drop it.
+func TestShadowSemantics(t *testing.T) {
+	s := New()
+	if err := s.WriteAt(1, 0, []byte("stable"), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Revert(1); ok {
+		t.Fatal("Revert with no unstable writes reported a shadow")
+	}
+	if err := s.WriteAt(1, 0, []byte("UNSTABLE!"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	size, ok := s.Revert(1)
+	if !ok || size != 6 {
+		t.Fatalf("Revert = (%d, %v), want (6, true)", size, ok)
+	}
+	if got := readT(t, s, 1, 0, 6); string(got) != "stable" {
+		t.Fatalf("after revert: %q", got)
+	}
+
+	// Commit makes the unstable image the stable one.
+	if err := s.WriteAt(1, 0, []byte("committed"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Revert(1); ok {
+		t.Fatal("Revert after Commit reported a shadow")
+	}
+	if got := readT(t, s, 1, 0, 9); string(got) != "committed" {
+		t.Fatalf("after commit: %q", got)
+	}
+
+	// A stable write mid-stream also drops the shadow.
+	if err := s.WriteAt(1, 0, []byte("unstable1"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(1, 0, []byte("stable##2"), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Revert(1); ok {
+		t.Fatal("Revert after stable write reported a shadow")
+	}
+
+	// Truncate is stable: it drops the shadow too.
+	if err := s.WriteAt(1, 0, []byte("unstable3"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Revert(1); ok {
+		t.Fatal("Revert after Truncate reported a shadow")
+	}
+}
+
+// TestShadowSnapshotsFirstImage: a second unstable write must not
+// re-snapshot — Revert returns to the last *stable* image, not the
+// previous unstable one.
+func TestShadowSnapshotsFirstImage(t *testing.T) {
+	s := New()
+	if err := s.WriteAt(1, 0, []byte("AAAA"), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(1, 0, []byte("BBBB"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(1, 0, []byte("CCCCCCCC"), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	size, ok := s.Revert(1)
+	if !ok || size != 4 {
+		t.Fatalf("Revert = (%d, %v), want (4, true)", size, ok)
+	}
+	if got := readT(t, s, 1, 0, 4); string(got) != "AAAA" {
+		t.Fatalf("after revert: %q, want AAAA", got)
+	}
+}

@@ -1,0 +1,208 @@
+// Package storage defines the durable-storage seam underneath
+// internal/vfs: a MetadataStore that journals namespace and attribute
+// mutations, and a BlockStore that holds regular-file content keyed by
+// file id. The node tree in vfs owns locking, permission checks, and
+// the namespace; a store owns bytes and their durability.
+//
+// Two implementations live below this package: storage/memstore (the
+// default, preserving the original in-memory behavior byte for byte)
+// and storage/diskstore (both interfaces over a group-commit
+// write-ahead log in storage/wal, with real crash recovery).
+//
+// # Concurrency contract
+//
+// The vfs serializes mutating calls per file id under its per-node
+// locks: a store never sees two concurrent WriteAt/Truncate/Commit/
+// Remove calls for the same id. Concurrent ReadAt calls on one id, and
+// any mix of calls across different ids, are allowed and must not
+// interfere. LogMeta may be called concurrently from independent
+// namespace operations; a durable store must persist records in the
+// order the calls complete (vfs emits each record while still holding
+// the locks that serialized the operation, so journal order matches
+// serialization order).
+package storage
+
+import "repro/internal/stats"
+
+// BlockSize is the nominal content block size. The WAL journals
+// byte-granular extents, but stores may use this for allocation and
+// the protocol layers above advertise it as the preferred I/O size.
+const BlockSize = 8192
+
+// MetadataStore journals namespace and attribute mutations. A durable
+// implementation returns from LogMeta only once the record is on
+// stable storage (one group-committed fsync); the in-memory store is
+// a no-op since its "stable storage" is the node tree itself.
+type MetadataStore interface {
+	LogMeta(rec *MetaRecord) error
+	Close() error
+}
+
+// BlockStore holds regular-file content. The id space is vfs.FileID;
+// offsets and sizes are bytes.
+type BlockStore interface {
+	// ReadAt copies the content of id at off into p. The caller
+	// guarantees [off, off+len(p)) lies within the file's current
+	// size, so a short or missing extent indicates store corruption.
+	ReadAt(id, off uint64, p []byte) error
+	// WriteAt stores data at off, zero-filling any gap beyond the
+	// current end. stable asks for durability before return (the NFS
+	// FILE_SYNC path); unstable writes may buffer until Commit. t is
+	// the caller's clock reading (UnixNano), stamped into the journal
+	// so replay is deterministic under an injected clock.
+	WriteAt(id, off uint64, data []byte, stable bool, t int64) error
+	// Truncate sets the size of id, zero-filling growth. Truncation
+	// is a stable update (its durability rides on the MetaRecord the
+	// vfs journals for the same operation).
+	Truncate(id, size uint64) error
+	// Commit makes every prior WriteAt of id durable (the NFS COMMIT
+	// operation). For a group-commit store many concurrent Commits
+	// share one fsync.
+	Commit(id uint64) error
+	// Remove drops all content of id after its last link is gone.
+	Remove(id uint64) error
+}
+
+// Replayer is implemented by durable stores. Replay streams the
+// journal of the previous boots in append order, calling apply for
+// every record so the vfs can rebuild its node tree. The store applies
+// data payloads to its own serving copy before Replay returns; apply
+// must not call back into the store. Replay is single-threaded and
+// runs before the file system is published.
+type Replayer interface {
+	Replay(apply func(Record) error) (ReplayStats, error)
+}
+
+// ReplayStats summarizes one journal replay.
+type ReplayStats struct {
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"` // journal bytes scanned (records + framing)
+	NanoSec uint64 `json:"nanos"` // wall time of scan + rebuild
+}
+
+// MBps returns the replay throughput in MB/s (0 if the replay was too
+// fast to time).
+func (r ReplayStats) MBps() float64 {
+	if r.NanoSec == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / (float64(r.NanoSec) / 1e9)
+}
+
+// Epocher exposes the per-boot epoch a durable store persists in its
+// journal header. The vfs derives the NFS write verifier from it, so
+// acknowledged COMMITs survive a real kill -9: a reopened store has a
+// new epoch, hence a new verifier, and clients retransmit exactly the
+// unstable data that may have been lost.
+type Epocher interface {
+	Epoch() uint64
+}
+
+// Restarter is the crash-simulation hook of the in-memory store.
+// Revert restores id's last stable image (discarding unstable writes)
+// and reports the reverted size; ok is false when the file had no
+// unstable data outstanding. The vfs calls it per node, under that
+// node's lock, from the test-only FS.Restart path.
+type Restarter interface {
+	Revert(id uint64) (size uint64, ok bool)
+}
+
+// CrashRestarter is implemented by durable stores that can crash for
+// real: CrashRestart drops all user-space buffered journal records and
+// closes the journal without a final flush or sync — the kill -9
+// failure model — then reopens it, scans surviving records, and
+// prepares a fresh Replay for the vfs to rebuild from.
+type CrashRestarter interface {
+	CrashRestart() error
+}
+
+// StatsReporter exposes a store's observability counters.
+type StatsReporter interface {
+	StorageStats() *Stats
+}
+
+// Stats is the JSON form of a durable store's counters, embedded in
+// the sfssd -stats document and in BENCH JSON counter blocks.
+type Stats struct {
+	Kind          string             `json:"kind"`
+	Epoch         uint64             `json:"epoch"`
+	WALAppends    uint64             `json:"wal_appends"`
+	WALBytes      uint64             `json:"wal_bytes"`
+	Flushes       uint64             `json:"flushes"`
+	Fsyncs        uint64             `json:"fsyncs"`
+	BatchRecords  stats.HistSnapshot `json:"batch_records"` // records retired per fsync
+	ReplayRecords uint64             `json:"replay_records"`
+	ReplayBytes   uint64             `json:"replay_bytes"`
+	ReplayMBps    float64            `json:"replay_mbps,omitempty"`
+}
+
+// MetaOp enumerates journaled namespace/attribute mutations.
+type MetaOp uint8
+
+// Journal operation codes. Values are part of the on-disk format;
+// append only.
+const (
+	OpCreate MetaOp = iota + 1
+	OpMkdir
+	OpSymlink
+	OpLink
+	OpRemove
+	OpRmdir
+	OpRename
+	OpSetAttr
+)
+
+// SetAttr presence bits for MetaRecord.SetMask.
+const (
+	SetMode uint8 = 1 << iota
+	SetUID
+	SetGID
+	SetSize
+	SetMtime
+	SetAtime
+)
+
+// MetaRecord is one journaled namespace/attribute mutation. It is a
+// fixed superset of every MetaOp's fields; unused fields are zero.
+// Time is the vfs clock reading (UnixNano) at the operation, used by
+// replay for every timestamp the operation set.
+type MetaRecord struct {
+	Op   MetaOp
+	Time int64
+
+	Dir    uint64 // containing (or source) directory id
+	Name   string // entry (or source) name
+	ID     uint64 // created / linked node id
+	Cookie uint64 // directory cookie of the new entry
+	Mode   uint32
+	UID    uint32
+	GID    uint32
+	Target string // OpSymlink
+
+	ToDir    uint64 // OpRename destination directory
+	ToName   string // OpRename destination name
+	ToCookie uint64 // OpRename destination cookie
+
+	SetMask uint8 // OpSetAttr: which fields below apply
+	Size    uint64
+	Mtime   int64
+	Atime   int64
+}
+
+// DataRecord is one journaled content extent. The payload travels
+// alongside the record in the journal but is applied by the store
+// itself during replay, so Record exposes only the header.
+type DataRecord struct {
+	ID     uint64
+	Off    uint64
+	Len    uint32
+	Stable bool
+	Time   int64
+}
+
+// Record is one decoded journal record: exactly one of Meta or Data
+// is non-nil.
+type Record struct {
+	Meta *MetaRecord
+	Data *DataRecord
+}

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the user-space append hot path (no
+// fsync): the cost every unstable WRITE pays on the disk store.
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := Open(filepath.Join(b.TempDir(), "wal.log"), Options{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 8192)
+	fill := func(dst []byte) { copy(dst, payload) }
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(len(payload), fill); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupCommit measures COMMIT latency under concurrency: G
+// goroutines each append one record and Sync. Group commit shares
+// fsyncs between them; the reported records-per-fsync ratio is the
+// batching win.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "g1", 4: "g4", 16: "g16"}[g], func(b *testing.B) {
+			w, err := Open(filepath.Join(b.TempDir(), "wal.log"), Options{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			payload := make([]byte, 512)
+			fill := func(dst []byte) { copy(dst, payload) }
+			base := w.StatsSnapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / g
+			if per == 0 {
+				per = 1
+			}
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := w.Append(len(payload), fill); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := w.Sync(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			st := w.StatsSnapshot()
+			if fsyncs := st.Fsyncs - base.Fsyncs; fsyncs > 0 {
+				b.ReportMetric(float64(st.Appends-base.Appends)/float64(fsyncs), "records/fsync")
+			}
+		})
+	}
+}

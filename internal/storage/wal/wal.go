@@ -1,0 +1,384 @@
+// Package wal implements the write-ahead log under storage/diskstore:
+// an append-only file of CRC-framed records with group commit.
+//
+// # Format
+//
+//	header:  "SFSWAL01" magic | epoch u64        (16 bytes)
+//	record:  len u32 | crc32(payload) u32 | payload
+//
+// All integers are little-endian. The epoch counts opens: every Open
+// reads the stored epoch, increments it, and fsyncs the header before
+// serving appends, so a reopened log is distinguishable from the boot
+// that crashed — the vfs derives the NFS write verifier from it.
+// Recovery truncates the log at the first torn or corrupt record (a
+// crash mid-write), keeping every intact record before it.
+//
+// # Group commit
+//
+// Append buffers records in user space and returns immediately — the
+// WRITE(unstable) path. Sync is the COMMIT path: the first caller in
+// becomes the leader, writes the buffered batch, and issues one
+// fsync; callers that arrive while the leader is flushing wait and
+// then find their records already durable. The records-per-fsync
+// histogram is the direct measure of how well commits batch.
+//
+// The append hot path is allocation-free at steady state: callers
+// reserve space with Append(size, fill) and encode in place, and the
+// two append buffers are recycled across flushes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+const (
+	magic      = "SFSWAL01"
+	headerSize = 16
+	frameSize  = 8 // len u32 + crc u32
+
+	// maxRecord bounds a single record so a corrupt length field
+	// cannot drive a huge allocation during recovery.
+	maxRecord = 64 << 20
+)
+
+// DefaultAutoFlush is the buffered-byte threshold past which Append
+// spills the buffer to the OS (write, no fsync). Spilled records
+// survive kill -9 but not power loss; only Sync promises stability.
+const DefaultAutoFlush = 256 << 10
+
+// ErrClosed is returned by operations on a closed (or crashed) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options tunes a WAL.
+type Options struct {
+	// AutoFlushBytes overrides DefaultAutoFlush; negative disables
+	// auto-flush entirely (everything buffers until Flush/Sync).
+	AutoFlushBytes int
+}
+
+// ReplayInfo summarizes the recovery scan done by Open.
+type ReplayInfo struct {
+	Records   uint64        // intact records replayed
+	Bytes     uint64        // file bytes scanned (frames + payloads)
+	Truncated bool          // a torn tail was cut off
+	Elapsed   time.Duration // scan wall time
+}
+
+// WAL is an append-only record log with group commit. All methods are
+// safe for concurrent use.
+type WAL struct {
+	autoFlush int
+
+	// mu guards the append state: buf accumulates encoded records,
+	// seq counts records ever appended.
+	mu     sync.Mutex
+	buf    []byte
+	seq    uint64
+	closed bool
+
+	// flushMu serializes file writes and fsyncs (the group-commit
+	// leader lock) and guards f, spare, and written. Lock order:
+	// flushMu before mu.
+	flushMu sync.Mutex
+	f       *os.File
+	spare   []byte
+	written uint64 // records handed to the OS
+
+	synced atomic.Uint64 // records known durable
+
+	epoch  uint64
+	replay ReplayInfo
+
+	appends     stats.Counter
+	appendBytes stats.Counter
+	flushes     stats.Counter
+	fsyncs      stats.Counter
+	batch       stats.Histogram
+}
+
+// Open opens or creates the log at path, replays intact records
+// through replay (payload slices are only valid during the call),
+// truncates any torn tail, and bumps the epoch. A replay error aborts
+// the open: the log is corrupt in a way recovery cannot repair.
+func Open(path string, opts Options, replay func(payload []byte) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f, autoFlush: opts.AutoFlushBytes}
+	if w.autoFlush == 0 {
+		w.autoFlush = DefaultAutoFlush
+	}
+	if err := w.recover(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) recover(replay func(payload []byte) error) error {
+	start := time.Now()
+	st, err := w.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		w.epoch = 1
+		return w.writeHeader()
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
+		return fmt.Errorf("wal: short header: %w", err)
+	}
+	if string(hdr[:8]) != magic {
+		return fmt.Errorf("wal: bad magic %q", hdr[:8])
+	}
+	w.epoch = binary.LittleEndian.Uint64(hdr[8:]) + 1
+
+	// Scan records until EOF or the first torn/corrupt one.
+	rest := make([]byte, st.Size()-headerSize)
+	if _, err := io.ReadFull(w.f, rest); err != nil {
+		return err
+	}
+	off := 0
+	for off < len(rest) {
+		if off+frameSize > len(rest) {
+			w.replay.Truncated = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(rest[off:]))
+		crc := binary.LittleEndian.Uint32(rest[off+4:])
+		if n <= 0 || n > maxRecord || off+frameSize+n > len(rest) {
+			w.replay.Truncated = true
+			break
+		}
+		payload := rest[off+frameSize : off+frameSize+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			w.replay.Truncated = true
+			break
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				return fmt.Errorf("wal: replay record %d: %w", w.replay.Records, err)
+			}
+		}
+		w.replay.Records++
+		off += frameSize + n
+	}
+	if w.replay.Truncated {
+		if err := w.f.Truncate(int64(headerSize + off)); err != nil {
+			return err
+		}
+	}
+	w.replay.Bytes = uint64(off)
+	w.seq = w.replay.Records
+	w.written = w.seq
+	w.synced.Store(w.seq)
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(headerSize+off), io.SeekStart); err != nil {
+		return err
+	}
+	w.replay.Elapsed = time.Since(start)
+	return nil
+}
+
+// writeHeader persists the current epoch and leaves the offset at the
+// end of the scanned region (callers reposition as needed).
+func (w *WAL) writeHeader() error {
+	var hdr [headerSize]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], w.epoch)
+	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Inc()
+	if _, err := w.f.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Epoch returns the boot epoch assigned by Open.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// ReplayInfo returns the recovery summary from Open.
+func (w *WAL) ReplayInfo() ReplayInfo { return w.replay }
+
+// Append reserves size bytes for one record and calls fill to encode
+// the payload in place. The record buffers in user space (crossing
+// the auto-flush threshold spills it to the OS); it is durable only
+// after a Sync whose return it precedes.
+func (w *WAL) Append(size int, fill func(dst []byte)) error {
+	if size <= 0 || size > maxRecord {
+		return fmt.Errorf("wal: record size %d out of range", size)
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	off := len(w.buf)
+	need := off + frameSize + size
+	if cap(w.buf) < need {
+		grown := make([]byte, off, max(need, 2*cap(w.buf)))
+		copy(grown, w.buf)
+		w.buf = grown
+	}
+	w.buf = w.buf[:need]
+	payload := w.buf[off+frameSize : need]
+	fill(payload)
+	binary.LittleEndian.PutUint32(w.buf[off:], uint32(size))
+	binary.LittleEndian.PutUint32(w.buf[off+4:], crc32.ChecksumIEEE(payload))
+	w.seq++
+	buffered := len(w.buf)
+	w.mu.Unlock()
+	w.appends.Inc()
+	w.appendBytes.Add(uint64(frameSize + size))
+	if w.autoFlush > 0 && buffered >= w.autoFlush {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush hands buffered records to the OS without forcing them to
+// media: they survive a kill -9 of this process but not power loss.
+func (w *WAL) Flush() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	_, err := w.flushLocked()
+	return err
+}
+
+// flushLocked writes the append buffer to the file. Caller holds
+// flushMu. Returns the record watermark now handed to the OS.
+func (w *WAL) flushLocked() (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.written, ErrClosed
+	}
+	buf, upto := w.buf, w.seq
+	if len(buf) == 0 {
+		w.mu.Unlock()
+		return upto, nil
+	}
+	w.buf = w.spare[:0]
+	w.mu.Unlock()
+	_, err := w.f.Write(buf)
+	w.spare = buf[:0]
+	if err != nil {
+		return w.written, err
+	}
+	w.flushes.Inc()
+	w.written = upto
+	return upto, nil
+}
+
+// Sync makes every record appended before the call durable — the
+// group-commit point. Concurrent callers share fsyncs: the leader
+// flushes and syncs once for everyone who arrived in time.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target := w.seq
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for w.synced.Load() < target {
+		w.flushMu.Lock()
+		if w.synced.Load() >= target {
+			// A leader's fsync covered us while we waited.
+			w.flushMu.Unlock()
+			return nil
+		}
+		start := w.synced.Load()
+		upto, err := w.flushLocked()
+		if err != nil {
+			w.flushMu.Unlock()
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			w.flushMu.Unlock()
+			return err
+		}
+		w.fsyncs.Inc()
+		w.batch.Observe(upto - start)
+		w.synced.Store(upto)
+		w.flushMu.Unlock()
+	}
+	return nil
+}
+
+// Crash simulates kill -9: records still buffered in user space are
+// lost, and the file closes without a final flush or sync. Records
+// already handed to the OS survive — the page cache outlives the
+// process — exactly as with a real SIGKILL.
+func (w *WAL) Crash() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.buf = nil
+	w.closed = true
+	w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Close flushes, syncs, and closes the log.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+		w.f.Close()
+		return err
+	}
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Stats is a snapshot of the log's counters.
+type Stats struct {
+	Epoch       uint64
+	Appends     uint64
+	AppendBytes uint64
+	Flushes     uint64
+	Fsyncs      uint64
+	Batch       stats.HistSnapshot
+}
+
+// StatsSnapshot captures the counters.
+func (w *WAL) StatsSnapshot() Stats {
+	return Stats{
+		Epoch:       w.epoch,
+		Appends:     w.appends.Load(),
+		AppendBytes: w.appendBytes.Load(),
+		Flushes:     w.flushes.Load(),
+		Fsyncs:      w.fsyncs.Load(),
+		Batch:       w.batch.Snapshot(),
+	}
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string, opts Options) (*WAL, [][]byte) {
+	t.Helper()
+	var replayed [][]byte
+	w, err := Open(path, opts, func(p []byte) error {
+		replayed = append(replayed, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, replayed
+}
+
+func appendT(t *testing.T, w *WAL, payload string) {
+	t.Helper()
+	if err := w.Append(len(payload), func(dst []byte) { copy(dst, payload) }); err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+}
+
+func TestRoundTripReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, replayed := openT(t, path, Options{})
+	if len(replayed) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(replayed))
+	}
+	want := []string{"alpha", "bravo", "charlie"}
+	for _, s := range want {
+		appendT(t, w, s)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, replayed := openT(t, path, Options{})
+	defer w2.Close()
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(replayed), len(want))
+	}
+	for i, s := range want {
+		if string(replayed[i]) != s {
+			t.Fatalf("record %d = %q, want %q", i, replayed[i], s)
+		}
+	}
+	ri := w2.ReplayInfo()
+	if ri.Records != 3 || ri.Truncated {
+		t.Fatalf("ReplayInfo = %+v, want 3 records, no truncation", ri)
+	}
+}
+
+func TestEpochIncrementsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	var epochs []uint64
+	for i := 0; i < 3; i++ {
+		w, _ := openT(t, path, Options{})
+		epochs = append(epochs, w.Epoch())
+		appendT(t, w, "x")
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, e := range epochs {
+		if want := uint64(i + 1); e != want {
+			t.Fatalf("open %d: epoch %d, want %d", i, e, want)
+		}
+	}
+}
+
+func TestCrashDropsBufferedKeepsFlushed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{AutoFlushBytes: -1})
+	appendT(t, w, "survives-sync")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, w, "survives-flush")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, w, "lost-in-buffer")
+	if err := w.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, func(dst []byte) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Crash = %v, want ErrClosed", err)
+	}
+
+	w2, replayed := openT(t, path, Options{})
+	defer w2.Close()
+	want := []string{"survives-sync", "survives-flush"}
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d records %q, want %q", len(replayed), replayed, want)
+	}
+	for i, s := range want {
+		if string(replayed[i]) != s {
+			t.Fatalf("record %d = %q, want %q", i, replayed[i], s)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "intact-one")
+	appendT(t, w, "intact-two")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append garbage that looks like the
+	// start of a frame but is cut off.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, path)
+
+	w2, replayed := openT(t, path, Options{})
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(replayed))
+	}
+	if !w2.ReplayInfo().Truncated {
+		t.Fatal("ReplayInfo.Truncated = false, want true")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := fileSize(t, path); after >= sizeBefore {
+		t.Fatalf("torn tail not truncated: size %d -> %d", sizeBefore, after)
+	}
+
+	// And a corrupt (bit-flipped) record is also cut, with everything
+	// before it preserved.
+	w3, _ := openT(t, path, Options{})
+	appendT(t, w3, "to-be-corrupted")
+	if err := w3.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	w4, replayed := openT(t, path, Options{})
+	defer w4.Close()
+	if len(replayed) != 2 || !w4.ReplayInfo().Truncated {
+		t.Fatalf("after bit flip: replayed %d (truncated=%v), want 2 (true)",
+			len(replayed), w4.ReplayInfo().Truncated)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func TestGroupCommitCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{AutoFlushBytes: -1})
+	defer w.Close()
+	headerFsyncs := w.StatsSnapshot().Fsyncs // Open fsyncs the header
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		appendT(t, w, fmt.Sprintf("record-%d", i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.StatsSnapshot()
+	if st.Appends != n {
+		t.Fatalf("Appends = %d, want %d", st.Appends, n)
+	}
+	if got := st.Fsyncs - headerFsyncs; got != 1 {
+		t.Fatalf("Fsyncs for one batched Sync = %d, want 1", got)
+	}
+	if st.Batch.Count != 1 {
+		t.Fatalf("batch histogram count = %d, want 1", st.Batch.Count)
+	}
+	// A Sync with nothing new must not fsync again.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if again := w.StatsSnapshot().Fsyncs; again != st.Fsyncs {
+		t.Fatalf("no-op Sync added fsyncs: %d -> %d", st.Fsyncs, again)
+	}
+}
+
+func TestConcurrentAppendSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	const (
+		goroutines = 8
+		perG       = 50
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				payload := fmt.Sprintf("g%d-%d", g, i)
+				if err := w.Append(len(payload), func(dst []byte) { copy(dst, payload) }); err != nil {
+					errs[g] = err
+					return
+				}
+				if i%10 == 9 {
+					if err := w.Sync(); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}
+			errs[g] = w.Sync()
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed := openT(t, path, Options{})
+	defer w2.Close()
+	if len(replayed) != goroutines*perG {
+		t.Fatalf("replayed %d records, want %d", len(replayed), goroutines*perG)
+	}
+}
+
+// TestAppendNoAlloc hard-fails if the append hot path allocates: the
+// satellite-6 requirement. Buffer growth amortizes to zero once the
+// buffer has reached steady state, so the pre-warm loop runs first.
+func TestAppendNoAlloc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{AutoFlushBytes: -1})
+	defer w.Close()
+	payload := make([]byte, 256)
+	// Pre-warm: grow the buffer past what the measured loop needs.
+	for i := 0; i < 64; i++ {
+		if err := w.Append(len(payload), func(dst []byte) { copy(dst, payload) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fill := func(dst []byte) { copy(dst, payload) }
+	allocs := testing.AllocsPerRun(32, func() {
+		if err := w.Append(len(payload), fill); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Append allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,257 @@
+package vfs
+
+// Journal replay: rebuilding the node tree from the MetadataStore's
+// surviving records. Replay is single-threaded and runs either before
+// the FS is published (NewWithStores) or against a private staging
+// tree that is swapped in under every shard lock (crashRestart), so
+// it uses direct map access instead of the locking helpers.
+//
+// The store has already rebuilt its own serving copy (content bytes)
+// from the same records, in the same order, so applyRecord never
+// calls back into the BlockStore — it only mirrors each mutation's
+// namespace effects: entries, link counts, attributes, and the
+// id/cookie watermarks. Timestamps come from the records (the vfs
+// clock reading journaled with each operation), which is what makes
+// replay deterministic under an injected clock.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func (fs *FS) replayGet(id uint64) *node {
+	return fs.shardOf(FileID(id)).nodes[FileID(id)]
+}
+
+func (fs *FS) replayDir(id uint64) (*node, error) {
+	d := fs.replayGet(id)
+	if d == nil || d.attr.Type != TypeDir {
+		return nil, fmt.Errorf("vfs: journal references directory %d which does not exist", id)
+	}
+	return d, nil
+}
+
+func (fs *FS) noteID(id uint64) {
+	if id > fs.nextID.Load() {
+		fs.nextID.Store(id)
+	}
+}
+
+func (fs *FS) noteCookie(c uint64) {
+	if c > fs.nextCookie.Load() {
+		fs.nextCookie.Store(c)
+	}
+}
+
+// applyRecord replays one journal record into the tree.
+func (fs *FS) applyRecord(rec storage.Record) error {
+	if d := rec.Data; d != nil {
+		n := fs.replayGet(d.ID)
+		if n == nil || n.attr.Type != TypeReg {
+			return fmt.Errorf("vfs: journal data record for unknown file %d", d.ID)
+		}
+		if end := d.Off + uint64(d.Len); end > n.attr.Size {
+			n.attr.Size = end
+		}
+		t := time.Unix(0, d.Time)
+		n.attr.Mtime, n.attr.Ctime = t, t
+		return nil
+	}
+	m := rec.Meta
+	t := time.Unix(0, m.Time)
+	switch m.Op {
+	case storage.OpCreate, storage.OpMkdir, storage.OpSymlink:
+		d, err := fs.replayDir(m.Dir)
+		if err != nil {
+			return err
+		}
+		n := &node{
+			id: FileID(m.ID),
+			attr: Attr{
+				Mode: m.Mode, UID: m.UID, GID: m.GID,
+				Atime: t, Mtime: t, Ctime: t,
+			},
+			nlink: 1,
+		}
+		n.attr.FileID = n.id
+		switch m.Op {
+		case storage.OpCreate:
+			n.attr.Type = TypeReg
+		case storage.OpMkdir:
+			n.attr.Type = TypeDir
+			n.children = make(map[string]dirent)
+			n.nlink = 2
+			n.parent = d.id
+			d.nlink++
+		case storage.OpSymlink:
+			n.attr.Type = TypeSymlink
+			n.target = m.Target
+			n.attr.Size = uint64(len(m.Target))
+		}
+		fs.shardOf(n.id).nodes[n.id] = n
+		d.children[m.Name] = dirent{id: n.id, cookie: m.Cookie}
+		fs.touchDir(d, t)
+		fs.noteID(m.ID)
+		fs.noteCookie(m.Cookie)
+
+	case storage.OpLink:
+		d, err := fs.replayDir(m.Dir)
+		if err != nil {
+			return err
+		}
+		n := fs.replayGet(m.ID)
+		if n == nil {
+			return fmt.Errorf("vfs: journal link to unknown file %d", m.ID)
+		}
+		d.children[m.Name] = dirent{id: n.id, cookie: m.Cookie}
+		n.nlink++
+		n.attr.Ctime = t
+		fs.touchDir(d, t)
+		fs.noteCookie(m.Cookie)
+
+	case storage.OpRemove:
+		d, err := fs.replayDir(m.Dir)
+		if err != nil {
+			return err
+		}
+		ent, ok := d.children[m.Name]
+		if !ok {
+			return fmt.Errorf("vfs: journal remove of missing entry %q in %d", m.Name, m.Dir)
+		}
+		n := fs.replayGet(uint64(ent.id))
+		delete(d.children, m.Name)
+		if n != nil {
+			n.nlink--
+			if n.nlink == 0 {
+				delete(fs.shardOf(n.id).nodes, n.id)
+			} else {
+				n.attr.Ctime = t
+			}
+		}
+		fs.touchDir(d, t)
+
+	case storage.OpRmdir:
+		d, err := fs.replayDir(m.Dir)
+		if err != nil {
+			return err
+		}
+		ent, ok := d.children[m.Name]
+		if !ok {
+			return fmt.Errorf("vfs: journal rmdir of missing entry %q in %d", m.Name, m.Dir)
+		}
+		delete(d.children, m.Name)
+		delete(fs.shardOf(ent.id).nodes, ent.id)
+		d.nlink--
+		fs.touchDir(d, t)
+
+	case storage.OpRename:
+		fd, err := fs.replayDir(m.Dir)
+		if err != nil {
+			return err
+		}
+		td, err := fs.replayDir(m.ToDir)
+		if err != nil {
+			return err
+		}
+		ent, ok := fd.children[m.Name]
+		if !ok {
+			return fmt.Errorf("vfs: journal rename of missing entry %q in %d", m.Name, m.Dir)
+		}
+		n := fs.replayGet(uint64(ent.id))
+		if old, hasOld := td.children[m.ToName]; hasOld && old.id != ent.id {
+			if o := fs.replayGet(uint64(old.id)); o != nil {
+				if o.attr.Type == TypeDir {
+					delete(fs.shardOf(o.id).nodes, o.id)
+					td.nlink--
+				} else {
+					o.nlink--
+					if o.nlink == 0 {
+						delete(fs.shardOf(o.id).nodes, o.id)
+					}
+				}
+			}
+		}
+		delete(fd.children, m.Name)
+		td.children[m.ToName] = dirent{id: ent.id, cookie: m.ToCookie}
+		if n != nil && n.attr.Type == TypeDir {
+			n.parent = td.id
+			if fd.id != td.id {
+				fd.nlink--
+				td.nlink++
+			}
+		}
+		fs.touchDir(fd, t)
+		fs.touchDir(td, t)
+		fs.noteCookie(m.ToCookie)
+
+	case storage.OpSetAttr:
+		n := fs.replayGet(m.ID)
+		if n == nil {
+			return fmt.Errorf("vfs: journal setattr on unknown file %d", m.ID)
+		}
+		if m.SetMask&storage.SetMode != 0 {
+			n.attr.Mode = m.Mode
+		}
+		if m.SetMask&storage.SetUID != 0 {
+			n.attr.UID = m.UID
+		}
+		if m.SetMask&storage.SetGID != 0 {
+			n.attr.GID = m.GID
+		}
+		if m.SetMask&storage.SetSize != 0 {
+			// The store already truncated its serving copy while
+			// scanning this record.
+			n.attr.Size = m.Size
+		}
+		if m.SetMask&storage.SetMtime != 0 {
+			n.attr.Mtime = time.Unix(0, m.Mtime)
+		}
+		if m.SetMask&storage.SetAtime != 0 {
+			n.attr.Atime = time.Unix(0, m.Atime)
+		}
+		n.attr.Ctime = t
+
+	default:
+		return fmt.Errorf("vfs: journal op %d unknown", m.Op)
+	}
+	return nil
+}
+
+// crashRestart drives the durable store through a real crash (kill -9
+// semantics: buffered journal records torn off, fd closed unsynced),
+// rebuilds a staging tree by replaying the surviving journal, and
+// swaps it into the live FS under every shard-map lock. In-flight
+// operations holding pre-crash node pointers mutate orphans — the
+// same data a real crash would have lost — and the epoch-derived
+// verifier change makes their clients retransmit.
+func (fs *FS) crashRestart(cr storage.CrashRestarter) error {
+	if err := cr.CrashRestart(); err != nil {
+		return err
+	}
+	staging := &FS{clock: fs.clock, meta: fs.meta, blocks: fs.blocks}
+	staging.initTree()
+	rp, ok := fs.meta.(storage.Replayer)
+	if !ok {
+		return fmt.Errorf("vfs: store %T crashes but cannot replay", fs.meta)
+	}
+	st, err := rp.Replay(staging.applyRecord)
+	if err != nil {
+		return err
+	}
+	for i := range fs.shards {
+		fs.shards[i].mu.Lock()
+	}
+	for i := range fs.shards {
+		fs.shards[i].nodes = staging.shards[i].nodes
+	}
+	fs.nextID.Store(staging.nextID.Load())
+	fs.nextCookie.Store(staging.nextCookie.Load())
+	fs.replayed = st
+	for i := range fs.shards {
+		fs.shards[i].mu.Unlock()
+	}
+	fs.verf.Store(fs.newVerf())
+	return nil
+}

@@ -1,5 +1,5 @@
 // Package vfs implements the file system substrate underneath the SFS
-// read-write server: an in-memory POSIX-style file system with inodes,
+// read-write server: a POSIX-style file system with inodes,
 // attributes, directories, symbolic links, and Unix permission checks.
 //
 // In the paper's implementation the SFS server relays NFS 3 calls to a
@@ -9,6 +9,18 @@
 // a bare FS as the "Local" baseline. An optional Disk model charges
 // simulated media time so benchmark shapes involving synchronous
 // writes (e.g. the Sprite LFS unlink phase) match the paper's.
+//
+// # Storage
+//
+// The node tree holds the namespace and attributes; bytes and their
+// durability belong to a storage backend behind two narrow interfaces
+// (see internal/storage): a MetadataStore that journals every
+// namespace/attribute mutation, and a BlockStore that holds file
+// content. New uses storage/memstore — the original in-memory
+// behavior, where journaling is a no-op — while NewWithStores accepts
+// a durable pair such as storage/diskstore, whose write-ahead log is
+// replayed here at open to rebuild the tree and whose boot epoch
+// becomes the NFS write verifier (DESIGN.md §11).
 //
 // # Concurrency
 //
@@ -40,11 +52,15 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/storage"
+	"repro/internal/storage/memstore"
 )
 
 // FileID identifies a file for the life of the file system. IDs are
@@ -88,7 +104,17 @@ var (
 	ErrNameTooLong = errors.New("vfs: name too long")
 	ErrInval       = errors.New("vfs: invalid argument")
 	ErrNotSymlink  = errors.New("vfs: not a symbolic link")
+	ErrIO          = errors.New("vfs: i/o error")
 )
+
+// ioErr wraps a storage-backend failure in ErrIO so the NFS layer
+// maps it to NFS3ERR_IO.
+func ioErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrIO, err)
+}
 
 // Cred identifies the caller for permission checks. UID 0 bypasses
 // permission bits, as root does on the paper's server host.
@@ -157,22 +183,19 @@ type dirent struct {
 // node is one inode. Its mu guards every field below it; id is
 // immutable. dead marks a node whose last link is gone (or whose
 // removal is committed) — operations that find it set return ErrStale.
+// Regular-file content lives in the FS's BlockStore, keyed by id;
+// attr.Size is the authoritative length and the node lock serializes
+// all store calls for the id (the storage concurrency contract).
 type node struct {
 	id FileID
 
 	mu       sync.RWMutex
 	dead     bool
 	attr     Attr
-	data     []byte            // TypeReg
 	children map[string]dirent // TypeDir
 	parent   FileID            // TypeDir
 	target   string            // TypeSymlink
 	nlink    uint32
-	// shadow holds the last stable image of the data while unstable
-	// writes are outstanding (RFC 1813 §4.8). Restart reverts to it;
-	// Commit and synchronous writes drop it.
-	shadow    []byte
-	hasShadow bool
 }
 
 // shard is one stripe of the node table plus its contention counters.
@@ -191,8 +214,8 @@ type shard struct {
 // diskBox wraps the Disk interface for atomic swapping by SetDisk.
 type diskBox struct{ d Disk }
 
-// FS is an in-memory file system. All methods are safe for concurrent
-// use; see the package comment for the lock hierarchy.
+// FS is the node tree over a storage backend. All methods are safe
+// for concurrent use; see the package comment for the lock hierarchy.
 type FS struct {
 	shards     [NumShards]shard
 	root       FileID
@@ -200,6 +223,12 @@ type FS struct {
 	nextCookie atomic.Uint64
 	disk       atomic.Pointer[diskBox]
 	clock      func() time.Time
+	// meta journals namespace/attr mutations; blocks holds file
+	// content. For durable backends both are one object (diskstore).
+	meta   storage.MetadataStore
+	blocks storage.BlockStore
+	// replayed records the journal replay done at open, for figures.
+	replayed storage.ReplayStats
 	// verf is the write verifier of the current "boot" (RFC 1813
 	// §4.8): it changes across Restart so clients can detect that
 	// unstable data may have been lost.
@@ -211,20 +240,67 @@ type FS struct {
 // bootCount disambiguates verifiers minted within one clock tick.
 var bootCount atomic.Uint64
 
-// newVerf mints a boot verifier from the file system's clock, so
-// restart tests driven by an injected clock are deterministic.
+// newVerf mints a boot verifier. A durable store's WAL epoch is
+// authoritative — it survives the crash that invalidated the old
+// verifier, so replayed clients and a reopened server agree without
+// any wall-clock read. The in-memory path mixes the file system's
+// clock with a boot counter, so restart tests driven by an injected
+// clock stay deterministic.
 func (fs *FS) newVerf() uint64 {
+	if ep, ok := fs.blocks.(storage.Epocher); ok {
+		return mix64(ep.Epoch())
+	}
 	return uint64(fs.clock().UnixNano()) ^ bootCount.Add(1)<<48
 }
 
-// New returns an empty file system whose root directory is owned by
-// rootUID/rootGID with mode 0755.
+// mix64 is the splitmix64 finalizer: a bijection spreading small
+// epochs across the verifier space.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New returns an empty file system over the in-memory store, whose
+// root directory is owned by rootUID/rootGID with mode 0755.
 func New() *FS {
-	fs := &FS{clock: time.Now}
+	ms := memstore.New()
+	fs, err := NewWithStores(ms, ms)
+	if err != nil {
+		panic("vfs: in-memory store cannot fail: " + err.Error())
+	}
+	return fs
+}
+
+// NewWithStores returns a file system whose namespace mutations are
+// journaled through meta and whose file content lives in blocks. If
+// the stores are durable (meta implements storage.Replayer), the
+// surviving journal is replayed to rebuild the tree before the file
+// system is returned, and the write verifier derives from the
+// store's boot epoch. Durable backends must pass one object as both
+// halves (journal order must cover both namespaces and content).
+func NewWithStores(meta storage.MetadataStore, blocks storage.BlockStore) (*FS, error) {
+	fs := &FS{clock: time.Now, meta: meta, blocks: blocks}
+	fs.initTree()
+	if rp, ok := meta.(storage.Replayer); ok {
+		st, err := rp.Replay(fs.applyRecord)
+		if err != nil {
+			return nil, err
+		}
+		fs.replayed = st
+	}
+	fs.verf.Store(fs.newVerf())
+	return fs, nil
+}
+
+// initTree builds the empty shard table and the root directory. The
+// root is implicit — never journaled — so every replay starts from
+// the same node 1.
+func (fs *FS) initTree() {
 	for i := range fs.shards {
 		fs.shards[i].nodes = make(map[FileID]*node)
 	}
-	fs.verf.Store(fs.newVerf())
 	now := fs.clock()
 	r := &node{
 		id: FileID(fs.nextID.Add(1)),
@@ -239,7 +315,20 @@ func New() *FS {
 	r.parent = r.id
 	fs.insertNode(r)
 	fs.root = r.id
-	return fs
+}
+
+// LastReplay reports the journal replay statistics from the most
+// recent open or crash-restart (zero for the in-memory store).
+func (fs *FS) LastReplay() storage.ReplayStats { return fs.replayed }
+
+// StorageStats returns the durable store's counters, or nil for the
+// in-memory default — callers embed it with omitempty so memstore
+// deployments keep their exact pre-refactor stats documents.
+func (fs *FS) StorageStats() *storage.Stats {
+	if sr, ok := fs.blocks.(storage.StatsReporter); ok {
+		return sr.StorageStats()
+	}
+	return nil
 }
 
 // SetDisk installs a disk cost model; nil removes it.
@@ -495,14 +584,21 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 		}
 	}
 	now := fs.clock()
+	rec := storage.MetaRecord{Op: storage.OpSetAttr, Time: now.UnixNano(), ID: uint64(n.id)}
 	if sa.Mode != nil {
 		n.attr.Mode = *sa.Mode & 0o7777
+		rec.SetMask |= storage.SetMode
+		rec.Mode = n.attr.Mode
 	}
 	if sa.UID != nil {
 		n.attr.UID = *sa.UID
+		rec.SetMask |= storage.SetUID
+		rec.UID = *sa.UID
 	}
 	if sa.GID != nil {
 		n.attr.GID = *sa.GID
+		rec.SetMask |= storage.SetGID
+		rec.GID = *sa.GID
 	}
 	truncated := false
 	if sa.Size != nil {
@@ -511,27 +607,37 @@ func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
 			return Attr{}, ErrIsDir
 		}
 		sz := *sa.Size
-		if uint64(len(n.data)) > sz {
-			n.data = n.data[:sz]
-		} else {
-			n.data = append(n.data, make([]byte, sz-uint64(len(n.data)))...)
+		// Truncate is a synchronous, stable update; the store drops
+		// any unstable-write shadow with it.
+		if err := fs.blocks.Truncate(uint64(n.id), sz); err != nil {
+			n.mu.Unlock()
+			return Attr{}, ioErr(err)
 		}
 		n.attr.Size = sz
 		n.attr.Mtime = now
-		// Truncate is a synchronous, stable update.
-		n.shadow, n.hasShadow = nil, false
+		rec.SetMask |= storage.SetSize | storage.SetMtime
+		rec.Size = sz
+		rec.Mtime = now.UnixNano()
 		truncated = true
 	}
 	if sa.Mtime != nil {
 		n.attr.Mtime = *sa.Mtime
+		rec.SetMask |= storage.SetMtime
+		rec.Mtime = sa.Mtime.UnixNano()
 	}
 	if sa.Atime != nil {
 		n.attr.Atime = *sa.Atime
+		rec.SetMask |= storage.SetAtime
+		rec.Atime = sa.Atime.UnixNano()
 	}
 	n.attr.Ctime = now
 	a := n.attr
 	a.Nlink = n.nlink
+	err = fs.meta.LogMeta(&rec)
 	n.mu.Unlock()
+	if err != nil {
+		return Attr{}, ioErr(err)
+	}
 	if truncated {
 		if disk := fs.diskModel(); disk != nil {
 			disk.Sync()
@@ -630,13 +736,26 @@ func (fs *FS) Create(cred Cred, dir FileID, name string, mode uint32, exclusive 
 		}
 		ent, ok := d.children[name]
 		if !ok {
-			n := fs.newNode(TypeReg, mode, cred)
+			now := fs.clock()
+			n := fs.newNode(TypeReg, mode, cred, now)
 			a := n.attr
 			a.Nlink = n.nlink
 			fs.insertNode(n)
-			d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
-			fs.touchDir(d)
+			cookie := fs.cookie()
+			d.children[name] = dirent{id: n.id, cookie: cookie}
+			fs.touchDir(d, now)
+			// Journal while d is still locked, so log order matches
+			// serialization order and the create precedes any record
+			// that references the new id.
+			err := fs.meta.LogMeta(&storage.MetaRecord{
+				Op: storage.OpCreate, Time: now.UnixNano(),
+				Dir: uint64(d.id), Name: name, ID: uint64(n.id),
+				Cookie: cookie, Mode: a.Mode, UID: a.UID, GID: a.GID,
+			})
 			d.mu.Unlock()
+			if err != nil {
+				return 0, Attr{}, ioErr(err)
+			}
 			if disk := fs.diskModel(); disk != nil {
 				disk.Sync() // metadata creation is synchronous on FFS
 			}
@@ -660,24 +779,36 @@ func (fs *FS) Create(cred Cred, dir FileID, name string, mode uint32, exclusive 
 			n.mu.Unlock()
 			return 0, Attr{}, err
 		}
-		n.data = n.data[:0]
+		// Truncation is stable: the store drops any unstable-write
+		// shadow with it.
+		if err := fs.blocks.Truncate(uint64(n.id), 0); err != nil {
+			d.mu.Unlock()
+			n.mu.Unlock()
+			return 0, Attr{}, ioErr(err)
+		}
 		n.attr.Size = 0
-		// Truncation is stable: drop any unstable-write shadow.
-		n.shadow, n.hasShadow = nil, false
 		now := fs.clock()
 		n.attr.Mtime, n.attr.Ctime = now, now
 		a := n.attr
 		a.Nlink = n.nlink
+		err = fs.meta.LogMeta(&storage.MetaRecord{
+			Op: storage.OpSetAttr, Time: now.UnixNano(), ID: uint64(n.id),
+			SetMask: storage.SetSize | storage.SetMtime, Size: 0, Mtime: now.UnixNano(),
+		})
 		d.mu.Unlock()
 		n.mu.Unlock()
+		if err != nil {
+			return 0, Attr{}, ioErr(err)
+		}
 		return a.FileID, a, nil
 	}
 }
 
 // newNode builds a node without publishing it; the caller copies what
-// it needs and then calls insertNode.
-func (fs *FS) newNode(t FileType, mode uint32, cred Cred) *node {
-	now := fs.clock()
+// it needs and then calls insertNode. The caller supplies now so one
+// clock reading stamps the node, the directory touch, and the journal
+// record — which is what makes replay reproduce the tree exactly.
+func (fs *FS) newNode(t FileType, mode uint32, cred Cred, now time.Time) *node {
 	gid := uint32(NobodyGID)
 	if len(cred.GIDs) > 0 {
 		gid = cred.GIDs[0]
@@ -700,8 +831,7 @@ func (fs *FS) newNode(t FileType, mode uint32, cred Cred) *node {
 
 func (fs *FS) cookie() uint64 { return fs.nextCookie.Add(1) }
 
-func (fs *FS) touchDir(d *node) {
-	now := fs.clock()
+func (fs *FS) touchDir(d *node, now time.Time) {
 	d.attr.Mtime, d.attr.Ctime = now, now
 }
 
@@ -726,15 +856,25 @@ func (fs *FS) Mkdir(cred Cred, dir FileID, name string, mode uint32) (FileID, At
 		d.mu.Unlock()
 		return 0, Attr{}, ErrExist
 	}
-	n := fs.newNode(TypeDir, mode, cred)
+	now := fs.clock()
+	n := fs.newNode(TypeDir, mode, cred, now)
 	n.parent = d.id
 	a := n.attr
 	a.Nlink = n.nlink
 	fs.insertNode(n)
-	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	cookie := fs.cookie()
+	d.children[name] = dirent{id: n.id, cookie: cookie}
 	d.nlink++
-	fs.touchDir(d)
+	fs.touchDir(d, now)
+	err = fs.meta.LogMeta(&storage.MetaRecord{
+		Op: storage.OpMkdir, Time: now.UnixNano(),
+		Dir: uint64(d.id), Name: name, ID: uint64(n.id),
+		Cookie: cookie, Mode: a.Mode, UID: a.UID, GID: a.GID,
+	})
 	d.mu.Unlock()
+	if err != nil {
+		return 0, Attr{}, ioErr(err)
+	}
 	if disk := fs.diskModel(); disk != nil {
 		disk.Sync()
 	}
@@ -765,15 +905,25 @@ func (fs *FS) Symlink(cred Cred, dir FileID, name, target string) (FileID, Attr,
 		d.mu.Unlock()
 		return 0, Attr{}, ErrExist
 	}
-	n := fs.newNode(TypeSymlink, 0o777, cred)
+	now := fs.clock()
+	n := fs.newNode(TypeSymlink, 0o777, cred, now)
 	n.target = target
 	n.attr.Size = uint64(len(target))
 	a := n.attr
 	a.Nlink = n.nlink
 	fs.insertNode(n)
-	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
-	fs.touchDir(d)
+	cookie := fs.cookie()
+	d.children[name] = dirent{id: n.id, cookie: cookie}
+	fs.touchDir(d, now)
+	err = fs.meta.LogMeta(&storage.MetaRecord{
+		Op: storage.OpSymlink, Time: now.UnixNano(),
+		Dir: uint64(d.id), Name: name, ID: uint64(n.id),
+		Cookie: cookie, Mode: a.Mode, UID: a.UID, GID: a.GID, Target: target,
+	})
 	d.mu.Unlock()
+	if err != nil {
+		return 0, Attr{}, ioErr(err)
+	}
 	if disk := fs.diskModel(); disk != nil {
 		disk.Sync()
 	}
@@ -830,11 +980,20 @@ func (fs *FS) Link(cred Cred, file, dir FileID, name string) error {
 		unlockAll(locked)
 		return ErrExist
 	}
-	d.children[name] = dirent{id: n.id, cookie: fs.cookie()}
+	now := fs.clock()
+	cookie := fs.cookie()
+	d.children[name] = dirent{id: n.id, cookie: cookie}
 	n.nlink++
-	n.attr.Ctime = fs.clock()
-	fs.touchDir(d)
+	n.attr.Ctime = now
+	fs.touchDir(d, now)
+	logErr := fs.meta.LogMeta(&storage.MetaRecord{
+		Op: storage.OpLink, Time: now.UnixNano(),
+		Dir: uint64(d.id), Name: name, ID: uint64(n.id), Cookie: cookie,
+	})
 	unlockAll(locked)
+	if logErr != nil {
+		return ioErr(logErr)
+	}
 	if disk := fs.diskModel(); disk != nil {
 		disk.Sync()
 	}
@@ -873,18 +1032,28 @@ func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
 			n.mu.Unlock()
 			return ErrIsDir
 		}
+		now := fs.clock()
 		delete(d.children, name)
 		n.nlink--
 		if n.nlink == 0 {
 			n.dead = true
-			n.shadow, n.hasShadow = nil, false
 			fs.deleteNode(n)
+			// Last link gone: release the content. Durability of the
+			// removal rides on the OpRemove record.
+			fs.blocks.Remove(uint64(n.id)) //nolint:errcheck
 		} else {
-			n.attr.Ctime = fs.clock()
+			n.attr.Ctime = now
 		}
-		fs.touchDir(d)
+		fs.touchDir(d, now)
+		logErr := fs.meta.LogMeta(&storage.MetaRecord{
+			Op: storage.OpRemove, Time: now.UnixNano(),
+			Dir: uint64(d.id), Name: name,
+		})
 		d.mu.Unlock()
 		n.mu.Unlock()
+		if logErr != nil {
+			return ioErr(logErr)
+		}
 		if disk := fs.diskModel(); disk != nil {
 			disk.Sync() // unlink is a synchronous metadata write
 		}
@@ -925,13 +1094,21 @@ func (fs *FS) Rmdir(cred Cred, dir FileID, name string) error {
 			n.mu.Unlock()
 			return ErrNotEmpty
 		}
+		now := fs.clock()
 		delete(d.children, name)
 		n.dead = true
 		fs.deleteNode(n)
 		d.nlink--
-		fs.touchDir(d)
+		fs.touchDir(d, now)
+		logErr := fs.meta.LogMeta(&storage.MetaRecord{
+			Op: storage.OpRmdir, Time: now.UnixNano(),
+			Dir: uint64(d.id), Name: name,
+		})
 		d.mu.Unlock()
 		n.mu.Unlock()
+		if logErr != nil {
+			return ioErr(logErr)
+		}
 		if disk := fs.diskModel(); disk != nil {
 			disk.Sync()
 		}
@@ -1057,13 +1234,15 @@ func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, t
 				o.nlink--
 				if o.nlink == 0 {
 					o.dead = true
-					o.shadow, o.hasShadow = nil, false
 					fs.deleteNode(o)
+					fs.blocks.Remove(uint64(o.id)) //nolint:errcheck
 				}
 			}
 		}
+		now := fs.clock()
+		toCookie := fs.cookie()
 		delete(fd.children, fromName)
-		td.children[toName] = dirent{id: n.id, cookie: fs.cookie()}
+		td.children[toName] = dirent{id: n.id, cookie: toCookie}
 		if n.attr.Type == TypeDir {
 			n.parent = td.id
 			if fd.id != td.id {
@@ -1071,9 +1250,17 @@ func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, t
 				td.nlink++
 			}
 		}
-		fs.touchDir(fd)
-		fs.touchDir(td)
+		fs.touchDir(fd, now)
+		fs.touchDir(td, now)
+		logErr := fs.meta.LogMeta(&storage.MetaRecord{
+			Op: storage.OpRename, Time: now.UnixNano(),
+			Dir: uint64(fd.id), Name: fromName,
+			ToDir: uint64(td.id), ToName: toName, ToCookie: toCookie,
+		})
 		unlockAll(locked)
+		if logErr != nil {
+			return ioErr(logErr)
+		}
 		if disk := fs.diskModel(); disk != nil {
 			disk.Sync()
 		}
@@ -1098,17 +1285,23 @@ func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool
 		n.mu.RUnlock()
 		return nil, false, err
 	}
-	if off >= uint64(len(n.data)) {
+	size := n.attr.Size
+	if off >= size {
 		n.mu.RUnlock()
 		return []byte{}, true, nil
 	}
 	end := off + uint64(count)
-	if end > uint64(len(n.data)) {
-		end = uint64(len(n.data))
+	if end > size {
+		end = size
 	}
 	out := make([]byte, end-off)
-	copy(out, n.data[off:end])
-	eof := end == uint64(len(n.data))
+	// The copy is made under the node's read lock, which is what
+	// serializes it against writers per the storage contract.
+	if err := fs.blocks.ReadAt(uint64(n.id), off, out); err != nil {
+		n.mu.RUnlock()
+		return nil, false, ioErr(err)
+	}
+	eof := end == size
 	n.mu.RUnlock()
 	if disk := fs.diskModel(); disk != nil {
 		disk.Read(len(out))
@@ -1131,24 +1324,19 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 		n.mu.Unlock()
 		return Attr{}, err
 	}
-	if !sync && !n.hasShadow {
-		// First unstable write since the last stable point: keep the
-		// stable image so Restart can lose this data like a real
-		// server reboot would.
-		n.shadow = append([]byte(nil), n.data...)
-		n.hasShadow = true
-	}
-	end := off + uint64(len(data))
-	if end > uint64(len(n.data)) {
-		n.data = append(n.data, make([]byte, end-uint64(len(n.data)))...)
-	}
-	copy(n.data[off:end], data)
-	n.attr.Size = uint64(len(n.data))
 	now := fs.clock()
-	n.attr.Mtime, n.attr.Ctime = now, now
-	if sync {
-		n.shadow, n.hasShadow = nil, false
+	// The store decides what stability means: memstore keeps the last
+	// stable image for Restart to revert to; diskstore journals the
+	// extent, returning immediately for unstable writes and after the
+	// group-committed fsync for stable ones.
+	if err := fs.blocks.WriteAt(uint64(n.id), off, data, sync, now.UnixNano()); err != nil {
+		n.mu.Unlock()
+		return Attr{}, ioErr(err)
 	}
+	if end := off + uint64(len(data)); end > n.attr.Size {
+		n.attr.Size = end
+	}
+	n.attr.Mtime, n.attr.Ctime = now, now
 	a := n.attr
 	a.Nlink = n.nlink
 	n.mu.Unlock()
@@ -1162,13 +1350,17 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 }
 
 // Commit flushes a file to stable storage (the NFS COMMIT operation).
+// On a durable store this waits for one group-committed fsync.
 func (fs *FS) Commit(id FileID) error {
 	n, err := fs.getLocked(id)
 	if err != nil {
 		return err
 	}
-	n.shadow, n.hasShadow = nil, false
+	err = fs.blocks.Commit(uint64(n.id))
 	n.mu.Unlock()
+	if err != nil {
+		return ioErr(err)
+	}
 	if disk := fs.diskModel(); disk != nil {
 		disk.Sync()
 	}
@@ -1181,9 +1373,21 @@ func (fs *FS) Commit(id FileID) error {
 // retransmitted (RFC 1813 §4.8).
 func (fs *FS) Verifier() uint64 { return fs.verf.Load() }
 
-// Restart simulates a server crash and reboot: every file's
-// uncommitted unstable writes revert to the last stable image, and
-// the write verifier changes so clients can detect the loss.
+// Restart simulates a server crash and reboot: uncommitted unstable
+// writes are lost, and the write verifier changes so clients can
+// detect the loss and retransmit (RFC 1813 §4.8).
+//
+// On a durable store the crash is real: the journal drops its
+// user-space buffer and closes without a final sync (the kill -9
+// model), reopens under a new epoch, and the tree is rebuilt from the
+// surviving records — every acknowledged COMMIT survives because its
+// fsync already covered it.
+//
+// Deprecated: on the default in-memory store Restart is a test-only
+// hook — it reverts each file to its last stable image, which only
+// simulates the loss. Production crash coverage comes from the disk
+// store (sfssd -store disk), where this method and a real kill -9
+// exercise the same recovery path.
 //
 // Restart is not atomic against in-flight writes — neither is a real
 // crash. A write that lands mid-restart saw the old verifier when its
@@ -1191,22 +1395,32 @@ func (fs *FS) Verifier() uint64 { return fs.verf.Load() }
 // retransmits data that may in fact have survived: a redundant
 // retransmission, never a silently dropped stability promise.
 func (fs *FS) Restart() {
-	for i := range fs.shards {
-		sh := &fs.shards[i]
-		sh.mu.RLock()
-		ns := make([]*node, 0, len(sh.nodes))
-		for _, n := range sh.nodes {
-			ns = append(ns, n)
+	if cr, ok := fs.blocks.(storage.CrashRestarter); ok {
+		if err := fs.crashRestart(cr); err != nil {
+			// Restart is driven by tests and the recovery figure;
+			// failing to reopen the store leaves nothing to serve.
+			panic("vfs: crash restart: " + err.Error())
 		}
-		sh.mu.RUnlock()
-		for _, n := range ns {
-			fs.lockNode(n)
-			if n.hasShadow {
-				n.data = n.shadow
-				n.attr.Size = uint64(len(n.data))
-				n.shadow, n.hasShadow = nil, false
+		return
+	}
+	if r, ok := fs.blocks.(storage.Restarter); ok {
+		for i := range fs.shards {
+			sh := &fs.shards[i]
+			sh.mu.RLock()
+			ns := make([]*node, 0, len(sh.nodes))
+			for _, n := range sh.nodes {
+				ns = append(ns, n)
 			}
-			n.mu.Unlock()
+			sh.mu.RUnlock()
+			for _, n := range ns {
+				fs.lockNode(n)
+				if !n.dead && n.attr.Type == TypeReg {
+					if size, ok := r.Revert(uint64(n.id)); ok {
+						n.attr.Size = size
+					}
+				}
+				n.mu.Unlock()
+			}
 		}
 	}
 	fs.verf.Store(fs.newVerf())

@@ -144,6 +144,9 @@ func main() {
 				"sunrpc":   sunrpc.WireSnapshot(),
 				"secchan":  secchan.StatsSnapshot(),
 				"authserv": auth.StatsSnapshot(),
+				// Zero-copy wire path accounting (DESIGN.md §12); also
+				// embedded per-location under "nfs" as wire_copy.
+				"wire_copy": stats.WireCopySnapshot(),
 			}
 			// The disk store's WAL counters also appear per-location
 			// under "nfs"; the top-level section is the convenient

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/nfs"
+	"repro/internal/stats"
 	"repro/internal/vfs"
 )
 
@@ -24,8 +25,11 @@ const (
 )
 
 // Build constructs a fresh stack of the given kind over its own
-// substrate file system with the calibrated disk model.
+// substrate file system with the calibrated disk model. The
+// process-wide wire-copy ledger (DESIGN.md §12) is reset here so each
+// stack's counter snapshot covers exactly its own traffic.
 func Build(kind StackKind) (Stack, error) {
+	stats.ResetWireCopy()
 	fs := vfs.New()
 	fs.SetDisk(netsim.NewDisk())
 	switch kind {
@@ -338,6 +342,7 @@ func FigWriteBehind(opts Options) (*Figure, error) {
 		{"window 1", 1},
 		{"window 8 (default)", 0},
 	} {
+		stats.ResetWireCopy()
 		fs := vfs.New()
 		fs.SetDisk(netsim.NewDisk())
 		st, err := NewSFS(fs, SFSOptions{

@@ -16,6 +16,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/netsim"
 	"repro/internal/nfs"
+	"repro/internal/stats"
 	"repro/internal/vfs"
 )
 
@@ -65,6 +66,7 @@ func FigWarmRead(opts Options) (*Figure, error) {
 		Title: fmt.Sprintf("client data cache: %d MB sequential re-read in 8 KB chunks", size>>20),
 	}
 
+	stats.ResetWireCopy()
 	fs := vfs.New()
 	fs.SetDisk(netsim.NewDisk())
 	copts := SFSOptions{Encrypt: true, EnhancedCaching: true, DataCacheBytes: warmCacheBytes}

@@ -138,9 +138,13 @@ func (c *Client) TotalRPCs() uint64 {
 type Snapshot struct {
 	IO     IOStats      `json:"io"`
 	Mounts []MountStats `json:"mounts,omitempty"`
+	// WireCopy is the process-wide zero-copy wire path accounting
+	// (DESIGN.md §12): on the client it mostly reflects borrowed WRITE
+	// args on the way out and borrowed READ reply data on the way in.
+	WireCopy stats.WireCopyStats `json:"wire_copy"`
 }
 
 // StatsSnapshot captures the whole client.
 func (c *Client) StatsSnapshot() Snapshot {
-	return Snapshot{IO: c.IOStats(), Mounts: c.mountStats()}
+	return Snapshot{IO: c.IOStats(), Mounts: c.mountStats(), WireCopy: stats.WireCopySnapshot()}
 }

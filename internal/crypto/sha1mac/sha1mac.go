@@ -65,6 +65,38 @@ func Sum(key, data []byte) [Size]byte {
 	return out
 }
 
+// SumVec computes the MAC of the concatenation of segs under the
+// 32-byte per-message key, without materializing the concatenation:
+// SHA-1 is a streaming hash, so feeding the segments in order yields
+// exactly Sum(key, concat(segs)). This is what lets the secure
+// channel seal a scatter-gather record without first flattening it.
+func SumVec(key []byte, segs [][]byte) [Size]byte {
+	if len(key) != KeySize {
+		panic("sha1mac: key must be 32 bytes")
+	}
+	var total uint64
+	for _, s := range segs {
+		total += uint64(len(s))
+	}
+	st := statePool.Get().(*macState)
+	binary.BigEndian.PutUint64(st.ln[:], total)
+	st.h.Reset()
+	st.h.Write(key[:16])
+	st.h.Write(key[16:])
+	st.h.Write(st.ln[:])
+	for _, s := range segs {
+		st.h.Write(s)
+	}
+	st.h.Sum(st.isum[:0])
+	st.h.Reset()
+	st.h.Write(key[:16])
+	st.h.Write(st.isum[:])
+	st.h.Sum(st.out[:0])
+	out := st.out
+	statePool.Put(st)
+	return out
+}
+
 // Verify reports whether mac is the correct MAC for data under key,
 // in constant time.
 func Verify(key, data, mac []byte) bool {

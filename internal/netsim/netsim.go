@@ -41,6 +41,11 @@ type Profile struct {
 	PerMessage time.Duration
 	// PerByte is charged per payload byte (wire time).
 	PerByte time.Duration
+	// CopyPerByte models user-space staging copies (the SFS daemons
+	// memcpy every payload byte between buffers on the era's hardware).
+	// Flat Writes always pay it; vectored WriteSegments does not —
+	// a scatter-gather sender has no staging copy to charge for.
+	CopyPerByte time.Duration
 	// RelayPerMessage models the SFS user-level relay: the extra
 	// boundary crossings a message suffers passing through sfscd or
 	// sfssd rather than staying in the kernel.
@@ -53,8 +58,16 @@ type Profile struct {
 	CryptoPerMessage time.Duration
 }
 
-// Cost returns the total charge for one message of n bytes.
+// Cost returns the total charge for one flat-Write message of n
+// bytes, staging copy included.
 func (p Profile) Cost(n int) time.Duration {
+	return p.PerMessage + p.RelayPerMessage + p.CryptoPerMessage +
+		time.Duration(n)*(p.PerByte+p.CryptoPerByte+p.CopyPerByte)
+}
+
+// vectoredCost is Cost without the user-space staging-copy component:
+// the charge for a scatter-gather send of n bytes.
+func (p Profile) vectoredCost(n int) time.Duration {
 	return p.PerMessage + p.RelayPerMessage + p.CryptoPerMessage +
 		time.Duration(n)*(p.PerByte+p.CryptoPerByte)
 }
@@ -100,7 +113,8 @@ func NFSTCP() Profile {
 func SFS(encrypted bool) Profile {
 	p := Profile{
 		PerMessage:      TCPPerMessage,
-		PerByte:         WireNsPerByte + SFSCopyNsPerByte,
+		PerByte:         WireNsPerByte,
+		CopyPerByte:     SFSCopyNsPerByte,
 		RelayPerMessage: SFSRelayPerMessage,
 	}
 	if encrypted {
@@ -133,8 +147,9 @@ func spinWait(d time.Duration) {
 // Conn shapes the write side of a connection with a Profile.
 type Conn struct {
 	net.Conn
-	p  Profile
-	mu sync.Mutex
+	p    Profile
+	mu   sync.Mutex
+	vbuf net.Buffers // WriteSegments scratch, guarded by mu
 }
 
 // Shape wraps conn so every Write is charged under p. Shape both ends
@@ -149,6 +164,35 @@ func (c *Conn) Write(b []byte) (int, error) {
 	spinWait(c.p.Cost(len(b)))
 	c.mu.Unlock()
 	return c.Conn.Write(b)
+}
+
+// WriteSegments charges one message at the vectored rate — everything
+// Cost charges except the user-space staging copy, which a
+// scatter-gather send does not perform — then forwards the segments
+// (writev on OS sockets, sequential writes otherwise). It satisfies
+// sunrpc.SegmentWriter; copied is always 0. Segments are not retained.
+func (c *Conn) WriteSegments(segs [][]byte) (int, int, error) {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	c.mu.Lock()
+	spinWait(c.p.vectoredCost(n))
+	// net.Buffers.WriteTo consumes its receiver (re-slices and zeroes
+	// entries), so build it in the scratch and restore the full slice
+	// afterwards for reuse.
+	bufs := append(c.vbuf[:0], segs...)
+	c.vbuf = bufs // keep the pre-WriteTo header for scratch reuse
+	_, err := (&bufs).WriteTo(c.Conn)
+	for i := range c.vbuf {
+		c.vbuf[i] = nil
+	}
+	c.vbuf = c.vbuf[:0]
+	c.mu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, 0, nil
 }
 
 // PacketConn shapes the send side of a packet connection (the NFS

@@ -231,8 +231,11 @@ func (c *Client) dataLookup(fh FH, offset uint64, count uint32) ([]byte, bool, b
 // entry is live and no invalidation has raced the RPC (epoch check):
 // a callback processed between issue and reply must win, or a stale
 // block could be revived after forget dropped it. data must be safe
-// to retain (XDR decoding already copies reply bytes into fresh
-// slices).
+// to retain: with the gather path off XDR decoding copies reply bytes
+// into fresh slices; with it on, data borrows the reply record, which
+// ReadRecord allocated fresh for this one reply and nothing ever
+// reuses — either way the cache alone references the bytes, and the
+// invalEpoch guard above decides whether they may serve warm hits.
 func (c *Client) populate(fh FH, offset uint64, data []byte, eof bool, epoch uint64) {
 	core := c.core
 	dc := core.dc

@@ -180,6 +180,13 @@ type ServerStats struct {
 	// for the default in-memory store, so memstore stats documents are
 	// unchanged by the storage refactor.
 	Storage *storage.Stats `json:"storage,omitempty"`
+	// WireCopy is the process-wide zero-copy wire path accounting
+	// (DESIGN.md §12): payload bytes entering the encode path, how
+	// many were memcpy'd versus borrowed, and the per-record
+	// copies-per-payload histogram. Process-wide, not per-server — a
+	// daemon runs one wire role, and the bench harness snapshots it
+	// per workload via stats.ResetWireCopy.
+	WireCopy stats.WireCopyStats `json:"wire_copy"`
 }
 
 // TotalCalls sums the per-procedure call counts — the number the Fig
@@ -212,6 +219,7 @@ func (s *Server) StatsSnapshot() ServerStats {
 		VFSLocks: s.fs.LockStatsSnapshot(),
 		RPC:      m.rpc.Snapshot(),
 		Storage:  s.fs.StorageStats(),
+		WireCopy: stats.WireCopySnapshot(),
 	}
 	for i := range m.procs {
 		n := m.procs[i].calls.Load()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/sunrpc"
 	"repro/internal/vfs"
 	"repro/internal/xdr"
@@ -403,11 +404,27 @@ func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth
 		if err != nil {
 			return ReadRes{Status: statusFromErr(err)}, nil
 		}
+		// data is a fresh per-call snapshot taken under the node's
+		// RLock (vfs.Read), so the reply encoder may borrow it
+		// end-to-end: nothing mutates it after this return, which is
+		// exactly the gather path's ownership rule (DESIGN.md §12).
 		return ReadRes{Status: OK, Attr: s.attrFor(sess, id), Count: uint32(len(data)), EOF: eof, Data: data}, nil
 	case ProcWrite:
+		// WRITE data may alias the call record: both record sources
+		// (fresh per-record stream buffers, pooled datagram packets
+		// recycled only after dispatch returns) outlive this handler,
+		// and fs.Write consumes the bytes synchronously — the store
+		// copies them under the node lock before returning.
+		d.SetBorrow(sunrpc.GatherEnabled())
 		var a WriteArgs
 		if err := d.Decode(&a); err != nil {
 			return nil, sunrpc.ErrGarbageArgs
+		}
+		if n := d.BorrowedBytes(); n > 0 {
+			stats.NoteWireBorrowed(n)
+		}
+		if n := d.CopiedBytes(); n > 0 {
+			stats.NoteWireCopied(n)
 		}
 		id, err := s.codec.Decode(a.FH)
 		if err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package secchan
+
+const raceEnabled = false

@@ -41,6 +41,7 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rabin"
 	"repro/internal/crypto/sha1mac"
+	"repro/internal/stats"
 	"repro/internal/sunrpc"
 	"repro/internal/xdr"
 )
@@ -397,6 +398,9 @@ type Conn struct {
 	send       *arc4.Cipher
 	sealBuf    []byte // sealed-record scratch, guarded by wmu
 	sendMacKey [sha1mac.KeySize]byte
+	wsegs      [][]byte           // segment scratch for WriteSegments, guarded by wmu
+	sendHdr    [4]byte            // record-length header for the vectored path
+	sendMac    [sha1mac.Size]byte // MAC staging for the vectored path
 
 	rmu        sync.Mutex
 	recv       *arc4.Cipher
@@ -485,10 +489,113 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if _, err := c.raw.Write(rec); err != nil {
 		return 0, err
 	}
+	// Wire-copy accounting for the legacy funnel: staging p into the
+	// record buffer is one full pass over the payload. Only records big
+	// enough to contain payload-class opaques count, so handshake and
+	// header-only traffic does not dilute the copies-per-payload ratio.
+	if len(p) >= legacyCopyMin {
+		stats.NoteWireCopied(uint64(len(p)))
+	}
 	chanStats.seals.Inc()
 	chanStats.sealPlain.Add(uint64(len(p)))
 	chanStats.sealCipher.Add(uint64(len(rec)))
 	return len(p), nil
+}
+
+// legacyCopyMin is the record size from which the legacy Write path
+// charges its staging copy to the wire-copy accounting: large enough
+// to exclude handshake and header-only records, well below one
+// payload-carrying 8KB READ/WRITE record.
+const legacyCopyMin = 4096
+
+// WriteSegments seals the concatenation of segs as one record without
+// requiring a contiguous plaintext (sunrpc.SegmentWriter). The MAC
+// streams over the segments; then:
+//
+//   - encryption on: the record is sealed in place — each plaintext
+//     byte is staged into the framing buffer by the same XOR pass that
+//     encrypts it (arc4's dst≠src form), so framing costs one fused
+//     copy+encrypt pass total, not a copy pass plus a crypto pass.
+//   - encryption off: the header, borrowed segments, and MAC go to
+//     the transport vectored, zero staging copies, when the transport
+//     is itself a SegmentWriter (the keystream is skipped to stay
+//     aligned with the peer).
+//
+// Segments must stay immutable until WriteSegments returns. copied
+// reports the bytes staged through the framing buffer (the sealed
+// record length when encrypting, 0 on the vectored plaintext path).
+func (c *Conn) WriteSegments(segs [][]byte) (int, int, error) {
+	plen := 0
+	for _, s := range segs {
+		plen += len(s)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.send.KeyStreamInto(c.sendMacKey[:])
+	mac := sha1mac.SumVec(c.sendMacKey[:], segs)
+	reclen := 4 + plen + sha1mac.Size
+	sw, vectored := c.raw.(sunrpc.SegmentWriter)
+	copied := 0
+	var err error
+	if c.encrypt || !vectored {
+		rec, ret := sized(c.sealBuf, reclen)
+		c.sealBuf = ret
+		rec[0] = byte(plen >> 24)
+		rec[1] = byte(plen >> 16)
+		rec[2] = byte(plen >> 8)
+		rec[3] = byte(plen)
+		if c.encrypt {
+			c.send.XORKeyStream(rec[:4], rec[:4])
+			pos := 4
+			for _, s := range segs {
+				c.send.XORKeyStream(rec[pos:pos+len(s)], s)
+				pos += len(s)
+			}
+			copy(rec[pos:], mac[:])
+			c.send.XORKeyStream(rec[pos:], rec[pos:])
+		} else {
+			pos := 4
+			for _, s := range segs {
+				pos += copy(rec[pos:], s)
+			}
+			copy(rec[pos:], mac[:])
+			c.send.Skip(reclen)
+		}
+		copied = reclen
+		if vectored {
+			// Hand the sealed record down as a single segment: the
+			// transport's staging-copy charge does not apply — the
+			// fused seal pass above already was the staging.
+			ws := append(c.wsegs[:0], rec)
+			c.wsegs = ws
+			_, _, err = sw.WriteSegments(ws)
+			ws[0] = nil
+		} else {
+			_, err = c.raw.Write(rec)
+		}
+	} else {
+		c.sendHdr[0] = byte(plen >> 24)
+		c.sendHdr[1] = byte(plen >> 16)
+		c.sendHdr[2] = byte(plen >> 8)
+		c.sendHdr[3] = byte(plen)
+		c.sendMac = mac
+		c.send.Skip(reclen)
+		ws := append(c.wsegs[:0], c.sendHdr[:])
+		ws = append(ws, segs...)
+		ws = append(ws, c.sendMac[:])
+		c.wsegs = ws
+		_, _, err = sw.WriteSegments(ws)
+		for i := range ws {
+			ws[i] = nil
+		}
+	}
+	if err != nil {
+		return 0, copied, err
+	}
+	chanStats.seals.Inc()
+	chanStats.sealPlain.Add(uint64(plen))
+	chanStats.sealCipher.Add(uint64(reclen))
+	return plen, copied, nil
 }
 
 // MaxRecord bounds a sealed record's plaintext.

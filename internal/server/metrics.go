@@ -16,6 +16,7 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/secchan"
 	"repro/internal/stats"
+	"repro/internal/sunrpc"
 )
 
 type masterMetrics struct {
@@ -73,6 +74,22 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.out.Add(uint64(n))
 	return n, err
+}
+
+// countingSegConn additionally forwards vectored writes, so the
+// metering wrapper does not hide the transport's SegmentWriter from
+// the secure channel (which would silently re-route the zero-copy
+// wire path of DESIGN.md §12 through the flat Write funnel). It is
+// used only when the wrapped connection itself is a SegmentWriter.
+type countingSegConn struct {
+	*countingConn
+	sw sunrpc.SegmentWriter
+}
+
+func (c *countingSegConn) WriteSegments(segs [][]byte) (int, int, error) {
+	n, copied, err := c.sw.WriteSegments(segs)
+	c.out.Add(uint64(n))
+	return n, copied, err
 }
 
 func (c *countingConn) Close() error {

@@ -247,6 +247,9 @@ func (s *Server) HandleConn(rawConn net.Conn) {
 			peer, dialect, durRound(time.Since(start)), in, out)
 	}
 	var conn net.Conn = cc
+	if sw, ok := rawConn.(sunrpc.SegmentWriter); ok {
+		conn = &countingSegConn{countingConn: cc, sw: sw}
+	}
 	req, err := secchan.ReadConnect(conn)
 	if err != nil {
 		conn.Close()

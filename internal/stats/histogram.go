@@ -62,6 +62,16 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observes; only reset paths (test scoping) should use it.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // Bucket is one populated histogram bucket in a snapshot.
 type Bucket struct {
 	Lo    uint64 `json:"lo"`

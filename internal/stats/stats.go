@@ -28,6 +28,10 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Store overwrites the count; only reset paths (test scoping of
+// process-wide counters) should use it.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
 // Gauge is an instantaneous level — queue depth, busy workers,
 // window occupancy — with a high-watermark. The zero value is ready
 // to use.

@@ -1,0 +1,79 @@
+package stats
+
+// Wire-copy accounting for the zero-copy wire path (DESIGN.md §12).
+// Process-wide by design: a daemon runs exactly one wire role (sfssd
+// serves, sfscd mounts), and the counters answer one question — how
+// many times is a payload byte touched between the vfs/datacache
+// buffer and the socket?
+//
+// Classification: an opaque of xdr.BorrowThreshold bytes or more is
+// "payload" (8KB READ/WRITE data blocks; handshake and header traffic
+// never reaches the threshold). Payload bytes are tallied once, at
+// the encode side; every layer that memcpy's payload-class bytes —
+// flat xdr append, record flatten, secchan staging or fused seal,
+// decoder copy-out — adds to the copied counter. The per-record
+// histogram observes round(copied/payload), so "≤1 copy per 8KB READ
+// with encryption on" is a bucket assertion, not a vibe.
+
+// wireCopy holds the package-global wire-copy counters.
+var wireCopy struct {
+	payload  Counter
+	copied   Counter
+	borrowed Counter
+	copies   Histogram // copies-per-payload-byte ratio, per record
+}
+
+// NoteWirePayload records n payload-class bytes entering the wire
+// path (counted once, at encode time).
+func NoteWirePayload(n uint64) { wireCopy.payload.Add(n) }
+
+// NoteWireCopied records n payload-class bytes crossing a memcpy.
+func NoteWireCopied(n uint64) { wireCopy.copied.Add(n) }
+
+// NoteWireBorrowed records n payload-class bytes passed by reference.
+func NoteWireBorrowed(n uint64) { wireCopy.borrowed.Add(n) }
+
+// ObserveWireCopies records one record's copies-per-payload ratio
+// (rounded to the nearest integer) in the histogram. Records with no
+// payload are not observed.
+func ObserveWireCopies(copied, payload uint64) {
+	if payload == 0 {
+		return
+	}
+	wireCopy.copies.Observe((copied + payload/2) / payload)
+}
+
+// WireCopyStats is the JSON form of the wire-copy counters.
+type WireCopyStats struct {
+	PayloadBytes     uint64       `json:"wire_payload_bytes"`
+	BytesCopied      uint64       `json:"wire_bytes_copied"`
+	BytesBorrowed    uint64       `json:"wire_bytes_borrowed"`
+	CopiesPerPayload HistSnapshot `json:"copies_per_payload"`
+	// CopyRatio = BytesCopied / PayloadBytes: average times each
+	// payload byte was memcpy'd end to end. The Fig 5 invariant is
+	// ratio ≤ 1.01 with gather on + encryption on, ≥ 3 with gather off.
+	CopyRatio float64 `json:"copy_ratio"`
+}
+
+// WireCopySnapshot captures the process-wide wire-copy counters.
+func WireCopySnapshot() WireCopyStats {
+	s := WireCopyStats{
+		PayloadBytes:     wireCopy.payload.Load(),
+		BytesCopied:      wireCopy.copied.Load(),
+		BytesBorrowed:    wireCopy.borrowed.Load(),
+		CopiesPerPayload: wireCopy.copies.Snapshot(),
+	}
+	if s.PayloadBytes > 0 {
+		s.CopyRatio = float64(s.BytesCopied) / float64(s.PayloadBytes)
+	}
+	return s
+}
+
+// ResetWireCopy zeroes the wire-copy counters. Tests and bench runs
+// use this to scope the copy-ratio invariant to one workload.
+func ResetWireCopy() {
+	wireCopy.payload.Store(0)
+	wireCopy.copied.Store(0)
+	wireCopy.borrowed.Store(0)
+	wireCopy.copies.Reset()
+}

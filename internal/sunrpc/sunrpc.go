@@ -172,6 +172,108 @@ func putBuf(b *[]byte) {
 	bufPool.Put(b)
 }
 
+// gatherOn gates the scatter-gather wire path end to end: encoder
+// borrow mode at dispatch/Start, decoder borrow mode in decodeReply,
+// and the SegmentWriter route in WriteRecordEncoder. On by default;
+// turning it off restores the flat copy-everything pipeline (the
+// ablation mode the wire-copy invariant test measures "before" with).
+var gatherOn atomic.Bool
+
+func init() { gatherOn.Store(true) }
+
+// SetGather toggles the zero-copy wire path process-wide. Affects
+// records encoded after the call.
+func SetGather(on bool) { gatherOn.Store(on) }
+
+// GatherEnabled reports whether the zero-copy wire path is on.
+func GatherEnabled() bool { return gatherOn.Load() }
+
+// SegmentWriter is implemented by transports that can consume a
+// record as a segment list — writing vectored or sealing in place —
+// instead of requiring one contiguous buffer. Segments must be
+// treated as immutable and not retained after WriteSegments returns.
+// n is the total bytes written; copied is how many bytes the
+// transport staged through an intermediate buffer (0 for a vectored
+// write, the record length for a seal-in-place pass).
+type SegmentWriter interface {
+	WriteSegments(segs [][]byte) (n int, copied int, err error)
+}
+
+// segScratch is the per-write scratch of WriteRecordEncoder: the
+// record-marking header lives in the same heap object as the segment
+// list so neither escapes to a fresh allocation per record.
+type segScratch struct {
+	hdr  [4]byte
+	segs [][]byte
+}
+
+var segPool = sync.Pool{
+	New: func() interface{} { return &segScratch{segs: make([][]byte, 0, 8)} },
+}
+
+// WriteRecordEncoder writes e's encoding as one record-marked message
+// (RFC 1831 §10) to w, without flattening when w is a SegmentWriter
+// and the gather path is on: the header and e's segments — including
+// borrowed payload slices — go straight to the transport. Otherwise
+// the record is flattened through a pooled buffer exactly like
+// WriteRecord. Wire-copy accounting (DESIGN.md §12) happens here:
+// payload-class bytes are tallied once per record, every flatten or
+// staging pass adds to wire_bytes_copied, and the per-record
+// copies-per-payload ratio feeds the histogram.
+func WriteRecordEncoder(w io.Writer, e *xdr.Encoder) error {
+	n := e.Len()
+	if n > 0x7fffffff {
+		return errors.New("sunrpc: record too large")
+	}
+	payload := e.PayloadBytes()
+	copied := e.CopiedBytes() // flat appends inside the encoder
+	var err error
+	if sw, ok := w.(SegmentWriter); ok && GatherEnabled() {
+		sc := segPool.Get().(*segScratch)
+		binary.BigEndian.PutUint32(sc.hdr[:], uint32(n)|0x80000000)
+		sc.segs = append(sc.segs[:0], sc.hdr[:])
+		sc.segs = append(sc.segs, e.Segments()...)
+		var staged int
+		_, staged, err = sw.WriteSegments(sc.segs)
+		if staged > 0 {
+			copied += payload // one seal/staging pass touches every payload byte
+		}
+		for i := range sc.segs {
+			sc.segs[i] = nil
+		}
+		sc.segs = sc.segs[:0]
+		segPool.Put(sc)
+	} else {
+		bp := getBuf()
+		buf := (*bp)[:0]
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(n)|0x80000000)
+		buf = append(buf, hdr[:]...)
+		for _, s := range e.Segments() {
+			buf = append(buf, s...)
+		}
+		copied += payload // the flatten pass touches every payload byte
+		_, err = w.Write(buf)
+		*bp = buf
+		putBuf(bp)
+	}
+	if err == nil {
+		wire.recordsOut.Inc()
+		wire.bytesOut.Add(uint64(n + 4))
+	}
+	if payload > 0 {
+		stats.NoteWirePayload(payload)
+		if b := e.BorrowedBytes(); b > 0 {
+			stats.NoteWireBorrowed(b)
+		}
+	}
+	if copied > 0 {
+		stats.NoteWireCopied(copied)
+	}
+	stats.ObserveWireCopies(copied, payload)
+	return err
+}
+
 // WriteRecord writes one record-marked message (RFC 1831 §10) to w.
 // The entire message is sent as a single fragment with the last-
 // fragment bit set. The combined header+payload is staged in a pooled
@@ -343,7 +445,7 @@ func (c *Client) serveCall(rec record) {
 		return
 	}
 	c.wmu.Lock()
-	err = WriteRecord(c.conn, e.Bytes())
+	err = WriteRecordEncoder(c.conn, e)
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(err)
@@ -406,6 +508,10 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
+	// Gather mode borrows payload-class args (write-behind chunks);
+	// they stay immutable until WriteRecordEncoder returns below, which
+	// is all the ownership rule requires.
+	e.SetGather(GatherEnabled())
 	e.PutUint32(xid)
 	e.PutUint32(msgCall)
 	if err := e.Encode(callHeader{
@@ -426,7 +532,7 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 		}
 	}
 	c.wmu.Lock()
-	err := WriteRecord(c.conn, e.Bytes())
+	err := WriteRecordEncoder(c.conn, e)
 	c.wmu.Unlock()
 	if err != nil {
 		c.cancel(xid)
@@ -458,6 +564,11 @@ func (c *Client) Finish(ch <-chan record, res interface{}) error {
 
 func decodeReply(rec record, res interface{}) error {
 	d := xdr.NewDecoder(rec)
+	// Reply records are freshly allocated by ReadRecord and never
+	// reused, so decoded payload fields (READ data) may alias them for
+	// as long as the caller likes — including the data cache retaining
+	// them as block contents.
+	d.SetBorrow(GatherEnabled())
 	if _, err := d.Uint32(); err != nil { // xid
 		return err
 	}
@@ -502,7 +613,14 @@ func decodeReply(rec record, res interface{}) error {
 	if res == nil {
 		return nil
 	}
-	return d.Decode(res)
+	derr := d.Decode(res)
+	if n := d.CopiedBytes(); n > 0 {
+		stats.NoteWireCopied(n)
+	}
+	if n := d.BorrowedBytes(); n > 0 {
+		stats.NoteWireBorrowed(n)
+	}
+	return derr
 }
 
 // Handler processes one procedure call. args is the undecoded argument
@@ -636,7 +754,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 				if e == nil {
 					continue
 				}
-				if err := WriteRecord(conn, e.Bytes()); err != nil {
+				if err := WriteRecordEncoder(conn, e); err != nil {
 					fail(err)
 				}
 				xdr.PutEncoder(e)
@@ -684,7 +802,7 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 				return
 			}
 			wmu.Lock()
-			werr := WriteRecord(conn, e.Bytes())
+			werr := WriteRecordEncoder(conn, e)
 			wmu.Unlock()
 			xdr.PutEncoder(e)
 			if werr != nil {
@@ -729,7 +847,7 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 			return err
 		}
 		if ok {
-			err = WriteRecord(conn, e.Bytes())
+			err = WriteRecordEncoder(conn, e)
 		}
 		met.InFlight.Dec()
 		if err != nil {
@@ -743,6 +861,10 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 // unparseable records are dropped. e never escapes: the caller owns it.
 func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
 	e.Reset()
+	// Reply payloads (READ data) are borrowed into the record when the
+	// gather path is on; vfs.Read hands out a fresh per-call snapshot,
+	// so the borrow is immutable by construction (DESIGN.md §12).
+	e.SetGather(GatherEnabled())
 	m := s.met.Load()
 	d := xdr.NewDecoder(rec)
 	xid, err := d.Uint32()

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/stats"
 	"repro/internal/xdr"
 )
 
@@ -85,16 +86,30 @@ func (s *Server) ServePacket(pc net.PacketConn) error {
 			if err != nil || !ok {
 				return
 			}
-			reply := e.Bytes()
+			// Datagram replies must go out as one packet, so the
+			// segments (possibly including borrowed payload when gather
+			// is on) are flattened into a pooled buffer; the flatten
+			// pass is the one copy the accounting charges here.
+			rlen := e.Len()
 			op := getBuf()
 			out := (*op)[:0]
 			var hdr [4]byte
 			hdr[0] = 0x80
-			hdr[1] = byte(len(reply) >> 16)
-			hdr[2] = byte(len(reply) >> 8)
-			hdr[3] = byte(len(reply))
+			hdr[1] = byte(rlen >> 16)
+			hdr[2] = byte(rlen >> 8)
+			hdr[3] = byte(rlen)
 			out = append(out, hdr[:]...)
-			out = append(out, reply...)
+			for _, seg := range e.Segments() {
+				out = append(out, seg...)
+			}
+			if payload := e.PayloadBytes(); payload > 0 {
+				stats.NoteWirePayload(payload)
+				if b := e.BorrowedBytes(); b > 0 {
+					stats.NoteWireBorrowed(b)
+				}
+				stats.NoteWireCopied(e.CopiedBytes() + payload)
+				stats.ObserveWireCopies(e.CopiedBytes()+payload, payload)
+			}
 			pc.WriteTo(out, addr) //nolint:errcheck // best-effort datagram
 			*op = out
 			putBuf(op)

@@ -7,6 +7,7 @@ package vfs
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,10 +29,9 @@ func newDiskFS(t *testing.T, dir string, opts diskstore.Options) (*FS, *diskstor
 		t.Fatalf("NewWithStores: %v", err)
 	}
 	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
-	tick := 0
+	var tick atomic.Int64 // concurrent writers stamp records in parallel
 	fs.clock = func() time.Time {
-		tick++
-		return base.Add(time.Duration(tick) * time.Second)
+		return base.Add(time.Duration(tick.Add(1)) * time.Second)
 	}
 	return fs, ds
 }

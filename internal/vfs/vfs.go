@@ -1272,6 +1272,12 @@ func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, t
 // whether the read reached end of file. The copy is made under the
 // file's own read lock, so concurrent reads — of this file or any
 // other — proceed in parallel.
+//
+// The returned slice is a fresh snapshot no one else references:
+// store-level buffers mutate in place under writes (memstore WriteAt),
+// so this snapshot — not the store's backing array — is the stable
+// slice the wire path borrows into READ replies (DESIGN.md §12). This
+// copy is the one unavoidable touch between disk state and the wire.
 func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool, error) {
 	n, err := fs.getRLocked(id)
 	if err != nil {

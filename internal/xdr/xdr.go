@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxElements bounds the length accepted for any variable-length item
@@ -87,19 +89,108 @@ func Unmarshal(data []byte, v interface{}) error {
 	return nil
 }
 
-// An Encoder appends XDR-encoded values to an internal buffer.
-// The zero value is ready for use.
-type Encoder struct {
-	buf []byte
+// BorrowThreshold is the opaque size at and above which a gathering
+// Encoder borrows the caller's slice instead of copying it, and at
+// which the wire-copy accounting classifies bytes as payload. Below
+// it, the bookkeeping costs more than the memcpy it would save.
+const BorrowThreshold = 1024
+
+// borrowMark splices one borrowed slice into the owned buffer: the
+// bytes of b belong between buf[:off] and buf[off:]. Offsets rather
+// than owned sub-slices survive buf reallocation.
+type borrowMark struct {
+	off int
+	b   []byte
 }
 
-// Bytes returns the encoded bytes accumulated so far. The returned
-// slice aliases the encoder's buffer.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// An Encoder appends XDR-encoded values to an internal buffer.
+// The zero value is ready for use.
+//
+// In gather mode (SetGather), large opaques are spliced in by
+// reference instead of copied: Segments returns the encoding as an
+// ordered segment list mixing owned ranges and borrowed slices.
+// Ownership rule: a borrowed slice must stay immutable until the
+// segments have been consumed (flushed to the transport, or the
+// encoder Reset/returned to the pool). Mutating a borrow in that
+// window corrupts the record — on a secure channel the receiver's
+// MAC check fails and the channel dies.
+type Encoder struct {
+	buf    []byte
+	gather bool
+	marks  []borrowMark
+	segs   [][]byte // scratch for Segments
 
-// Reset empties the encoder, retaining its buffer for reuse. Bytes
-// previously returned by Bytes are invalidated.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+	// Wire-copy accounting, reset with the encoder: bytes of
+	// payload-class opaques (>= BorrowThreshold) encountered, how many
+	// of them were copied into buf, and how many were borrowed.
+	payload  uint64
+	copied   uint64
+	borrowed uint64
+}
+
+// SetGather toggles gather mode for subsequent Put calls. Turning it
+// on mid-encode is fine; turning it off with borrows pending does not
+// flatten them.
+func (e *Encoder) SetGather(on bool) { e.gather = on }
+
+// Bytes returns the encoded bytes accumulated so far. The returned
+// slice aliases the encoder's buffer. It must not be used while
+// borrowed segments are pending — the owned buffer alone is not the
+// encoding — so it panics then; use Segments instead.
+func (e *Encoder) Bytes() []byte {
+	if len(e.marks) > 0 {
+		panic("xdr: Bytes on an encoder with borrowed segments; use Segments")
+	}
+	return e.buf
+}
+
+// Segments returns the encoding as an ordered segment list: owned
+// ranges of the internal buffer interleaved with borrowed slices.
+// The returned slice and its owned segments alias the encoder and are
+// invalidated by the next Put/Encode/Reset; borrowed segments alias
+// their callers' memory (see the ownership rule on Encoder).
+func (e *Encoder) Segments() [][]byte {
+	e.segs = e.segs[:0]
+	prev := 0
+	for _, m := range e.marks {
+		if m.off > prev {
+			e.segs = append(e.segs, e.buf[prev:m.off])
+		}
+		e.segs = append(e.segs, m.b)
+		prev = m.off
+	}
+	if len(e.buf) > prev || len(e.segs) == 0 {
+		e.segs = append(e.segs, e.buf[prev:])
+	}
+	return e.segs
+}
+
+// PayloadBytes returns how many payload-class opaque bytes
+// (>= BorrowThreshold) were encoded since the last Reset.
+func (e *Encoder) PayloadBytes() uint64 { return e.payload }
+
+// CopiedBytes returns how many payload-class bytes were copied into
+// the owned buffer (zero when every large opaque was borrowed).
+func (e *Encoder) CopiedBytes() uint64 { return e.copied }
+
+// BorrowedBytes returns how many payload-class bytes were borrowed.
+func (e *Encoder) BorrowedBytes() uint64 { return e.borrowed }
+
+// Reset empties the encoder, retaining its buffer for reuse and
+// dropping any borrowed-slice references. Bytes previously returned
+// by Bytes or Segments are invalidated. Gather mode is retained.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	for i := range e.marks {
+		e.marks[i].b = nil
+	}
+	e.marks = e.marks[:0]
+	for i := range e.segs {
+		e.segs[i] = nil
+	}
+	e.segs = e.segs[:0]
+	e.payload, e.copied, e.borrowed = 0, 0, 0
+}
 
 // encoderPool recycles Encoders for the hot wire path: one RPC needs
 // one encoder for the call or reply, and the marshaled bytes are
@@ -110,24 +201,59 @@ var encoderPool = sync.Pool{New: func() interface{} { return &Encoder{} }}
 // huge record (e.g. a 64 MB READ) cannot pin memory forever.
 const maxPooledBuf = 1 << 20
 
-// GetEncoder returns an empty Encoder from the package pool.
+// GetEncoder returns an empty Encoder from the package pool, with
+// gather mode off.
 func GetEncoder() *Encoder {
 	e := encoderPool.Get().(*Encoder)
+	e.gather = false
 	e.Reset()
 	return e
 }
 
+// poisonOnPut enables the use-after-put debug mode: PutEncoder
+// overwrites the encoder's entire buffer capacity with PoisonByte, so
+// any slice obtained from Bytes/Segments and illegally retained past
+// PutEncoder reads as garbage instead of silently aliasing the next
+// record. Enabled by the XDR_POISON environment variable or
+// SetPoisonOnPut; costs a memset per put, so it is off by default.
+var poisonOnPut atomic.Bool
+
+// PoisonByte is the fill value of the poison-on-put debug mode.
+const PoisonByte = 0xDB
+
+func init() {
+	if os.Getenv("XDR_POISON") != "" {
+		poisonOnPut.Store(true)
+	}
+}
+
+// SetPoisonOnPut toggles the poison-on-put debug mode at runtime
+// (tests use this; deployments use the XDR_POISON environment
+// variable).
+func SetPoisonOnPut(on bool) { poisonOnPut.Store(on) }
+
 // PutEncoder returns e to the pool. The caller must not touch e or
-// any slice returned by e.Bytes() afterwards.
+// any slice returned by e.Bytes() or e.Segments() afterwards: the
+// buffer is recycled by the next GetEncoder (and poisoned first when
+// the debug mode is on). Borrowed-slice references are dropped here
+// so a pooled encoder never pins caller memory.
 func PutEncoder(e *Encoder) {
+	e.Reset() // drops borrow and segment references
+	if poisonOnPut.Load() {
+		b := e.buf[:cap(e.buf)]
+		for i := range b {
+			b[i] = PoisonByte
+		}
+	}
 	if cap(e.buf) > maxPooledBuf {
 		return
 	}
 	encoderPool.Put(e)
 }
 
-// Len returns the number of bytes encoded so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the number of bytes encoded so far, borrowed segments
+// included.
+func (e *Encoder) Len() int { return len(e.buf) + int(e.borrowed) }
 
 // PutUint32 appends a 4-byte big-endian value.
 func (e *Encoder) PutUint32(v uint32) {
@@ -149,8 +275,23 @@ func (e *Encoder) PutBool(v bool) {
 }
 
 // PutFixedOpaque appends b with zero padding to a 4-byte boundary and
-// no length prefix.
+// no length prefix. In gather mode, payload-class slices
+// (>= BorrowThreshold) are borrowed by reference — see the ownership
+// rule on Encoder — with only the padding owned; otherwise the bytes
+// are copied into the buffer and tallied as a wire copy.
 func (e *Encoder) PutFixedOpaque(b []byte) {
+	if len(b) >= BorrowThreshold {
+		e.payload += uint64(len(b))
+		if e.gather {
+			e.borrowed += uint64(len(b))
+			e.marks = append(e.marks, borrowMark{off: len(e.buf), b: b})
+			for i := len(b); i%4 != 0; i++ {
+				e.buf = append(e.buf, 0)
+			}
+			return
+		}
+		e.copied += uint64(len(b))
+	}
 	e.buf = append(e.buf, b...)
 	for i := len(b); i%4 != 0; i++ {
 		e.buf = append(e.buf, 0)
@@ -266,10 +407,35 @@ func (e *Encoder) encodeValue(rv reflect.Value) error {
 type Decoder struct {
 	buf []byte
 	off int
+
+	// borrow lets decoded []byte fields alias the input buffer for
+	// payload-class opaques (>= BorrowThreshold) instead of copying.
+	// Only safe when the input buffer outlives every decoded value —
+	// client-side reply records are freshly allocated per record, so
+	// always safe there; server-side packet buffers are pooled, so
+	// handlers opt in only when they consume the bytes synchronously.
+	borrow bool
+
+	// Wire-copy accounting for payload-class opaques, mirroring the
+	// Encoder's: bytes copied out versus borrowed.
+	copied   uint64
+	borrowed uint64
 }
 
 // NewDecoder returns a Decoder reading from data.
 func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// SetBorrow toggles borrow mode for subsequently decoded []byte
+// fields (see the field comment for the safety rule).
+func (d *Decoder) SetBorrow(on bool) { d.borrow = on }
+
+// CopiedBytes returns how many payload-class opaque bytes were copied
+// out of the input buffer while decoding.
+func (d *Decoder) CopiedBytes() uint64 { return d.copied }
+
+// BorrowedBytes returns how many payload-class opaque bytes were
+// handed out as aliases of the input buffer.
+func (d *Decoder) BorrowedBytes() uint64 { return d.borrowed }
 
 // Remaining reports how many undecoded bytes remain.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -413,6 +579,14 @@ func (d *Decoder) decodeValue(rv reflect.Value) error {
 			b, err := d.Opaque()
 			if err != nil {
 				return err
+			}
+			if len(b) >= BorrowThreshold {
+				if d.borrow {
+					d.borrowed += uint64(len(b))
+					rv.SetBytes(b)
+					return nil
+				}
+				d.copied += uint64(len(b))
 			}
 			c := make([]byte, len(b))
 			copy(c, b)

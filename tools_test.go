@@ -7,7 +7,7 @@ package repro
 // Tier-1 practice: the concurrent RPC pipeline makes the race
 // detector part of the bar. Alongside `go test ./...`, run
 //
-//	go test -race ./internal/sunrpc ./internal/secchan ./internal/nfs ./internal/client ./internal/stats ./internal/vfs ./internal/storage/...
+//	go test -race ./internal/sunrpc ./internal/secchan ./internal/xdr ./internal/nfs ./internal/client ./internal/stats ./internal/vfs ./internal/storage/...
 //
 // before merging — those packages share connections between the
 // reader loop, the dispatch worker pool, and readahead/write-behind
@@ -34,7 +34,11 @@ package repro
 // durable storage layer adds wal.TestConcurrentAppendSync (group
 // commit: appenders racing the leader/follower fsync protocol) and
 // vfs.TestDiskRestartConcurrentWrites (crash-replay state swap racing
-// in-flight writes).
+// in-flight writes). The zero-copy wire path adds internal/xdr (gather
+// encoders borrow caller slices that dispatch workers seal) and
+// secchan.TestConcurrentGatherWritesRace (mixed Write/WriteSegments
+// traffic from many goroutines on one channel must keep the shared
+// ARC4 key stream aligned).
 
 import (
 	"bufio"

@@ -24,11 +24,15 @@
 //	block HOSTID    block a HostID in this agent (no other user affected)
 //	sfs             list this user's view of /sfs
 //	stats           print the client's pipeline and per-mount counters
+//	lat             print per-stage RPC latency (p50/p95/p99, needs -trace)
 //	quit
 //
 // -v reports each command's wall time and how many RPCs it cost.
 // -stats ADDR serves the same counters as JSON at http://ADDR/stats.
 // -quiet turns off the single-line dial/close connection log.
+// -trace records a per-RPC stage span for every mount's calls;
+// -trace-ring N sizes the span ring and -trace-slow DUR logs a
+// one-line stage waterfall for RPCs slower than DUR (DESIGN.md §13).
 package main
 
 import (
@@ -96,6 +100,9 @@ func main() {
 	verbose := flag.Bool("v", false, "report wall time and RPC count per command")
 	statsAddr := flag.String("stats", "", "serve JSON counters and pprof on this address")
 	quiet := flag.Bool("quiet", false, "suppress per-connection dial/close logging")
+	trace := flag.Bool("trace", false, "record per-RPC stage spans and latency histograms")
+	traceRing := flag.Int("trace-ring", 256, "capacity of the per-mount trace ring")
+	traceSlow := flag.Duration("trace-slow", 0, "log a stage waterfall for RPCs slower than this (implies -trace)")
 	var links, certpaths listFlag
 	flag.Var(&links, "link", "agent symlink NAME=TARGET (repeatable)")
 	flag.Var(&certpaths, "certpath", "certification path directory (repeatable)")
@@ -116,7 +123,7 @@ func main() {
 			addrs[parts[0]] = parts[1]
 		}
 	}
-	cl, err := client.New(client.Config{
+	cfg := client.Config{
 		Dial: func(location string) (net.Conn, error) {
 			addr, ok := addrs[location]
 			if !ok {
@@ -131,7 +138,13 @@ func main() {
 		},
 		RNG:             prng.New(),
 		EnhancedCaching: true,
-	})
+	}
+	if *trace || *traceSlow > 0 {
+		cfg.TraceSpans = *traceRing
+		cfg.TraceSlow = *traceSlow
+		cfg.TraceLogf = log.New(os.Stderr, "sfscd: ", log.LstdFlags).Printf
+	}
+	cl, err := client.New(cfg)
 	if err != nil {
 		die(err)
 	}
@@ -291,8 +304,22 @@ func run(cl *client.Client, a *agent.Agent, user, line string) bool {
 			return false
 		}
 		fmt.Println(string(out))
+	case "lat":
+		// Derived p50/p95/p99 per stage instead of raw bucket dumps;
+		// the full histograms stay in the JSON "stats" output.
+		any := false
+		for _, m := range cl.StatsSnapshot().Mounts {
+			if m.Stages == nil || m.Stages.Total.Count == 0 {
+				continue
+			}
+			any = true
+			fmt.Printf("%s\n%s", m.Path, m.Stages.Table())
+		}
+		if !any {
+			fmt.Println("no stage data (start sfscd with -trace)")
+		}
 	default:
-		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs stats quit")
+		fmt.Println("commands: ls ll cat put rm mkdir ln pwd bookmark bookmarks block sfs stats lat quit")
 	}
 	return false
 }

@@ -27,6 +27,13 @@
 // -stats ADDR serves live counters as JSON at http://ADDR/stats
 // (net/http/pprof rides along under /debug/pprof/). -quiet turns off
 // the single-line accept/close connection log.
+//
+// -trace records a per-RPC stage span (encode, seal, queue, dispatch,
+// vfs, fsync, reply) for every file RPC; the per-stage log2 histograms
+// with derived p50/p95/p99 appear under "nfs" in the stats endpoint.
+// -trace-ring N sizes the in-memory span ring (default 256) and
+// -trace-slow DUR logs a one-line stage waterfall for any RPC slower
+// than DUR (DESIGN.md §13).
 package main
 
 import (
@@ -67,6 +74,9 @@ func main() {
 	lease := flag.Uint("lease", 60000, "attribute lease in ms (0 disables SFS caching extensions)")
 	statsAddr := flag.String("stats", "", "serve JSON counters and pprof on this address")
 	quiet := flag.Bool("quiet", false, "suppress per-connection accept/close logging")
+	trace := flag.Bool("trace", false, "record per-RPC stage spans and latency histograms")
+	traceRing := flag.Int("trace-ring", 256, "capacity of the xid-tagged trace ring")
+	traceSlow := flag.Duration("trace-slow", 0, "log a stage waterfall for RPCs slower than this (implies -trace)")
 	var users userFlag
 	flag.Var(&users, "user", "register user name:uid:password:keyfile (repeatable)")
 	flag.Parse()
@@ -124,9 +134,14 @@ func main() {
 	if !*quiet {
 		master.SetLogf(log.New(os.Stderr, "sfssd: ", log.LstdFlags).Printf)
 	}
-	if _, err := master.Serve(server.ServedConfig{
+	srvCfg := server.ServedConfig{
 		Location: *location, Key: key, FS: fsys, Auth: auth, LeaseMS: uint32(*lease),
-	}); err != nil {
+	}
+	if *trace || *traceSlow > 0 {
+		srvCfg.TraceSpans = *traceRing
+		srvCfg.TraceSlow = *traceSlow
+	}
+	if _, err := master.Serve(srvCfg); err != nil {
 		die(err)
 	}
 	if *statsAddr != "" {

@@ -89,6 +89,10 @@ type Figure struct {
 	// snapshot, taken after its workloads ran — the raw per-procedure
 	// and write-stability numbers behind the Rows.
 	Counters map[string]nfs.ServerStats
+	// Latency holds the latency-attribution figure's per-stage
+	// client/server distributions, keyed by storage mode ("mem",
+	// "disk"). Nil for every other figure.
+	Latency map[string]LatencyMode
 }
 
 // noteCounters records st's server-side counter snapshot under label

@@ -22,6 +22,10 @@ type jsonFigure struct {
 	// snapshot (per-procedure calls and latency, write stability,
 	// COMMIT batches, transport totals), keyed by stack label.
 	Counters map[string]nfs.ServerStats `json:"counters,omitempty"`
+	// Latency carries the latency-attribution figure's per-stage
+	// client/server distributions (p50/p95/p99 per stage), keyed by
+	// storage mode ("mem", "disk").
+	Latency map[string]LatencyMode `json:"latency,omitempty"`
 }
 
 type jsonRow struct {
@@ -66,7 +70,7 @@ func (f *Figure) Slug() string {
 // WriteJSON writes the figure to dir/BENCH_<slug>.json and returns the
 // path. quick must reflect the Options the figure ran with.
 func (f *Figure) WriteJSON(dir string, quick bool) (string, error) {
-	jf := jsonFigure{ID: f.ID, Title: f.Title, Quick: quick, Counters: f.Counters}
+	jf := jsonFigure{ID: f.ID, Title: f.Title, Quick: quick, Counters: f.Counters, Latency: f.Latency}
 	for _, r := range f.Rows {
 		jf.Rows = append(jf.Rows, jsonRow{
 			Stack: r.Stack, Phase: r.Phase,

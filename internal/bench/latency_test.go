@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// clientStages and serverStages partition the taxonomy: each span
+// carries one side's stages, and their sums must reconcile to that
+// side's span totals.
+var clientStages = []string{"cli_encode", "cli_seal", "cli_write", "wire", "cli_decode"}
+var serverStages = []string{"srv_open", "queue", "dispatch", "vfs", "fsync", "reply_seal", "reply_write"}
+
+func stageSum(s stats.StageSetSnapshot, names []string) uint64 {
+	var sum uint64
+	for _, n := range names {
+		sum += s.Stages[n].SumUS
+	}
+	return sum
+}
+
+// reconcile asserts the acceptance criterion: the per-stage sums add
+// up to the span totals within 5% (the unattributed remainder is lock
+// handoffs and scheduler gaps between stamps).
+func reconcile(t *testing.T, label string, s stats.StageSetSnapshot, names []string) {
+	t.Helper()
+	total := s.Total.SumUS
+	sum := stageSum(s, names)
+	if total == 0 {
+		t.Fatalf("%s: no spans recorded", label)
+	}
+	lo, hi := total*95/100, total*105/100
+	if sum < lo || sum > hi {
+		t.Fatalf("%s: stage sum %dus vs total %dus (outside 5%%)", label, sum, total)
+	}
+}
+
+func TestFigLatencyShape(t *testing.T) {
+	fig, err := FigLatency(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"mem", "disk"} {
+		lm, ok := fig.Latency[mode]
+		if !ok {
+			t.Fatalf("mode %q missing from fig.Latency", mode)
+		}
+		reconcile(t, mode+" client", lm.Client, clientStages)
+		reconcile(t, mode+" server", lm.Server, serverStages)
+		// Client and server watch the same RPC stream; span counts of
+		// the two rings must agree.
+		if lm.Client.Total.Count != lm.Server.Total.Count {
+			t.Fatalf("%s: client recorded %d spans, server %d",
+				mode, lm.Client.Total.Count, lm.Server.Total.Count)
+		}
+		fsync := lm.Server.Stages["fsync"]
+		switch mode {
+		case "mem":
+			// The memory store never implements ClockedStore, so the
+			// fsync stage is structurally zero.
+			if fsync.Count != 0 {
+				t.Fatalf("mem mode recorded %d fsync stages", fsync.Count)
+			}
+		case "disk":
+			// Every COMMIT (one per durable write iteration) waits on
+			// the WAL; the stage must show up.
+			if fsync.Count == 0 || fsync.SumUS == 0 {
+				t.Fatalf("disk mode fsync stage empty: %+v", fsync)
+			}
+		}
+		// The wire stage only exists client-side, the vfs/queue stages
+		// only server-side — the two views must not bleed into each
+		// other.
+		if lm.Client.Stages["vfs"].Count != 0 || lm.Client.Stages["fsync"].Count != 0 {
+			t.Fatalf("%s: server stages leaked into client spans", mode)
+		}
+		if lm.Server.Stages["wire"].Count != 0 || lm.Server.Stages["cli_encode"].Count != 0 {
+			t.Fatalf("%s: client stages leaked into server spans", mode)
+		}
+	}
+	// The figure rows carry derived quantiles for both modes.
+	if _, ok := fig.RowFor("SFS (disk store)", "server p99"); !ok {
+		t.Fatal("missing disk-store server p99 row")
+	}
+
+	// The committed JSON must round-trip the latency section.
+	dir := t.TempDir()
+	path, err := fig.WriteJSON(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_latency.json" {
+		t.Fatalf("figure wrote %s, want BENCH_latency.json", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jf struct {
+		Latency map[string]LatencyMode `json:"latency"`
+	}
+	if err := json.Unmarshal(data, &jf); err != nil {
+		t.Fatal(err)
+	}
+	if jf.Latency["disk"].Server.Stages["fsync"].Count == 0 {
+		t.Fatal("fsync stage lost in JSON round trip")
+	}
+}

@@ -535,6 +535,11 @@ type SFSOptions struct {
 	// paper's cacheless client and their committed JSONs stay
 	// comparable; only workloads that opt in measure the cache.
 	DataCacheBytes int64
+	// TraceSpans > 0 enables per-RPC stage tracing on both the server
+	// and every client, with span rings of this capacity — the
+	// latency-attribution figure's knob. Zero keeps tracing off so the
+	// other figures measure the untraced hot path.
+	TraceSpans int
 }
 
 // dataCacheBytes maps the bench knob (zero = off) onto the client
@@ -605,7 +610,7 @@ func startSFSServer(fs *vfs.FS, opts SFSOptions) (*sfsServer, error) {
 	}
 	if _, err := master.Serve(server.ServedConfig{
 		Location: "bench.example.com", Key: key, FS: fs,
-		Auth: auth, LeaseMS: leaseMS,
+		Auth: auth, LeaseMS: leaseMS, TraceSpans: opts.TraceSpans,
 	}); err != nil {
 		return nil, err
 	}
@@ -638,6 +643,7 @@ func (sv *sfsServer) newClient(seed string, opts SFSOptions) (*client.Client, er
 		ReadAhead:       readAheadDepth(opts.NoReadAhead),
 		WriteBehind:     opts.WriteBehind,
 		DataCacheBytes:  dataCacheBytes(opts.DataCacheBytes),
+		TraceSpans:      opts.TraceSpans,
 	})
 	if err != nil {
 		return nil, err

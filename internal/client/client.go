@@ -17,6 +17,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"strings"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/secchan"
 	"repro/internal/sfsro"
 	"repro/internal/sfsrpc"
+	"repro/internal/stats"
 	"repro/internal/sunrpc"
 )
 
@@ -84,6 +86,15 @@ type Config struct {
 	// by the libsfs "%name" convention: when client and server
 	// agree on an ID's name, the percent prefix is dropped.
 	LocalUsers map[uint32]string
+	// TraceSpans, when > 0, enables per-RPC stage tracing on every
+	// mount with a span ring of that capacity.
+	TraceSpans int
+	// TraceSlow emits a one-line stage waterfall through TraceLogf for
+	// every traced RPC slower than this. Zero disables the slow log.
+	TraceSlow time.Duration
+	// TraceLogf receives slow-span log lines; nil falls back to the
+	// standard logger.
+	TraceLogf func(format string, args ...interface{})
 }
 
 // mount is one automounted remote file system: read-write over a
@@ -255,8 +266,20 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 		ReadAhead:      c.cfg.ReadAhead,
 		WriteBehind:    c.cfg.WriteBehind,
 		DataCacheBytes: c.cfg.DataCacheBytes,
+		TraceSpans:     c.cfg.TraceSpans,
 	}
 	base := nfs.Dial(sec, clCfg)
+	if ring := base.TraceRing(); ring != nil && c.cfg.TraceSlow > 0 {
+		logf := c.cfg.TraceLogf
+		if logf == nil {
+			logf = log.Printf
+		}
+		loc := p.Location
+		ring.SetSlowLog(c.cfg.TraceSlow, func(sp stats.Span) {
+			logf("slow rpc: server=%s proc=%s xid=%d principal=%d bytes=%d total=%dus %s",
+				loc, nfs.ProcName(sp.Proc), sp.XID, sp.Principal, sp.Bytes, sp.DurUS, sp.Waterfall())
+		})
+	}
 	root, _, err := base.MountRoot()
 	if err != nil {
 		base.Close()

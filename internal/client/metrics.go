@@ -92,6 +92,9 @@ type MountStats struct {
 	SingleFlightShared uint64 `json:"singleflight_shared"`
 	CacheLocks         uint64 `json:"cache_locks"`
 	CacheContended     uint64 `json:"cache_contended"`
+	// Stages is the client-observed per-stage latency breakdown of
+	// this mount's RPCs (present only when tracing is enabled).
+	Stages *stats.StageSetSnapshot `json:"stages,omitempty"`
 }
 
 // mountStats snapshots every live mount's counters.
@@ -118,6 +121,9 @@ func (c *Client) mountStats() []MountStats {
 		st.DataHits, st.DataMisses, st.DataBytesCached = s.DataHits, s.DataMisses, s.DataBytesCached
 		st.DataEvictions, st.SingleFlightShared = s.Evictions, s.SingleFlightShared
 		st.CacheLocks, st.CacheContended = s.CacheLocks, s.CacheContended
+		if m.base != nil {
+			st.Stages = m.base.StageSnapshot()
+		}
 		out = append(out, st)
 	}
 	return out

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/sunrpc"
 	"repro/internal/xdr"
 )
@@ -43,6 +44,10 @@ type ClientConfig struct {
 	DataCacheBytes int64
 	// Auth supplies per-call credentials; nil means anonymous.
 	Auth func() sunrpc.OpaqueAuth
+	// TraceSpans, when > 0, enables client-side RPC stage tracing with
+	// a span ring of that capacity (see stats.StageClock). Off (0), the
+	// per-call cost is a single atomic load.
+	TraceSpans int
 }
 
 // DefaultReadAhead is the pipelining depth used when ClientConfig
@@ -97,6 +102,10 @@ type nameEntry struct {
 type clientCore struct {
 	cfg  ClientConfig
 	peer *sunrpc.Client
+	// traceRing/traceStages are the client-side tracing sinks (nil
+	// unless ClientConfig.TraceSpans > 0).
+	traceRing   *stats.TraceRing
+	traceStages *stats.StageSet
 
 	mu     sync.RWMutex
 	attrs  map[string]attrEntry
@@ -193,11 +202,28 @@ func Dial(conn io.ReadWriteCloser, cfg ClientConfig) *Client {
 		return StatusRes{Status: OK}, nil
 	})
 	core.peer = sunrpc.NewPeer(conn, cb)
+	if cfg.TraceSpans > 0 {
+		core.traceRing, core.traceStages = core.peer.EnableTrace(cfg.TraceSpans)
+	}
 	auth := cfg.Auth
 	if auth == nil {
 		auth = sunrpc.NoAuth
 	}
 	return &Client{core: core, principal: "", auth: auth}
+}
+
+// TraceRing returns the client-side span ring, or nil when tracing is
+// off. The caller may attach a slow-span log to it (TraceRing.SetSlowLog).
+func (c *Client) TraceRing() *stats.TraceRing { return c.core.traceRing }
+
+// StageSnapshot returns the client-side per-stage latency histograms,
+// or nil when tracing is off.
+func (c *Client) StageSnapshot() *stats.StageSetSnapshot {
+	if c.core.traceStages == nil {
+		return nil
+	}
+	s := c.core.traceStages.Snapshot()
+	return &s
 }
 
 // WithAuth returns a view of the same connection for another

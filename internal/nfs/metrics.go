@@ -120,10 +120,13 @@ type ServerMetrics struct {
 	rpc *sunrpc.Metrics // shared with every session's RPC server
 }
 
-func newServerMetrics() *ServerMetrics {
+func newServerMetrics(traceSpans int) *ServerMetrics {
+	if traceSpans <= 0 {
+		traceSpans = 256
+	}
 	return &ServerMetrics{
 		pending: make(map[vfs.FileID]uint64),
-		rpc:     sunrpc.NewMetrics(),
+		rpc:     sunrpc.NewMetricsSized(traceSpans),
 	}
 }
 

@@ -71,6 +71,8 @@ type ServerConfig struct {
 	// IDNames maps a numeric user/group ID to a name for the libsfs
 	// mapping service (paper §3.3). Nil disables the service.
 	IDNames func(uid uint32, group bool) string
+	// TraceSpans sizes the xid-tagged trace ring; 0 means 256.
+	TraceSpans int
 }
 
 // NumLeaseStripes is the number of stripes in the lease table,
@@ -131,7 +133,7 @@ func NewServer(fs *vfs.FS, cfg ServerConfig) *Server {
 		creds:    cfg.Creds,
 		maxIO:    cfg.MaxIO,
 		sessions: make(map[*Session]struct{}),
-		met:      newServerMetrics(),
+		met:      newServerMetrics(cfg.TraceSpans),
 	}
 	for i := range s.leases {
 		s.leases[i].m = make(map[vfs.FileID]map[*Session]time.Time)
@@ -318,6 +320,12 @@ func (s *Server) dispatch(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d 
 }
 
 func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth, d *xdr.Decoder) (interface{}, error) {
+	// The RPC layer parks the call's stage clock in the decoder's
+	// context slot when tracing is on; nil otherwise, and every clock
+	// method is a no-op on nil. The data-path procedures below charge
+	// their substrate time to the vfs stage (with the WAL's fsync wait
+	// split out by the clocked write/commit variants).
+	clk, _ := d.Ctx().(*stats.StageClock)
 	credFn := s.creds
 	if sess != nil && sess.creds != nil {
 		credFn = sess.creds
@@ -400,7 +408,9 @@ func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth
 		if count > s.maxIO {
 			count = s.maxIO
 		}
+		tv := clk.Now()
 		data, eof, err := s.fs.Read(cred, id, a.Offset, count)
+		clk.End(stats.StageVFS, tv)
 		if err != nil {
 			return ReadRes{Status: statusFromErr(err)}, nil
 		}
@@ -438,7 +448,18 @@ func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth
 		// retransmit data that actually survived — safe, where the
 		// opposite order could claim lost data was kept.
 		verf := s.fs.Verifier()
-		attr, err := s.fs.Write(cred, id, a.Offset, a.Data, a.Stable == FileSync)
+		var attr vfs.Attr
+		if clk != nil {
+			// vfs = the write's substrate time minus whatever the store
+			// charged to the fsync stage while we were inside it.
+			tv := time.Now()
+			fsy0 := clk.Get(stats.StageFsync)
+			attr, err = s.fs.WriteClocked(cred, id, a.Offset, a.Data, a.Stable == FileSync, clk)
+			clk.Add(stats.StageVFS,
+				int64(time.Since(tv))-(clk.Get(stats.StageFsync)-fsy0))
+		} else {
+			attr, err = s.fs.Write(cred, id, a.Offset, a.Data, a.Stable == FileSync)
+		}
 		if err != nil {
 			return WriteRes{Status: statusFromErr(err)}, nil
 		}
@@ -611,7 +632,16 @@ func (s *Server) dispatchProc(sess *Session, proc uint32, auth sunrpc.OpaqueAuth
 		if err != nil {
 			return CommitRes{Status: ErrBadHandle}, nil
 		}
-		if err := s.fs.Commit(id); err != nil {
+		if clk != nil {
+			tv := time.Now()
+			fsy0 := clk.Get(stats.StageFsync)
+			err = s.fs.CommitClocked(id, clk)
+			clk.Add(stats.StageVFS,
+				int64(time.Since(tv))-(clk.Get(stats.StageFsync)-fsy0))
+		} else {
+			err = s.fs.Commit(id)
+		}
+		if err != nil {
 			return CommitRes{Status: statusFromErr(err)}, nil
 		}
 		s.met.noteCommit(id)

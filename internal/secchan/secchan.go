@@ -35,6 +35,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crypto/arc4"
@@ -408,7 +409,24 @@ type Conn struct {
 	recvMacKey [sha1mac.KeySize]byte
 	readBuf    []byte // unread tail of the current record (aliases openBuf)
 	readErr    error
+
+	// Stage-tracing work ledgers (DESIGN.md §13): cumulative
+	// nanoseconds of seal (MAC + encrypt + staging, excluding the
+	// transport write) and open (decrypt + MAC verify, excluding the
+	// transport reads) work on this channel. Only accumulated while
+	// stats.StageTimingOn() — one atomic load per record otherwise —
+	// and read by the RPC layer as deltas around one record.
+	sealNS atomic.Int64
+	openNS atomic.Int64
 }
+
+// SealWorkNS returns the cumulative seal work on this channel in
+// nanoseconds (sunrpc.SealTimer).
+func (c *Conn) SealWorkNS() int64 { return c.sealNS.Load() }
+
+// OpenWorkNS returns the cumulative open work on this channel in
+// nanoseconds (sunrpc.OpenTimer).
+func (c *Conn) OpenWorkNS() int64 { return c.openNS.Load() }
 
 // maxRetainedBuf caps the scratch a Conn keeps between records, so one
 // oversized record cannot pin its buffer for the channel's lifetime.
@@ -470,6 +488,10 @@ func sized(buf []byte, n int) (rec, ret []byte) {
 func (c *Conn) Write(p []byte) (int, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	var sealT0 time.Time
+	if stats.StageTimingOn() {
+		sealT0 = time.Now()
+	}
 	c.send.KeyStreamInto(c.sendMacKey[:])
 	mac := sha1mac.Sum(c.sendMacKey[:], p)
 	rec, ret := sized(c.sealBuf, 4+len(p)+sha1mac.Size)
@@ -485,6 +507,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	} else {
 		// Keep the stream position aligned with the peer.
 		c.send.Skip(len(rec))
+	}
+	if !sealT0.IsZero() {
+		c.sealNS.Add(int64(time.Since(sealT0)))
 	}
 	if _, err := c.raw.Write(rec); err != nil {
 		return 0, err
@@ -531,6 +556,10 @@ func (c *Conn) WriteSegments(segs [][]byte) (int, int, error) {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	var sealT0 time.Time
+	if stats.StageTimingOn() {
+		sealT0 = time.Now()
+	}
 	c.send.KeyStreamInto(c.sendMacKey[:])
 	mac := sha1mac.SumVec(c.sendMacKey[:], segs)
 	reclen := 4 + plen + sha1mac.Size
@@ -562,6 +591,9 @@ func (c *Conn) WriteSegments(segs [][]byte) (int, int, error) {
 			c.send.Skip(reclen)
 		}
 		copied = reclen
+		if !sealT0.IsZero() {
+			c.sealNS.Add(int64(time.Since(sealT0)))
+		}
 		if vectored {
 			// Hand the sealed record down as a single segment: the
 			// transport's staging-copy charge does not apply — the
@@ -580,6 +612,9 @@ func (c *Conn) WriteSegments(segs [][]byte) (int, int, error) {
 		c.sendHdr[3] = byte(plen)
 		c.sendMac = mac
 		c.send.Skip(reclen)
+		if !sealT0.IsZero() {
+			c.sealNS.Add(int64(time.Since(sealT0)))
+		}
 		ws := append(c.wsegs[:0], c.sendHdr[:])
 		ws = append(ws, segs...)
 		ws = append(ws, c.sendMac[:])
@@ -645,13 +680,24 @@ func (c *Conn) readRecord() error {
 	if _, err := io.ReadFull(c.raw, body); err != nil {
 		return err
 	}
+	// The open work proper — decrypt + MAC verify — is timed for the
+	// stage-tracing ledger; the transport reads above are wire wait,
+	// not open work.
+	var openT0 time.Time
+	if stats.StageTimingOn() {
+		openT0 = time.Now()
+	}
 	if c.encrypt {
 		c.recv.XORKeyStream(body, body)
 	} else {
 		c.recv.Skip(len(body))
 	}
 	payload, mac := body[:n], body[n:]
-	if !sha1mac.Verify(c.recvMacKey[:], payload, mac) {
+	ok := sha1mac.Verify(c.recvMacKey[:], payload, mac)
+	if !openT0.IsZero() {
+		c.openNS.Add(int64(time.Since(openT0)))
+	}
+	if !ok {
 		chanStats.macDrops.Inc()
 		return ErrBadMAC
 	}

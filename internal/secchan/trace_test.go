@@ -1,0 +1,50 @@
+package secchan
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Stage timing on the seal path must cost nothing when tracing is off
+// (one atomic load, no clock read, no accumulator write) and must stay
+// allocation-free even when it is on — the timing is two monotonic
+// reads and one atomic add. Hard fail, like the other zero-alloc
+// tests; the CI latency smoke runs this as its overhead assertion.
+func TestSealPathStageTimingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race")
+	}
+	if stats.StageTimingOn() {
+		t.Fatal("stage timing already on at test start (leaked ring?)")
+	}
+	cw, _, wire := gatherPair(t)
+	payload := make([]byte, 8192)
+	hdr := make([]byte, 96)
+	segs := [][]byte{hdr, payload}
+	if _, _, err := cw.WriteSegments(segs); err != nil { // warm scratch buffers
+		t.Fatal(err)
+	}
+
+	for _, on := range []bool{false, true} {
+		ring := stats.NewTraceRing(4)
+		ring.SetEnabled(on)
+		before := cw.SealWorkNS()
+		allocs := testing.AllocsPerRun(100, func() {
+			wire.Buffer.Reset()
+			if _, _, err := cw.WriteSegments(segs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("tracing=%v: seal path allocated %.1f times per record, want 0", on, allocs)
+		}
+		if on && cw.SealWorkNS() == before {
+			t.Fatal("tracing on: seal-work accumulator did not advance")
+		}
+		if !on && cw.SealWorkNS() != before {
+			t.Fatal("tracing off: seal-work accumulator advanced")
+		}
+		ring.SetEnabled(false)
+	}
+}

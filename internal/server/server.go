@@ -33,6 +33,7 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/secchan"
 	"repro/internal/sfsrpc"
+	"repro/internal/stats"
 	"repro/internal/sunrpc"
 	"repro/internal/vfs"
 	"repro/internal/xdr"
@@ -105,6 +106,13 @@ type ServedConfig struct {
 	// AnonUID/AnonGID map anonymous access; zero values use
 	// the substrate's nobody IDs.
 	AnonCred *vfs.Cred
+	// TraceSpans > 0 enables per-RPC stage tracing with an xid-tagged
+	// span ring of this capacity.
+	TraceSpans int
+	// TraceSlow also enables tracing (with a default-sized ring when
+	// TraceSpans is 0) and logs a one-line stage waterfall through the
+	// master's logger for every RPC slower than this.
+	TraceSlow time.Duration
 }
 
 // servedFS is one registered file system.
@@ -173,15 +181,27 @@ func (s *Server) Serve(cfg ServedConfig) (core.Path, error) {
 	}
 	sfs := &servedFS{cfg: cfg, path: path, anon: anon}
 	nfsCfg := nfs.ServerConfig{
-		LeaseMS:   cfg.LeaseMS,
-		Callbacks: cfg.LeaseMS > 0,
-		Codec:     codec,
-		Creds:     func(sunrpc.OpaqueAuth) vfs.Cred { return anon },
+		LeaseMS:    cfg.LeaseMS,
+		Callbacks:  cfg.LeaseMS > 0,
+		Codec:      codec,
+		Creds:      func(sunrpc.OpaqueAuth) vfs.Cred { return anon },
+		TraceSpans: cfg.TraceSpans,
 	}
 	if cfg.Auth != nil {
 		nfsCfg.IDNames = cfg.Auth.NameOfID
 	}
 	sfs.nfss = nfs.NewServer(cfg.FS, nfsCfg)
+	if cfg.TraceSpans > 0 || cfg.TraceSlow > 0 {
+		ring := sfs.nfss.RPCMetrics().Trace
+		ring.SetEnabled(true)
+		if cfg.TraceSlow > 0 {
+			loc := cfg.Location
+			ring.SetSlowLog(cfg.TraceSlow, func(sp stats.Span) {
+				s.logConn("slow rpc: location=%s proc=%s xid=%d principal=%d bytes=%d total=%dus %s",
+					loc, nfs.ProcName(sp.Proc), sp.XID, sp.Principal, sp.Bytes, sp.DurUS, sp.Waterfall())
+			})
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.byHost[path.HostID]; dup {

@@ -84,9 +84,15 @@ type Bucket struct {
 // consistent-enough view (each field is atomically read; cross-field
 // skew is bounded by in-flight observations).
 type HistSnapshot struct {
-	Count   uint64   `json:"count"`
-	Sum     uint64   `json:"sum"`
-	Mean    float64  `json:"mean,omitempty"`
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean,omitempty"`
+	// Derived quantiles (upper bound of the log₂ bucket where the
+	// cumulative count crosses the mark), so humans and dashboards read
+	// latency without post-processing the bucket dump.
+	P50     uint64   `json:"p50,omitempty"`
+	P95     uint64   `json:"p95,omitempty"`
+	P99     uint64   `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -102,6 +108,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
 		}
 	}
+	s.P50, s.P95, s.P99 = s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
 	return s
 }
 

@@ -3,18 +3,33 @@ package stats
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Span is one completed RPC dispatch, tagged with the wire xid so a
-// snapshot can be correlated with a packet capture or a client-side
-// log line. DurUS is the dispatch-to-reply time in microseconds.
+// Span is one completed RPC, tagged with the wire xid so a snapshot
+// can be correlated with a packet capture or the peer's span for the
+// same call. DurUS is the span's total in microseconds; Stages is the
+// per-stage breakdown (same unit, indexed by Stage) filled when the
+// span came from a StageClock, all zeros for plain duration-only
+// records.
 type Span struct {
-	XID   uint32 `json:"xid"`
-	Prog  uint32 `json:"prog"`
-	Vers  uint32 `json:"vers"`
-	Proc  uint32 `json:"proc"`
+	XID  uint32 `json:"xid"`
+	Prog uint32 `json:"prog"`
+	Vers uint32 `json:"vers"`
+	Proc uint32 `json:"proc"`
+	// Start is the span's wall-clock start in microseconds since the
+	// Unix epoch (stage clocks run on the monotonic clock; this one
+	// field anchors them in real time).
+	Start int64 `json:"start_us,omitempty"`
+	// Principal is the authenticated caller: the SFS authentication
+	// number (or unix uid on the plain-NFS baseline), 0 for anonymous.
+	Principal uint32 `json:"principal,omitempty"`
+	// Bytes counts the wire bytes this RPC moved (call + reply records).
+	Bytes uint64 `json:"bytes,omitempty"`
 	DurUS int64  `json:"dur_us"`
-	Err   bool   `json:"err,omitempty"`
+	// Stages is the per-stage microsecond breakdown, indexed by Stage.
+	Stages [NumStages]int64 `json:"stages_us,omitempty"`
+	Err    bool             `json:"err,omitempty"`
 }
 
 // TraceRing keeps the last N spans in a fixed ring. Recording is
@@ -29,6 +44,12 @@ type TraceRing struct {
 	spans   []Span
 	next    int
 	total   uint64
+
+	// Slow-span log: spans at or above slowUS microseconds are handed
+	// to emit (outside the ring lock). Configured once at startup.
+	slowUS atomic.Int64
+	emitMu sync.Mutex
+	emit   func(Span)
 }
 
 // NewTraceRing returns a ring holding the most recent n spans.
@@ -39,11 +60,35 @@ func NewTraceRing(n int) *TraceRing {
 	return &TraceRing{spans: make([]Span, n)}
 }
 
-// SetEnabled switches recording on or off.
-func (t *TraceRing) SetEnabled(on bool) { t.enabled.Store(on) }
+// SetEnabled switches recording on or off. Enabled rings are counted
+// process-wide (StageTimingOn) so layers without a per-request clock
+// know to time their work.
+func (t *TraceRing) SetEnabled(on bool) {
+	if t.enabled.CompareAndSwap(!on, on) {
+		if on {
+			stageTimers.Add(1)
+		} else {
+			stageTimers.Add(-1)
+		}
+	}
+}
 
 // Enabled reports whether spans are being recorded.
 func (t *TraceRing) Enabled() bool { return t.enabled.Load() }
+
+// SetSlowLog arranges for every recorded span with a total at or
+// above threshold to be passed to emit — the "-trace-slow" waterfall
+// log. A zero threshold or nil emit disables it.
+func (t *TraceRing) SetSlowLog(threshold time.Duration, emit func(Span)) {
+	t.emitMu.Lock()
+	t.emit = emit
+	t.emitMu.Unlock()
+	if threshold <= 0 || emit == nil {
+		t.slowUS.Store(0)
+		return
+	}
+	t.slowUS.Store(threshold.Microseconds())
+}
 
 // Record stores s if the ring is enabled.
 func (t *TraceRing) Record(s Span) {
@@ -55,6 +100,14 @@ func (t *TraceRing) Record(s Span) {
 	t.next = (t.next + 1) % len(t.spans)
 	t.total++
 	t.mu.Unlock()
+	if slow := t.slowUS.Load(); slow > 0 && s.DurUS >= slow {
+		t.emitMu.Lock()
+		emit := t.emit
+		t.emitMu.Unlock()
+		if emit != nil {
+			emit(s)
+		}
+	}
 }
 
 // TraceSnapshot is the JSON form of a TraceRing: how many spans were

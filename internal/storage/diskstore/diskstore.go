@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/storage/memstore"
 	"repro/internal/storage/wal"
@@ -172,6 +173,12 @@ func (s *Store) ReadAt(id, off uint64, p []byte) error {
 // record. Unstable writes return once buffered (the WRITE(unstable)
 // fast path); stable writes additionally wait for the group commit.
 func (s *Store) WriteAt(id, off uint64, data []byte, stable bool, t int64) error {
+	return s.WriteAtClocked(id, off, data, stable, t, nil)
+}
+
+// WriteAtClocked implements storage.ClockedStore: WriteAt with the
+// group-commit wait of a stable write charged to clk's fsync stage.
+func (s *Store) WriteAtClocked(id, off uint64, data []byte, stable bool, t int64, clk *stats.StageClock) error {
 	w, mem := s.state()
 	// The serving copy needs no shadow bookkeeping: recovery rebuilds
 	// it from the journal, so "the last stable image" is whatever the
@@ -186,7 +193,7 @@ func (s *Store) WriteAt(id, off uint64, data []byte, stable bool, t int64) error
 		return err
 	}
 	if stable {
-		return w.Sync()
+		return w.SyncClocked(clk)
 	}
 	return nil
 }
@@ -204,6 +211,13 @@ func (s *Store) Truncate(id, size uint64) error {
 func (s *Store) Commit(uint64) error {
 	w, _ := s.state()
 	return w.Sync()
+}
+
+// CommitClocked implements storage.ClockedStore: Commit with the
+// group-commit wait charged to clk's fsync stage.
+func (s *Store) CommitClocked(_ uint64, clk *stats.StageClock) error {
+	w, _ := s.state()
+	return w.SyncClocked(clk)
 }
 
 // Remove drops serving-copy content; durability rides on the vfs's

@@ -116,6 +116,18 @@ type CrashRestarter interface {
 	CrashRestart() error
 }
 
+// ClockedStore is implemented by durable stores that can attribute
+// their group-commit fsync wait to a request's stage clock. The
+// clocked variants behave exactly like WriteAt/Commit, additionally
+// charging the time this call spent waiting on the WAL sync to the
+// clock's fsync stage (stats.StageFsync). Callers pass a nil clock
+// when tracing is off; implementations must then behave identically
+// to the unclocked methods.
+type ClockedStore interface {
+	WriteAtClocked(id, off uint64, data []byte, stable bool, t int64, clk *stats.StageClock) error
+	CommitClocked(id uint64, clk *stats.StageClock) error
+}
+
 // StatsReporter exposes a store's observability counters.
 type StatsReporter interface {
 	StorageStats() *Stats

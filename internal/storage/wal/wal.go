@@ -289,6 +289,17 @@ func (w *WAL) flushLocked() (uint64, error) {
 	return upto, nil
 }
 
+// SyncClocked is Sync with the whole wait — leader work or follower
+// blocking alike — charged to clk's fsync stage. From the request's
+// point of view the distinction does not matter: this is the time the
+// RPC spent waiting for the group commit covering its records.
+func (w *WAL) SyncClocked(clk *stats.StageClock) error {
+	t0 := clk.Now()
+	err := w.Sync()
+	clk.End(stats.StageFsync, t0)
+	return err
+}
+
 // Sync makes every record appended before the call durable — the
 // group-commit point. Concurrent callers share fsyncs: the leader
 // flushes and syncs once for everyone who arrived in time.

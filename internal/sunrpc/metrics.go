@@ -59,6 +59,9 @@ type Metrics struct {
 	Workers  stats.Gauge     // workers executing a handler
 	Latency  stats.Histogram // per-call dispatch-to-reply, µs
 	Trace    *stats.TraceRing
+	// Stages aggregates per-stage latency histograms from traced spans
+	// (populated only while Trace is enabled).
+	Stages *stats.StageSet
 
 	mu    sync.RWMutex
 	progs map[progVers]*progMetrics
@@ -66,10 +69,15 @@ type Metrics struct {
 
 // NewMetrics returns a fresh metrics block with a 256-span trace
 // ring (disabled until Trace.SetEnabled(true)).
-func NewMetrics() *Metrics {
+func NewMetrics() *Metrics { return NewMetricsSized(256) }
+
+// NewMetricsSized is NewMetrics with a caller-chosen trace-ring
+// capacity (the daemons expose it as a flag).
+func NewMetricsSized(spans int) *Metrics {
 	return &Metrics{
-		Trace: stats.NewTraceRing(256),
-		progs: make(map[progVers]*progMetrics),
+		Trace:  stats.NewTraceRing(spans),
+		Stages: new(stats.StageSet),
+		progs:  make(map[progVers]*progMetrics),
 	}
 }
 
@@ -108,8 +116,9 @@ type MetricsSnapshot struct {
 	InFlight stats.GaugeSnapshot  `json:"in_flight"`
 	Workers  stats.GaugeSnapshot  `json:"workers"`
 	Latency  stats.HistSnapshot   `json:"latency_us"`
-	Procs    map[string]ProcCount `json:"procs,omitempty"`
-	Trace    stats.TraceSnapshot  `json:"trace"`
+	Procs    map[string]ProcCount   `json:"procs,omitempty"`
+	Trace    stats.TraceSnapshot    `json:"trace"`
+	Stages   stats.StageSetSnapshot `json:"stages,omitempty"`
 }
 
 // Snapshot captures the metrics block.
@@ -123,6 +132,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Workers:  m.Workers.Snapshot(),
 		Latency:  m.Latency.Snapshot(),
 		Trace:    m.Trace.Snapshot(),
+	}
+	if m.Stages != nil {
+		s.Stages = m.Stages.Snapshot()
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()

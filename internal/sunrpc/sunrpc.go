@@ -188,6 +188,72 @@ func SetGather(on bool) { gatherOn.Store(on) }
 // GatherEnabled reports whether the zero-copy wire path is on.
 func GatherEnabled() bool { return gatherOn.Load() }
 
+// SealTimer and OpenTimer are implemented by transports (the secure
+// channel) that account their per-record cryptographic work in
+// monotonic nanosecond accumulators. The RPC layer reads the
+// accumulator before and after moving one record; because writes are
+// serialized under the connection's write lock and all reads happen on
+// one goroutine, the delta is exactly that record's own seal or open
+// cost. The accumulators only advance while stage timing is on
+// (stats.StageTimingOn), so reading them is free in the steady state.
+type SealTimer interface{ SealWorkNS() int64 }
+
+// OpenTimer is SealTimer's receive-side twin: cumulative
+// decrypt+MAC-verify nanoseconds.
+type OpenTimer interface{ OpenWorkNS() int64 }
+
+// principalOf extracts the caller identity for a traced span: the SFS
+// authentication number, or the unix uid on the plain-NFS baseline.
+// Only called while tracing is on (AUTH_UNIX parsing allocates).
+func principalOf(a OpaqueAuth) uint32 {
+	if a.Flavor == AuthSFS {
+		return AuthNumber(a)
+	}
+	if uid, _, ok := ParseUnixAuth(a); ok {
+		return uid
+	}
+	return 0
+}
+
+// writeReplyTraced writes the reply record, splitting the cost between
+// the reply_seal stage (the secure channel's MAC+encrypt work, read
+// from the transport's SealTimer) and reply_write (framing plus the
+// transport write itself). Must run under the connection's write lock
+// so the seal-work delta belongs to this record alone. With a nil
+// clock it is exactly WriteRecordEncoder.
+func writeReplyTraced(w io.Writer, e *xdr.Encoder, clk *stats.StageClock) error {
+	if clk == nil {
+		return WriteRecordEncoder(w, e)
+	}
+	st, _ := w.(SealTimer)
+	var seal0 int64
+	if st != nil {
+		seal0 = st.SealWorkNS()
+	}
+	t0 := time.Now()
+	err := WriteRecordEncoder(w, e)
+	writeNS := int64(time.Since(t0))
+	var sealNS int64
+	if st != nil {
+		sealNS = st.SealWorkNS() - seal0
+	}
+	clk.Add(stats.StageReplySeal, sealNS)
+	clk.Add(stats.StageReplyWrite, writeNS-sealNS)
+	clk.Span.Bytes += uint64(e.Len()) + 4
+	return err
+}
+
+// serverClock builds the stage clock for one incoming call: anchored
+// at the moment the record finished reading (tRead), with the record's
+// open work credited to srv_open. The queue stage starts accumulating
+// immediately; the caller ends it when a worker picks the call up.
+func serverClock(tRead time.Time, openNS int64) *stats.StageClock {
+	clk := stats.NewStageClock()
+	clk.RestartAt(tRead)
+	clk.Add(stats.StageSrvOpen, openNS)
+	return clk
+}
+
 // SegmentWriter is implemented by transports that can consume a
 // record as a segment list — writing vectored or sealing in place —
 // instead of requiring one contiguous buffer. Segments must be
@@ -369,12 +435,36 @@ type Client struct {
 	conn    io.ReadWriteCloser
 	nextXID uint32
 	pending map[uint32]chan record
-	err     error
-	closed  bool
-	wmu     sync.Mutex    // serializes writes
-	srv     *Server       // nil for a pure client
-	sem     chan struct{} // bounds concurrent incoming-call dispatch
-	done    chan struct{}
+	// traces maps in-flight xids to their stage clocks (nil until
+	// EnableTrace). All cross-goroutine clock access — registration
+	// after the call record is written, the read loop's arrival stamp,
+	// Finish's claim — happens under mu, which is what makes a clock
+	// single-owner at every instant.
+	traces map[uint32]*stats.StageClock
+	tracer atomic.Pointer[clientTracer]
+	err    error
+	closed bool
+	wmu    sync.Mutex    // serializes writes
+	srv    *Server       // nil for a pure client
+	sem    chan struct{} // bounds concurrent incoming-call dispatch
+	done   chan struct{}
+}
+
+// clientTracer is a client's tracing sinks, installed by EnableTrace.
+type clientTracer struct {
+	ring   *stats.TraceRing
+	stages *stats.StageSet
+}
+
+// EnableTrace switches on client-side span recording with a ring of
+// the given capacity, returning the ring (for snapshots and the slow
+// log) and the per-stage histogram set. The steady-state cost while
+// installed is one atomic pointer load per call.
+func (c *Client) EnableTrace(spans int) (*stats.TraceRing, *stats.StageSet) {
+	t := &clientTracer{ring: stats.NewTraceRing(spans), stages: new(stats.StageSet)}
+	t.ring.SetEnabled(true)
+	c.tracer.Store(t)
+	return t.ring, t.stages
 }
 
 // NewClient starts a client on conn and begins reading replies.
@@ -404,11 +494,29 @@ func NewPeer(conn io.ReadWriteCloser, srv *Server) *Client {
 func (c *Client) Done() <-chan struct{} { return c.done }
 
 func (c *Client) readLoop() {
+	ot, _ := c.conn.(OpenTimer)
 	for {
+		// When any trace ring in the process is on, bracket the record
+		// read with the channel's open-work accumulator: the delta is
+		// this record's decrypt+verify cost, with the idle wait for
+		// bytes excluded. Off, this is one atomic load per record.
+		var open0 int64
+		traced := stats.StageTimingOn()
+		if traced && ot != nil {
+			open0 = ot.OpenWorkNS()
+		}
 		rec, err := ReadRecord(c.conn)
 		if err != nil {
 			c.fail(err)
 			return
+		}
+		var tRead time.Time
+		var openNS int64
+		if traced {
+			tRead = time.Now()
+			if ot != nil {
+				openNS = ot.OpenWorkNS() - open0
+			}
 		}
 		if len(rec) < 8 {
 			continue
@@ -417,7 +525,7 @@ func (c *Client) readLoop() {
 			if c.srv != nil {
 				c.srv.met.Load().InFlight.Inc()
 				c.sem <- struct{}{} // bound outstanding dispatches
-				go c.serveCall(rec)
+				go c.serveCall(rec, tRead, openNS)
 			}
 			continue
 		}
@@ -427,6 +535,9 @@ func (c *Client) readLoop() {
 		if ok {
 			delete(c.pending, xid)
 		}
+		if clk := c.traces[xid]; clk != nil {
+			clk.MarkArrive(openNS)
+		}
 		c.mu.Unlock()
 		if ok {
 			ch <- rec
@@ -434,21 +545,32 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) serveCall(rec record) {
+func (c *Client) serveCall(rec record, tRead time.Time, openNS int64) {
 	met := c.srv.met.Load()
 	met.Workers.Inc()
 	defer func() { met.Workers.Dec(); met.InFlight.Dec(); <-c.sem }()
+	var clk *stats.StageClock
+	if !tRead.IsZero() && met.Trace.Enabled() {
+		clk = serverClock(tRead, openNS)
+		clk.End(stats.StageQueue, tRead) // worker picked the call up now
+	}
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
-	ok, err := c.srv.dispatch(rec, e)
+	ok, err := c.srv.dispatch(rec, e, clk)
 	if err != nil || !ok {
 		return
 	}
 	c.wmu.Lock()
-	err = WriteRecordEncoder(c.conn, e)
+	err = writeReplyTraced(c.conn, e, clk)
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(err)
+		return
+	}
+	if clk != nil {
+		sp := clk.FinishServer()
+		met.Stages.Record(sp)
+		met.Trace.Record(*sp)
 	}
 }
 
@@ -463,6 +585,7 @@ func (c *Client) fail(err error) {
 		close(ch)
 		delete(c.pending, xid)
 	}
+	c.traces = nil
 }
 
 // Close tears down the transport and fails all pending calls.
@@ -494,6 +617,12 @@ func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args, res interf
 // raw reply record will arrive. Use Finish to decode it. This is the
 // mechanism by which the client overlaps many outstanding NFS RPCs.
 func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{}) (<-chan record, error) {
+	var clk *stats.StageClock
+	if tr := c.tracer.Load(); tr != nil && tr.ring.Enabled() {
+		clk = stats.NewStageClock()
+		clk.Span.Prog, clk.Span.Vers, clk.Span.Proc = prog, vers, proc
+		clk.Span.Principal = principalOf(cred)
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -505,6 +634,9 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 	ch := make(chan record, 1)
 	c.pending[xid] = ch
 	c.mu.Unlock()
+	if clk != nil {
+		clk.Span.XID = xid
+	}
 
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
@@ -512,6 +644,7 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 	// they stay immutable until WriteRecordEncoder returns below, which
 	// is all the ownership rule requires.
 	e.SetGather(GatherEnabled())
+	tEnc := clk.Now()
 	e.PutUint32(xid)
 	e.PutUint32(msgCall)
 	if err := e.Encode(callHeader{
@@ -531,12 +664,46 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 			return nil, err
 		}
 	}
+	clk.End(stats.StageCliEncode, tEnc)
+	var st SealTimer
+	if clk != nil {
+		st, _ = c.conn.(SealTimer)
+	}
 	c.wmu.Lock()
+	var seal0 int64
+	if st != nil {
+		seal0 = st.SealWorkNS()
+	}
+	tW := clk.Now()
 	err := WriteRecordEncoder(c.conn, e)
+	var tDone time.Time
+	var writeNS, sealNS int64
+	if clk != nil {
+		tDone = time.Now()
+		writeNS = int64(tDone.Sub(tW))
+		if st != nil {
+			sealNS = st.SealWorkNS() - seal0
+		}
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.cancel(xid)
 		return nil, err
+	}
+	if clk != nil {
+		// Register the clock only now, under mu: the read loop stamps
+		// arrival under the same lock, so from here on the clock is
+		// handed between goroutines with the mutex providing order.
+		c.mu.Lock()
+		clk.Add(stats.StageCliSeal, sealNS)
+		clk.Add(stats.StageCliWrite, writeNS-sealNS)
+		clk.MarkWriteAt(tDone)
+		clk.Span.Bytes += uint64(e.Len()) + 4
+		if c.traces == nil {
+			c.traces = make(map[uint32]*stats.StageClock)
+		}
+		c.traces[xid] = clk
+		c.mu.Unlock()
 	}
 	return ch, nil
 }
@@ -544,6 +711,7 @@ func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args interface{
 func (c *Client) cancel(xid uint32) {
 	c.mu.Lock()
 	delete(c.pending, xid)
+	delete(c.traces, xid)
 	c.mu.Unlock()
 }
 
@@ -559,7 +727,34 @@ func (c *Client) Finish(ch <-chan record, res interface{}) error {
 		}
 		return err
 	}
-	return decodeReply(rec, res)
+	clk := c.takeTrace(rec)
+	if clk == nil {
+		return decodeReply(rec, res)
+	}
+	t0 := time.Now()
+	err := decodeReply(rec, res)
+	sp := clk.FinishClient(int64(time.Since(t0)))
+	sp.Err = sp.Err || err != nil
+	sp.Bytes += uint64(len(rec)) + 4
+	if tr := c.tracer.Load(); tr != nil {
+		tr.stages.Record(sp)
+		tr.ring.Record(*sp)
+	}
+	return err
+}
+
+// takeTrace claims the stage clock registered for rec's xid, if any.
+// One atomic load while tracing was never enabled.
+func (c *Client) takeTrace(rec record) *stats.StageClock {
+	if c.tracer.Load() == nil || len(rec) < 4 {
+		return nil
+	}
+	xid := binary.BigEndian.Uint32(rec)
+	c.mu.Lock()
+	clk := c.traces[xid]
+	delete(c.traces, xid)
+	c.mu.Unlock()
+	return clk
 }
 
 func decodeReply(rec record, res interface{}) error {
@@ -766,12 +961,29 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 
 	sem := make(chan struct{}, n)
 	met := s.met.Load()
+	ot, _ := conn.(OpenTimer)
 	var readErr error
 	for {
+		// Stage tracing (out-of-order mode only — the in-order writer
+		// goroutine cannot attribute reply writes to a call): bracket
+		// the record read with the channel's open-work accumulator.
+		var open0 int64
+		traced := !inOrder && met.Trace.Enabled()
+		if traced && ot != nil {
+			open0 = ot.OpenWorkNS()
+		}
 		rec, err := ReadRecord(conn)
 		if err != nil {
 			readErr = err
 			break
+		}
+		var tRead time.Time
+		var openNS int64
+		if traced {
+			tRead = time.Now()
+			if ot != nil {
+				openNS = ot.OpenWorkNS() - open0
+			}
 		}
 		var slot chan *xdr.Encoder
 		if inOrder {
@@ -781,11 +993,16 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 		met.InFlight.Inc() // read off the wire, not yet replied
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(rec []byte, slot chan *xdr.Encoder) {
+		go func(rec []byte, slot chan *xdr.Encoder, tRead time.Time, openNS int64) {
 			met.Workers.Inc()
 			defer func() { met.Workers.Dec(); met.InFlight.Dec(); <-sem; wg.Done() }()
+			var clk *stats.StageClock
+			if !tRead.IsZero() {
+				clk = serverClock(tRead, openNS)
+				clk.End(stats.StageQueue, tRead) // queue wait ends here
+			}
 			e := xdr.GetEncoder()
-			ok, err := s.dispatch(rec, e)
+			ok, err := s.dispatch(rec, e, clk)
 			if err != nil {
 				fail(err)
 				ok = false
@@ -802,13 +1019,19 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) error {
 				return
 			}
 			wmu.Lock()
-			werr := WriteRecordEncoder(conn, e)
+			werr := writeReplyTraced(conn, e, clk)
 			wmu.Unlock()
 			xdr.PutEncoder(e)
 			if werr != nil {
 				fail(werr)
+				return
 			}
-		}(rec, slot)
+			if clk != nil {
+				sp := clk.FinishServer()
+				met.Stages.Record(sp)
+				met.Trace.Record(*sp)
+			}
+		}(rec, slot, tRead, openNS)
 	}
 	wg.Wait()
 	if inOrder {
@@ -830,7 +1053,13 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 	e := xdr.GetEncoder()
 	defer xdr.PutEncoder(e)
 	met := s.met.Load()
+	ot, _ := conn.(OpenTimer)
 	for {
+		var open0 int64
+		traced := met.Trace.Enabled()
+		if traced && ot != nil {
+			open0 = ot.OpenWorkNS()
+		}
 		rec, err := ReadRecord(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -838,20 +1067,33 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 			}
 			return err
 		}
+		var clk *stats.StageClock
+		if traced {
+			var openNS int64
+			if ot != nil {
+				openNS = ot.OpenWorkNS() - open0
+			}
+			clk = serverClock(time.Now(), openNS) // serial: no queue wait
+		}
 		met.InFlight.Inc()
 		met.Workers.Inc()
-		ok, err := s.dispatch(rec, e)
+		ok, err := s.dispatch(rec, e, clk)
 		met.Workers.Dec()
 		if err != nil {
 			met.InFlight.Dec()
 			return err
 		}
 		if ok {
-			err = WriteRecordEncoder(conn, e)
+			err = writeReplyTraced(conn, e, clk)
 		}
 		met.InFlight.Dec()
 		if err != nil {
 			return err
+		}
+		if ok && clk != nil {
+			sp := clk.FinishServer()
+			met.Stages.Record(sp)
+			met.Trace.Record(*sp)
 		}
 	}
 }
@@ -859,7 +1101,12 @@ func (s *Server) serveSerial(conn io.ReadWriteCloser) error {
 // dispatch decodes one call record and encodes the reply into e
 // (resetting it first). It reports whether e holds a reply to send;
 // unparseable records are dropped. e never escapes: the caller owns it.
-func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
+// clk, when non-nil, is the call's stage clock: it rides to the NFS
+// handler through the decoder's context slot, the handler's vfs/fsync
+// charges are subtracted out of the dispatch stage, and the span is
+// recorded by the caller after the reply write. With a nil clk a
+// duration-only span is recorded here, as before stage tracing.
+func (s *Server) dispatch(rec []byte, e *xdr.Encoder, clk *stats.StageClock) (bool, error) {
 	e.Reset()
 	// Reply payloads (READ data) are borrowed into the record when the
 	// gather path is on; vfs.Read hands out a fresh per-call snapshot,
@@ -883,6 +1130,12 @@ func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
 		return false, nil //nolint:nilerr
 	}
 	m.Calls.Inc()
+	if clk != nil {
+		clk.Span.XID, clk.Span.Prog, clk.Span.Vers, clk.Span.Proc = xid, hdr.Prog, hdr.Vers, hdr.Proc
+		clk.Span.Principal = principalOf(hdr.Cred)
+		clk.Span.Bytes += uint64(len(rec)) + 4
+		d.SetCtx(clk)
+	}
 	start := time.Now()
 	ok, success, err := s.dispatchCall(xid, hdr, d, e)
 	dur := time.Since(start)
@@ -894,10 +1147,18 @@ func (s *Server) dispatch(rec []byte, e *xdr.Encoder) (bool, error) {
 	case ok:
 		m.Replies.Inc()
 	}
-	m.Trace.Record(stats.Span{
-		XID: xid, Prog: hdr.Prog, Vers: hdr.Vers, Proc: hdr.Proc,
-		DurUS: dur.Microseconds(), Err: !success,
-	})
+	if clk != nil {
+		clk.Span.Err = !success
+		// The handler's vfs and fsync charges are nested inside the
+		// dispatch interval; subtract them so the stages partition it.
+		clk.Add(stats.StageDispatch,
+			int64(dur)-clk.Get(stats.StageVFS)-clk.Get(stats.StageFsync))
+	} else {
+		m.Trace.Record(stats.Span{
+			XID: xid, Prog: hdr.Prog, Vers: hdr.Vers, Proc: hdr.Proc,
+			DurUS: dur.Microseconds(), Err: !success,
+		})
+	}
 	return ok, err
 }
 

@@ -82,7 +82,7 @@ func (s *Server) ServePacket(pc net.PacketConn) error {
 			}
 			e := xdr.GetEncoder()
 			defer xdr.PutEncoder(e)
-			ok, err := s.dispatch(pkt[4:], e)
+			ok, err := s.dispatch(pkt[4:], e, nil) // datagram path: untraced
 			if err != nil || !ok {
 				return
 			}

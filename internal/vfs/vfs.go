@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/storage/memstore"
 )
@@ -1318,6 +1319,13 @@ func (fs *FS) Read(cred Cred, id FileID, off uint64, count uint32) ([]byte, bool
 // Write stores data at off, extending the file as needed. If sync is
 // set the write is charged as stable storage.
 func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (Attr, error) {
+	return fs.WriteClocked(cred, id, off, data, sync, nil)
+}
+
+// WriteClocked is Write with a stage clock: on a durable store the
+// group-commit wait of a stable write is charged to clk's fsync stage
+// (storage.ClockedStore). A nil clk is exactly Write.
+func (fs *FS) WriteClocked(cred Cred, id FileID, off uint64, data []byte, sync bool, clk *stats.StageClock) (Attr, error) {
 	n, err := fs.getLocked(id)
 	if err != nil {
 		return Attr{}, err
@@ -1335,7 +1343,12 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 	// stable image for Restart to revert to; diskstore journals the
 	// extent, returning immediately for unstable writes and after the
 	// group-committed fsync for stable ones.
-	if err := fs.blocks.WriteAt(uint64(n.id), off, data, sync, now.UnixNano()); err != nil {
+	if cs, ok := fs.blocks.(storage.ClockedStore); ok && clk != nil {
+		err = cs.WriteAtClocked(uint64(n.id), off, data, sync, now.UnixNano(), clk)
+	} else {
+		err = fs.blocks.WriteAt(uint64(n.id), off, data, sync, now.UnixNano())
+	}
+	if err != nil {
 		n.mu.Unlock()
 		return Attr{}, ioErr(err)
 	}
@@ -1358,11 +1371,21 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 // Commit flushes a file to stable storage (the NFS COMMIT operation).
 // On a durable store this waits for one group-committed fsync.
 func (fs *FS) Commit(id FileID) error {
+	return fs.CommitClocked(id, nil)
+}
+
+// CommitClocked is Commit with the group-commit wait charged to clk's
+// fsync stage. A nil clk is exactly Commit.
+func (fs *FS) CommitClocked(id FileID, clk *stats.StageClock) error {
 	n, err := fs.getLocked(id)
 	if err != nil {
 		return err
 	}
-	err = fs.blocks.Commit(uint64(n.id))
+	if cs, ok := fs.blocks.(storage.ClockedStore); ok && clk != nil {
+		err = cs.CommitClocked(uint64(n.id), clk)
+	} else {
+		err = fs.blocks.Commit(uint64(n.id))
+	}
 	n.mu.Unlock()
 	if err != nil {
 		return ioErr(err)

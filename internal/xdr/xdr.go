@@ -420,10 +420,22 @@ type Decoder struct {
 	// Encoder's: bytes copied out versus borrowed.
 	copied   uint64
 	borrowed uint64
+
+	// ctx is the opaque per-record context (see SetCtx).
+	ctx interface{}
 }
 
 // NewDecoder returns a Decoder reading from data.
 func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// SetCtx attaches an opaque per-record context to the decoder — the
+// RPC layer's stage clock rides here through handler signatures that
+// only see the Decoder. Storing a pointer in the interface does not
+// allocate.
+func (d *Decoder) SetCtx(v interface{}) { d.ctx = v }
+
+// Ctx returns the context set by SetCtx, nil if none.
+func (d *Decoder) Ctx() interface{} { return d.ctx }
 
 // SetBorrow toggles borrow mode for subsequently decoded []byte
 // fields (see the field comment for the safety rule).

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sfsbench [-quick] [-fig 5|6|7|8|9|wb|scal|warm|recovery|latency|all] [-json dir]
+//	sfsbench [-quick] [-fig 5|6|7|8|9|wb|scal|warm|recovery|latency|login|all] [-json dir]
 //	sfsbench -clients N
 //
 // With -json, every figure is also written to dir as a
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, scal, warm, recovery, latency, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, scal, warm, recovery, latency, login, or all")
 	jsonDir := flag.String("json", "", "directory to write BENCH_*.json files into (empty disables)")
 	clients := flag.Int("clients", 0, "run one scalability point with N concurrent clients and exit")
 	flag.Parse()
@@ -64,14 +64,15 @@ func main() {
 		"warm":     bench.FigWarmRead,
 		"recovery": bench.FigRecovery,
 		"latency":  bench.FigLatency,
+		"login":    bench.FigLogin,
 	}
 	var order []string
 	if *fig == "all" {
-		order = []string{"5", "6", "7", "8", "9", "wb", "scal", "warm", "recovery", "latency"}
+		order = []string{"5", "6", "7", "8", "9", "wb", "scal", "warm", "recovery", "latency", "login"}
 	} else if _, ok := runners[*fig]; ok {
 		order = []string{*fig}
 	} else {
-		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, scal, warm, recovery, latency, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, scal, warm, recovery, latency, login, or all)\n", *fig)
 		os.Exit(2)
 	}
 	for _, id := range order {

@@ -34,6 +34,17 @@
 // -trace-ring N sizes the in-memory span ring (default 256) and
 // -trace-slow DUR logs a one-line stage waterfall for any RPC slower
 // than DUR (DESIGN.md §13).
+//
+// Connection admission (DESIGN.md §14): full key negotiations run on
+// a bounded worker pool — -hs-workers (default NumCPU) with
+// -hs-backlog queued arrivals beyond it (default 16×workers) — and
+// anything past that is fast-rejected with a busy status, so connect
+// storms degrade to queuing instead of unbounded Rabin decrypts.
+// -handshake-timeout (default 5s) cuts off peers that stall
+// mid-negotiation, freeing their pool slot and counting a
+// handshake timeout in the stats. -resume-cache BYTES (default 1 MiB,
+// 0 disables) and -resume-ttl bound the session-resumption cache that
+// lets reconnecting clients skip the public-key handshake entirely.
 package main
 
 import (
@@ -77,6 +88,11 @@ func main() {
 	trace := flag.Bool("trace", false, "record per-RPC stage spans and latency histograms")
 	traceRing := flag.Int("trace-ring", 256, "capacity of the xid-tagged trace ring")
 	traceSlow := flag.Duration("trace-slow", 0, "log a stage waterfall for RPCs slower than this (implies -trace)")
+	hsTimeout := flag.Duration("handshake-timeout", 5*time.Second, "deadline for key negotiation (0 disables)")
+	hsWorkers := flag.Int("hs-workers", 0, "negotiation pool size for full handshakes (0 = NumCPU)")
+	hsBacklog := flag.Int("hs-backlog", 0, "queued handshakes beyond the pool before fast-reject (0 = 16x workers)")
+	resumeCache := flag.Int64("resume-cache", 1<<20, "session-resumption cache budget in bytes (0 disables)")
+	resumeTTL := flag.Duration("resume-ttl", time.Hour, "lifetime of cached resumption sessions")
 	var users userFlag
 	flag.Var(&users, "user", "register user name:uid:password:keyfile (repeatable)")
 	flag.Parse()
@@ -131,6 +147,14 @@ func main() {
 		}
 	}
 	master := server.New(rng)
+	cacheBytes := *resumeCache
+	if cacheBytes == 0 {
+		cacheBytes = -1 // flag 0 means "off"; negative is the policy's off switch
+	}
+	master.SetHandshakePolicy(server.HandshakePolicy{
+		Workers: *hsWorkers, Backlog: *hsBacklog, Timeout: *hsTimeout,
+		ResumeCacheBytes: cacheBytes, ResumeTTL: *resumeTTL,
+	})
 	if !*quiet {
 		master.SetLogf(log.New(os.Stderr, "sfssd: ", log.LstdFlags).Printf)
 	}

@@ -93,6 +93,9 @@ type Figure struct {
 	// client/server distributions, keyed by storage mode ("mem",
 	// "disk"). Nil for every other figure.
 	Latency map[string]LatencyMode
+	// Login holds the connection-storm figure's session-establishment
+	// detail (DESIGN.md §14). Nil for every other figure.
+	Login *LoginStats
 }
 
 // noteCounters records st's server-side counter snapshot under label

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFigLoginShape is the CI login-storm smoke: the quick figure must
+// produce both reconnect rates, do zero Rabin decrypts in the resumed
+// phase (the whole point of resumption), resume faster than it fully
+// negotiates, and carry the eks ablation.
+func TestFigLoginShape(t *testing.T) {
+	fig, err := FigLogin(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := fig.Login
+	if ls == nil {
+		t.Fatal("figure has no login block")
+	}
+	if ls.RabinDecryptsResume != 0 {
+		t.Fatalf("resumed phase performed %d Rabin decrypts, want 0", ls.RabinDecryptsResume)
+	}
+	if want := uint64(2 * ls.FullConns); ls.RabinDecryptsFull != want {
+		t.Fatalf("full phase performed %d Rabin decrypts, want %d (2 per in-process connection)", ls.RabinDecryptsFull, want)
+	}
+	if ls.FullPerSec <= 0 || ls.ResumedPerSec <= 0 {
+		t.Fatalf("non-positive rates: full=%.1f resumed=%.1f", ls.FullPerSec, ls.ResumedPerSec)
+	}
+	if ls.Speedup <= 1 {
+		t.Fatalf("resumption slower than full negotiation (speedup %.2f)", ls.Speedup)
+	}
+	if ls.Handshakes.Resumed != uint64(ls.ResumedConns) {
+		t.Fatalf("server resumed %d sessions, want %d", ls.Handshakes.Resumed, ls.ResumedConns)
+	}
+	if ls.MBPer10kSessions <= 0 {
+		t.Fatalf("per-session memory %.3f MB/10k, want > 0", ls.MBPer10kSessions)
+	}
+	if len(ls.Eks) != 2 {
+		t.Fatalf("quick eks ablation has %d points, want 2", len(ls.Eks))
+	}
+	// Higher cost must not be faster: the work factor is the knob.
+	if ls.Eks[1].PerSec > ls.Eks[0].PerSec {
+		t.Fatalf("eks cost %d ran faster than cost %d (%.1f > %.1f auth/s)",
+			ls.Eks[1].Cost, ls.Eks[0].Cost, ls.Eks[1].PerSec, ls.Eks[0].PerSec)
+	}
+	// Rows: 4 storm rows plus one per eks point.
+	if want := 4 + len(ls.Eks); len(fig.Rows) != want {
+		t.Fatalf("figure has %d rows, want %d", len(fig.Rows), want)
+	}
+	if fig.Slug() != "login-storm" {
+		t.Fatalf("slug %q, want login-storm", fig.Slug())
+	}
+}

@@ -133,6 +133,10 @@ type Client struct {
 	agents   map[string]*agent.Agent
 	mounts   map[core.HostID]*mount
 	accessed map[string]map[string]bool // user -> referenced /sfs names
+	// tickets holds the latest resumption ticket per server, so a
+	// reconnect (the mount was dropped when its connection died) skips
+	// the Rabin handshake when the server still remembers the session.
+	tickets map[core.HostID]*secchan.ResumeTicket
 }
 
 // New creates a client.
@@ -155,6 +159,7 @@ func New(cfg Config) (*Client, error) {
 		agents:   make(map[string]*agent.Agent),
 		mounts:   make(map[core.HostID]*mount),
 		accessed: make(map[string]map[string]bool),
+		tickets:  make(map[core.HostID]*secchan.ResumeTicket),
 	}
 	if err := c.rotateTempKey(); err != nil {
 		return nil, err
@@ -236,6 +241,7 @@ func (r *agentResolver) ReadFile(path string) ([]byte, error) {
 func (c *Client) getMount(p core.Path) (*mount, error) {
 	c.mu.Lock()
 	m, ok := c.mounts[p.HostID]
+	ticket := c.tickets[p.HostID]
 	c.mu.Unlock()
 	if ok {
 		return m, nil
@@ -248,7 +254,18 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", p.Location, err)
 	}
-	sec, info, _, err := secchan.ClientHandshake(raw, secchan.ServiceFile, p.Root(), tempKey, c.rng)
+	// A reconnect presents the previous session's ticket; the channel
+	// then comes up without public-key work when the server still
+	// holds the session, and falls back to the full handshake on the
+	// same connection otherwise.
+	sec, info, _, err := secchan.ClientHandshakeResume(raw, secchan.ServiceFile, p.Root(), tempKey, c.rng, ticket)
+	if err != nil && ticket != nil {
+		c.mu.Lock()
+		if c.tickets[p.HostID] == ticket {
+			delete(c.tickets, p.HostID)
+		}
+		c.mu.Unlock()
+	}
 	if errors.Is(err, secchan.ErrNoSuchFS) {
 		// Not served read-write here: try the read-only dialect —
 		// how certification-authority replicas are reached.
@@ -287,6 +304,9 @@ func (c *Client) getMount(p core.Path) (*mount, error) {
 	}
 	m = &mount{path: p.Root(), base: base, info: info, root: root, io: &c.io, users: make(map[string]*nfs.Client)}
 	c.mu.Lock()
+	if info.Ticket != nil {
+		c.tickets[p.HostID] = info.Ticket
+	}
 	if exist, ok := c.mounts[p.HostID]; ok {
 		c.mu.Unlock()
 		base.Close()

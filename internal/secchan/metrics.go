@@ -16,6 +16,16 @@ var chanStats struct {
 	openPlain, openCipher  stats.Counter
 	macDrops               stats.Counter
 	handshakes, handshakeF stats.Counter
+	// rabinDecrypts counts private-key decrypt operations on the
+	// handshake paths — the public-key cost a resumption avoids. The
+	// login-storm figure asserts this stays flat across a resumed
+	// reconnect wave.
+	rabinDecrypts stats.Counter
+	// resumes counts handshakes established via session resumption
+	// (each end of an in-process pair increments once, like
+	// handshakes); resumeMisses counts client-side fallbacks to the
+	// full handshake after the server forgot the session.
+	resumes, resumeMisses stats.Counter
 }
 
 // Snapshot is the JSON form of the package-wide channel counters.
@@ -35,6 +45,9 @@ type Snapshot struct {
 	MACDrops       uint64 `json:"mac_drops"`
 	Handshakes     uint64 `json:"handshakes"`
 	HandshakeFails uint64 `json:"handshake_fails,omitempty"`
+	RabinDecrypts  uint64 `json:"rabin_decrypts"`
+	Resumes        uint64 `json:"resumes"`
+	ResumeMisses   uint64 `json:"resume_misses,omitempty"`
 }
 
 // StatsSnapshot captures the process-wide channel counters.
@@ -49,5 +62,13 @@ func StatsSnapshot() Snapshot {
 		MACDrops:       chanStats.macDrops.Load(),
 		Handshakes:     chanStats.handshakes.Load(),
 		HandshakeFails: chanStats.handshakeF.Load(),
+		RabinDecrypts:  chanStats.rabinDecrypts.Load(),
+		Resumes:        chanStats.resumes.Load(),
+		ResumeMisses:   chanStats.resumeMisses.Load(),
 	}
 }
+
+// RabinDecrypts returns the process-wide count of handshake-path
+// Rabin private-key decrypts — the counter the login-storm figure and
+// CI smoke assert stays flat across a resumed reconnect wave.
+func RabinDecrypts() uint64 { return chanStats.rabinDecrypts.Load() }

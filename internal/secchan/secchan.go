@@ -62,6 +62,10 @@ const (
 	connectOK      = 0
 	connectRevoked = 1
 	connectNoSuch  = 2
+	// connectBusy is the admission-control fast-reject: the server's
+	// negotiation pool and backlog are full, so it sheds the handshake
+	// immediately instead of queuing it unboundedly (DESIGN.md §14).
+	connectBusy = 3
 )
 
 // Errors.
@@ -78,6 +82,10 @@ var (
 	// ErrBadMAC means record authentication failed; the channel is
 	// dead.
 	ErrBadMAC = errors.New("secchan: message authentication failed")
+	// ErrServerBusy means the server shed the handshake at admission:
+	// its negotiation pool and backlog are saturated. The client may
+	// retry with backoff.
+	ErrServerBusy = errors.New("secchan: server is at handshake capacity")
 )
 
 const keyHalf = 20 // bytes per key half
@@ -125,6 +133,10 @@ type Info struct {
 	Version uint32
 	// Extensions from the connect request.
 	Extensions []string
+	// Ticket resumes this session on the next reconnect without
+	// public-key work (client side only; nil on the server side and on
+	// plain connects). Every established session mints a fresh one.
+	Ticket *ResumeTicket
 }
 
 func sessionKeys(serverKey, tempKey []byte, cHalves, sHalves []byte) (cs, sc [keyHalf]byte, sessionID [sha1.Size]byte) {
@@ -150,20 +162,104 @@ func sessionKeys(serverKey, tempKey []byte, cHalves, sHalves []byte) (cs, sc [ke
 	return cs, sc, sessionID
 }
 
+// maxHandshakeMsg bounds one clear-text handshake message. Connect
+// and key-negotiation messages are a few hundred bytes (keys and
+// encrypted halves); revocation certificates stay well under this.
+// The tight bound doubles as storm hardening: a hostile peer cannot
+// make the server stage megabytes before the handshake even starts.
+const maxHandshakeMsg = 64 << 10
+
+// writeMsg marshals one handshake message through a pooled encoder
+// straight into the record-framing path — no per-message marshal
+// buffer (the handshake allocation budget is tracked by
+// BenchmarkHandshake/BenchmarkResume).
 func writeMsg(w io.Writer, v interface{}) error {
-	b, err := xdr.Marshal(v)
-	if err != nil {
-		return err
+	e := xdr.GetEncoder()
+	err := e.Encode(v)
+	if err == nil {
+		err = sunrpc.WriteRecordEncoder(w, e)
 	}
-	return sunrpc.WriteRecord(w, b)
+	xdr.PutEncoder(e)
+	return err
+}
+
+// msgBuf is pooled scratch for reading one handshake record.
+type msgBuf struct{ b []byte }
+
+var msgBufPool = sync.Pool{
+	New: func() interface{} { return &msgBuf{b: make([]byte, 512)} },
+}
+
+func putMsgBuf(m *msgBuf) {
+	if cap(m.b) <= maxHandshakeMsg {
+		msgBufPool.Put(m)
+	}
+}
+
+// readRecordPooled reads one record-marked handshake message into
+// pooled scratch. The caller must putMsgBuf the result after decoding
+// (the XDR decoder copies, so nothing retains the scratch).
+func readRecordPooled(r io.Reader) (*msgBuf, error) {
+	m := msgBufPool.Get().(*msgBuf)
+	hdr := m.b[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		putMsgBuf(m)
+		return nil, err
+	}
+	h := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+	total := 0
+	for {
+		n := int(h & 0x7fffffff)
+		if total+n > maxHandshakeMsg {
+			putMsgBuf(m)
+			return nil, errors.New("secchan: oversized handshake message")
+		}
+		if cap(m.b) < total+n {
+			grown := make([]byte, total+n)
+			copy(grown, m.b[:total])
+			m.b = grown
+		}
+		m.b = m.b[:total+n]
+		if _, err := io.ReadFull(r, m.b[total:]); err != nil {
+			putMsgBuf(m)
+			return nil, err
+		}
+		total += n
+		if h&0x80000000 != 0 { // last fragment: the only case writeMsg emits
+			return m, nil
+		}
+		var fh [4]byte
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			putMsgBuf(m)
+			return nil, err
+		}
+		h = uint32(fh[0])<<24 | uint32(fh[1])<<16 | uint32(fh[2])<<8 | uint32(fh[3])
+	}
+}
+
+// peekTag decodes the leading XDR string of a hello message so the
+// reader can pick the right struct before unmarshaling.
+func peekTag(b []byte) (string, error) {
+	var tag string
+	if err := xdr.NewDecoder(b).Decode(&tag); err != nil {
+		return "", err
+	}
+	return tag, nil
+}
+
+// unmarshalMsg decodes a whole handshake message from pooled scratch.
+func unmarshalMsg(b []byte, v interface{}) error {
+	return xdr.Unmarshal(b, v)
 }
 
 func readMsg(r io.Reader, v interface{}) error {
-	b, err := sunrpc.ReadRecord(r)
+	m, err := readRecordPooled(r)
 	if err != nil {
 		return err
 	}
-	return xdr.Unmarshal(b, v)
+	err = unmarshalMsg(m.b, v)
+	putMsgBuf(m)
+	return err
 }
 
 // ClientHandshake establishes a secure channel to the server for path.
@@ -209,6 +305,8 @@ func clientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, te
 		return nil, nil, cert, ErrRevoked
 	case connectNoSuch:
 		return nil, nil, nil, ErrNoSuchFS
+	case connectBusy:
+		return nil, nil, nil, ErrServerBusy
 	default:
 		return nil, nil, nil, fmt.Errorf("secchan: bad connect status %d", resp.Status)
 	}
@@ -235,6 +333,7 @@ func clientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, te
 	if err := readMsg(conn, &negResp); err != nil {
 		return nil, nil, nil, err
 	}
+	chanStats.rabinDecrypts.Inc()
 	sHalves, err := tempKey.Decrypt(negResp.KeyHalves)
 	if err != nil || len(sHalves) != 2*keyHalf {
 		return nil, nil, nil, errors.New("secchan: bad server key halves")
@@ -247,6 +346,7 @@ func clientHandshake(conn io.ReadWriteCloser, service uint32, path core.Path, te
 	info := &Info{
 		SessionID: sid, Location: path.Location, HostID: path.HostID,
 		Service: service, Version: req.Version, Extensions: extensions,
+		Ticket: mintTicket(sid, cs[:], sc[:]),
 	}
 	return sec, info, nil, nil
 }
@@ -284,6 +384,8 @@ func ClientConnectPlain(conn io.ReadWriter, service uint32, path core.Path, exte
 		return cert, ErrRevoked
 	case connectNoSuch:
 		return nil, ErrNoSuchFS
+	case connectBusy:
+		return nil, ErrServerBusy
 	default:
 		return nil, fmt.Errorf("secchan: bad connect status %d", resp.Status)
 	}
@@ -333,10 +435,24 @@ func RejectRevoked(conn io.Writer, cert *core.PathRevoke) error {
 	return writeMsg(conn, connectResponse{Status: connectRevoked, ServerKey: []byte{}, Revocation: cert.Marshal()})
 }
 
+// RejectBusy sheds the connect at admission: the server's negotiation
+// pool and backlog are full. The client sees ErrServerBusy.
+func RejectBusy(conn io.Writer) error {
+	return writeMsg(conn, connectResponse{Status: connectBusy, ServerKey: []byte{}, Revocation: []byte{}})
+}
+
 // ServerHandshake completes the server side of connection setup for a
 // connect request that the caller has matched to priv.
 func ServerHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator) (*Conn, *Info, error) {
-	c, info, err := serverHandshake(conn, req, priv, rng)
+	return ServerHandshakeSession(conn, req, priv, rng, nil)
+}
+
+// ServerHandshakeSession is ServerHandshake with a resumption cache:
+// the established session's resume secret is cached so the client's
+// next reconnect can skip the Rabin decrypt. A nil cache disables
+// resumption for this session.
+func ServerHandshakeSession(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator, cache *ResumeCache) (*Conn, *Info, error) {
+	c, info, err := serverHandshake(conn, req, priv, rng, cache)
 	if err != nil {
 		chanStats.handshakeF.Inc()
 	} else {
@@ -345,7 +461,7 @@ func ServerHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.P
 	return c, info, err
 }
 
-func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator) (*Conn, *Info, error) {
+func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.PrivateKey, rng *prng.Generator, cache *ResumeCache) (*Conn, *Info, error) {
 	pub := priv.PublicKey.Bytes()
 	if err := writeMsg(conn, connectResponse{Status: connectOK, ServerKey: pub, Revocation: []byte{}}); err != nil {
 		return nil, nil, err
@@ -357,6 +473,7 @@ func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.P
 	if neg.Tag != "SFS_KEYNEG" {
 		return nil, nil, errors.New("secchan: bad keyneg tag")
 	}
+	chanStats.rabinDecrypts.Inc()
 	cHalves, err := priv.Decrypt(neg.KeyHalves)
 	if err != nil || len(cHalves) != 2*keyHalf {
 		return nil, nil, errors.New("secchan: bad client key halves")
@@ -378,6 +495,7 @@ func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.P
 	if err != nil {
 		return nil, nil, err
 	}
+	cache.put(sid, resumeMaster(cs[:], sc[:]))
 	var hostID core.HostID
 	copy(hostID[:], req.HostID[:])
 	info := &Info{

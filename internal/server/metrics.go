@@ -9,6 +9,7 @@ package server
 
 import (
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,10 +28,30 @@ type masterMetrics struct {
 	hsFails    stats.Counter // key-negotiation handshakes that died
 	extConns   stats.Counter // handed to protocol extensions
 
+	// Session-establishment accounting (DESIGN.md §14).
+	hsFull       stats.Counter // full key negotiations completed
+	hsResumed    stats.Counter // sessions established by resumption
+	hsResumeMiss stats.Counter // resume hellos answered with a miss
+	rejBusy      stats.Counter // shed at admission (pool + backlog full)
+	hsTimeouts   stats.Counter // negotiations cut off by the deadline
+	hsQueue      stats.Gauge   // connections waiting for a pool slot
+	hsStages     stats.StageSet
+
 	logins     stats.Counter // login RPCs received
 	loginOK    stats.Counter
 	loginFails stats.Counter // any non-OK outcome
 	seqReplays stats.Counter // rejected by the sequence-number window
+}
+
+// recordHSSpan folds one established session into the handshake stage
+// histograms: hs_queue is the pool wait (zero for resumptions, which
+// bypass the pool), hs_crypto the negotiation work itself.
+func (s *Server) recordHSSpan(queueWait, crypto time.Duration) {
+	var sp stats.Span
+	sp.Stages[stats.StageHSQueue] = int64(queueWait / time.Microsecond)
+	sp.Stages[stats.StageHSCrypto] = int64(crypto / time.Microsecond)
+	sp.DurUS = int64((queueWait + crypto) / time.Microsecond)
+	s.met.hsStages.Record(&sp)
 }
 
 // Logf is the logging hook: log.Printf-shaped. A nil hook (the
@@ -116,6 +137,28 @@ func serviceName(service uint32) string {
 	}
 }
 
+// HandshakeStats is the session-establishment block of MasterStats:
+// full vs resumed handshake counts, admission-control outcomes, pool
+// queue depth (with high-water) and per-stage wait/crypto histograms,
+// the resumption cache's hit/eviction counters, and the process heap
+// high-water observed across snapshots — the per-session memory
+// accounting the login-storm figure reads.
+type HandshakeStats struct {
+	Full        uint64                   `json:"full"`
+	Resumed     uint64                   `json:"resumed"`
+	ResumeMiss  uint64                   `json:"resume_miss"`
+	RejectsBusy uint64                   `json:"rejects_busy"`
+	Timeouts    uint64                   `json:"timeouts"`
+	Queue       stats.GaugeSnapshot      `json:"queue"`
+	Stages      stats.StageSetSnapshot   `json:"stages"`
+	ResumeCache secchan.ResumeCacheStats `json:"resume_cache"`
+
+	HeapInUse     uint64 `json:"heap_inuse_bytes"`
+	HeapInUseMax  uint64 `json:"heap_inuse_max_bytes"`
+	GoroutineNow  int    `json:"goroutines"`
+	GoroutinesMax int64  `json:"goroutines_max"`
+}
+
 // MasterStats is the JSON form of the master's connection and login
 // counters, with each served location's NFS-layer snapshot.
 type MasterStats struct {
@@ -125,6 +168,8 @@ type MasterStats struct {
 	RejectsNoFS    uint64              `json:"rejects_nosuchfs"`
 	HandshakeFails uint64              `json:"handshake_fails"`
 	ExtConns       uint64              `json:"extension_conns"`
+
+	Handshakes HandshakeStats `json:"handshakes"`
 
 	Logins     uint64 `json:"logins"`
 	LoginOK    uint64 `json:"login_ok"`
@@ -145,11 +190,24 @@ func (s *Server) StatsSnapshot() MasterStats {
 		RejectsNoFS:    m.rejNoFS.Load(),
 		HandshakeFails: m.hsFails.Load(),
 		ExtConns:       m.extConns.Load(),
-		Logins:         m.logins.Load(),
-		LoginOK:        m.loginOK.Load(),
-		LoginFails:     m.loginFails.Load(),
-		SeqReplays:     m.seqReplays.Load(),
+		Handshakes: HandshakeStats{
+			Full:        m.hsFull.Load(),
+			Resumed:     m.hsResumed.Load(),
+			ResumeMiss:  m.hsResumeMiss.Load(),
+			RejectsBusy: m.rejBusy.Load(),
+			Timeouts:    m.hsTimeouts.Load(),
+			Queue:       m.hsQueue.Snapshot(),
+			Stages:      m.hsStages.Snapshot(),
+			ResumeCache: s.resume.Stats(),
+		},
+		Logins:     m.logins.Load(),
+		LoginOK:    m.loginOK.Load(),
+		LoginFails: m.loginFails.Load(),
+		SeqReplays: m.seqReplays.Load(),
 	}
+	st.Handshakes.HeapInUse, st.Handshakes.HeapInUseMax = sampleHeap()
+	st.Handshakes.GoroutineNow = runtime.NumGoroutine()
+	st.Handshakes.GoroutinesMax = noteGoroutineHigh(int64(st.Handshakes.GoroutineNow))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, sfs := range s.byHost {
@@ -172,6 +230,39 @@ func (s *Server) NFSStats(location string) (nfs.ServerStats, bool) {
 		}
 	}
 	return nfs.ServerStats{}, false
+}
+
+// heapHigh and goroutineHigh track process high-water marks across
+// snapshots: sampling happens at snapshot time (ReadMemStats briefly
+// stops the world, so it never runs on the per-handshake path), which
+// is when the daemons' -stats command and the storm figure look.
+var heapHigh, goroutineHigh atomic.Uint64
+
+func sampleHeap() (now, max uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now = ms.HeapInuse
+	for {
+		old := heapHigh.Load()
+		if now <= old {
+			return now, old
+		}
+		if heapHigh.CompareAndSwap(old, now) {
+			return now, now
+		}
+	}
+}
+
+func noteGoroutineHigh(n int64) int64 {
+	for {
+		old := goroutineHigh.Load()
+		if uint64(n) <= old {
+			return int64(old)
+		}
+		if goroutineHigh.CompareAndSwap(old, uint64(n)) {
+			return n
+		}
+	}
 }
 
 // durRound trims a duration for log lines.

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/authserv"
@@ -135,6 +137,18 @@ type Server struct {
 	rng *prng.Generator
 	met masterMetrics
 
+	// Negotiation pool (DESIGN.md §14): full handshakes — the ones
+	// that cost a Rabin decrypt — run on hsSlots; hsInFlight counts
+	// holders plus queued waiters for the admission bound. Resumed
+	// handshakes bypass the pool entirely. The policy is fixed once
+	// the master starts accepting connections.
+	hsSlots    chan struct{}
+	hsInFlight atomic.Int64
+	hsWorkers  int
+	hsBacklog  int
+	hsTimeout  time.Duration
+	resume     *secchan.ResumeCache
+
 	logMu sync.Mutex
 	logf  Logf
 
@@ -144,17 +158,64 @@ type Server struct {
 	exts   map[uint32]ExtensionHandler
 }
 
-// New creates an empty server master.
+// HandshakePolicy tunes connection admission (sfssd's knobs).
+type HandshakePolicy struct {
+	// Workers bounds concurrent full key negotiations (the Rabin
+	// decrypts). 0 selects NumCPU.
+	Workers int
+	// Backlog bounds connections queued for a worker beyond the pool;
+	// arrivals past workers+backlog are fast-rejected with a busy
+	// status. 0 selects 16×workers; negative allows no queue.
+	Backlog int
+	// Timeout is the per-connection negotiation deadline: a peer that
+	// stalls mid-handshake is cut off and its pool slot freed. 0
+	// disables the deadline.
+	Timeout time.Duration
+	// ResumeCacheBytes budgets the session-resumption cache. 0 selects
+	// 1 MiB; negative disables resumption.
+	ResumeCacheBytes int64
+	// ResumeTTL bounds a cached session's lifetime. 0 selects 1 hour.
+	ResumeTTL time.Duration
+}
+
+// SetHandshakePolicy replaces the admission policy. Call before the
+// master starts accepting connections.
+func (s *Server) SetHandshakePolicy(p HandshakePolicy) {
+	if p.Workers <= 0 {
+		p.Workers = runtime.NumCPU()
+	}
+	switch {
+	case p.Backlog == 0:
+		p.Backlog = 16 * p.Workers
+	case p.Backlog < 0:
+		p.Backlog = 0
+	}
+	s.hsWorkers = p.Workers
+	s.hsBacklog = p.Backlog
+	s.hsTimeout = p.Timeout
+	s.hsSlots = make(chan struct{}, p.Workers)
+	if p.ResumeCacheBytes < 0 {
+		s.resume = nil
+	} else {
+		s.resume = secchan.NewResumeCache(p.ResumeCacheBytes, p.ResumeTTL)
+	}
+}
+
+// New creates an empty server master with the default handshake
+// policy (NumCPU negotiation workers, 16× backlog, no deadline,
+// 1 MiB resumption cache).
 func New(rng *prng.Generator) *Server {
 	if rng == nil {
 		rng = prng.New()
 	}
-	return &Server{
+	s := &Server{
 		rng:    rng,
 		byHost: make(map[core.HostID]*servedFS),
 		revs:   make(map[core.HostID]*core.PathRevoke),
 		exts:   make(map[uint32]ExtensionHandler),
 	}
+	s.SetHandshakePolicy(HandshakePolicy{})
+	return s
 }
 
 // Serve registers a file system and returns its self-certifying
@@ -251,6 +312,14 @@ func (s *Server) ListenAndServe(l net.Listener) error {
 // hands it to the selected subsystem. The connection is wrapped to
 // meter bytes both ways, and a single structured log line is emitted
 // at accept and at close (whichever subsystem ends up closing it).
+//
+// Admission control: resumption hellos are answered inline (no
+// public-key work), while full handshakes must win a negotiation-pool
+// slot — arrivals beyond the pool and its backlog are shed with a
+// busy status, so a cold-connect storm degrades to queuing latency
+// plus fast rejects instead of unbounded goroutines doing Rabin
+// decrypts. A configurable deadline covers the whole negotiation so a
+// stalled peer cannot pin a slot.
 func (s *Server) HandleConn(rawConn net.Conn) {
 	start := time.Now()
 	s.met.accepts.Inc()
@@ -270,46 +339,131 @@ func (s *Server) HandleConn(rawConn net.Conn) {
 	if sw, ok := rawConn.(sunrpc.SegmentWriter); ok {
 		conn = &countingSegConn{countingConn: cc, sw: sw}
 	}
-	req, err := secchan.ReadConnect(conn)
+	s.armDeadline(conn)
+	hello, err := secchan.ReadHello(conn)
 	if err != nil {
+		s.noteHSError(err)
 		conn.Close()
 		return
 	}
-	dialect = serviceName(req.Service)
-	s.logConn("accept peer=%s dialect=%s location=%s", peer, dialect, req.Location)
-	var hostID core.HostID
-	copy(hostID[:], req.HostID[:])
+
+	var req *secchan.ConnectRequest
+	var sec *secchan.Conn
+	var info *secchan.Info
+	service := uint32(0)
+	if r := hello.Resume; r != nil {
+		dialect = serviceName(r.Service) + "-resume"
+		s.logConn("accept peer=%s dialect=%s location=%s", peer, dialect, r.Location)
+		var hostID core.HostID
+		copy(hostID[:], r.HostID[:])
+		s.mu.RLock()
+		rev := s.revs[hostID]
+		sfs := s.byHost[hostID]
+		s.mu.RUnlock()
+		resumable := rev == nil && sfs != nil && sfs.path.Location == r.Location &&
+			(r.Service == secchan.ServiceFile || r.Service == secchan.ServiceAuth)
+		if !resumable {
+			// Deny without tipping state: the fallback SFS_CONNECT gets
+			// the real answer (revocation certificate, nosuch, ...).
+			if err := secchan.RejectResume(conn); err != nil {
+				s.noteHSError(err)
+				conn.Close()
+				return
+			}
+			s.met.hsResumeMiss.Inc()
+		} else {
+			c, i, hit, err := secchan.AcceptResume(conn, r, s.resume, s.rng)
+			if err != nil {
+				s.noteHSError(err)
+				s.met.hsFails.Inc()
+				conn.Close()
+				return
+			}
+			if hit {
+				s.met.hsResumed.Inc()
+				sec, info, service = c, i, r.Service
+				s.recordHSSpan(0, time.Since(start))
+			} else {
+				s.met.hsResumeMiss.Inc()
+			}
+		}
+		if sec == nil {
+			// The client falls back to a full handshake on this same
+			// connection.
+			req, err = secchan.ReadConnect(conn)
+			if err != nil {
+				s.noteHSError(err)
+				conn.Close()
+				return
+			}
+		}
+	} else {
+		req = hello.Connect
+		dialect = serviceName(req.Service)
+		s.logConn("accept peer=%s dialect=%s location=%s", peer, dialect, req.Location)
+	}
+
+	if sec == nil {
+		service = req.Service
+		var hostID core.HostID
+		copy(hostID[:], req.HostID[:])
+		s.mu.RLock()
+		rev := s.revs[hostID]
+		sfs := s.byHost[hostID]
+		ext := s.exts[req.Service]
+		s.mu.RUnlock()
+		if rev != nil {
+			s.met.rejRevoked.Inc()
+			secchan.RejectRevoked(conn, rev) //nolint:errcheck
+			conn.Close()
+			return
+		}
+		if ext != nil {
+			// Protocol extensions (e.g. the read-only dialect) own the
+			// connection from here; they run their own exchange.
+			s.met.extConns.Inc()
+			conn.SetDeadline(time.Time{}) //nolint:errcheck
+			ext(conn, req)
+			return
+		}
+		if sfs == nil || sfs.path.Location != req.Location {
+			s.met.rejNoFS.Inc()
+			secchan.RejectNoSuchFS(conn) //nolint:errcheck
+			conn.Close()
+			return
+		}
+		// Full key negotiation: one pool slot, deadline re-armed so
+		// time spent queued is not charged against the handshake.
+		queueWait, ok := s.acquireHS()
+		if !ok {
+			s.met.rejBusy.Inc()
+			secchan.RejectBusy(conn) //nolint:errcheck
+			conn.Close()
+			return
+		}
+		s.armDeadline(conn)
+		cryptoT0 := time.Now()
+		sec, info, err = secchan.ServerHandshakeSession(conn, req, sfs.cfg.Key, s.rng, s.resume)
+		s.releaseHS()
+		if err != nil {
+			s.noteHSError(err)
+			s.met.hsFails.Inc()
+			conn.Close()
+			return
+		}
+		s.met.hsFull.Inc()
+		s.recordHSSpan(queueWait, time.Since(cryptoT0))
+	}
+
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
 	s.mu.RLock()
-	rev := s.revs[hostID]
-	sfs := s.byHost[hostID]
-	ext := s.exts[req.Service]
+	sfs := s.byHost[info.HostID]
 	s.mu.RUnlock()
-	if rev != nil {
-		s.met.rejRevoked.Inc()
-		secchan.RejectRevoked(conn, rev) //nolint:errcheck
-		conn.Close()
+	if sfs == nil {
+		sec.Close()
 		return
 	}
-	if ext != nil {
-		// Protocol extensions (e.g. the read-only dialect) own the
-		// connection from here; they run their own exchange.
-		s.met.extConns.Inc()
-		ext(conn, req)
-		return
-	}
-	if sfs == nil || sfs.path.Location != req.Location {
-		s.met.rejNoFS.Inc()
-		secchan.RejectNoSuchFS(conn) //nolint:errcheck
-		conn.Close()
-		return
-	}
-	sec, info, err := secchan.ServerHandshake(conn, req, sfs.cfg.Key, s.rng)
-	if err != nil {
-		s.met.hsFails.Inc()
-		conn.Close()
-		return
-	}
-	switch req.Service {
+	switch service {
 	case secchan.ServiceFile:
 		s.serveFile(sec, info, sfs)
 	case secchan.ServiceAuth:
@@ -317,6 +471,49 @@ func (s *Server) HandleConn(rawConn net.Conn) {
 	default:
 		sec.Close()
 	}
+}
+
+// armDeadline (re)starts the negotiation deadline on conn.
+func (s *Server) armDeadline(conn net.Conn) {
+	if s.hsTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.hsTimeout)) //nolint:errcheck
+	}
+}
+
+// noteHSError counts a negotiation failure caused by the handshake
+// deadline expiring.
+func (s *Server) noteHSError(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.met.hsTimeouts.Inc()
+	}
+}
+
+// acquireHS admits a full handshake to the negotiation pool, blocking
+// for a slot while the backlog allows it. It reports the time spent
+// queued and whether admission succeeded; a false return means the
+// caller must fast-reject.
+func (s *Server) acquireHS() (time.Duration, bool) {
+	if n := s.hsInFlight.Add(1); n > int64(s.hsWorkers+s.hsBacklog) {
+		s.hsInFlight.Add(-1)
+		return 0, false
+	}
+	select {
+	case s.hsSlots <- struct{}{}:
+		return 0, true
+	default:
+	}
+	s.met.hsQueue.Inc()
+	t0 := time.Now()
+	s.hsSlots <- struct{}{}
+	s.met.hsQueue.Dec()
+	return time.Since(t0), true
+}
+
+// releaseHS returns a negotiation-pool slot.
+func (s *Server) releaseHS() {
+	<-s.hsSlots
+	s.hsInFlight.Add(-1)
 }
 
 // seqWindow tracks which sequence numbers have appeared in a session,

@@ -43,6 +43,13 @@ const (
 	StageReplyWrite
 	StageWire
 	StageCliDecode
+	// Handshake stages (DESIGN.md §14): hs_queue is the wait for a
+	// negotiation-pool slot, hs_crypto the key-negotiation work itself
+	// (the Rabin decrypt on a full handshake, one SHA-1 mix on a
+	// resumption). They appear only in the server master's
+	// connection-establishment spans, never in RPC spans.
+	StageHSQueue
+	StageHSCrypto
 	NumStages
 )
 
@@ -52,6 +59,7 @@ var StageNames = [NumStages]string{
 	"srv_open", "queue", "dispatch", "vfs", "fsync",
 	"reply_seal", "reply_write",
 	"wire", "cli_decode",
+	"hs_queue", "hs_crypto",
 }
 
 // stageTimers counts enabled trace rings process-wide. Layers that

@@ -7,7 +7,7 @@ package repro
 // Tier-1 practice: the concurrent RPC pipeline makes the race
 // detector part of the bar. Alongside `go test ./...`, run
 //
-//	go test -race ./internal/sunrpc ./internal/secchan ./internal/xdr ./internal/nfs ./internal/client ./internal/stats ./internal/vfs ./internal/storage/...
+//	go test -race ./internal/sunrpc ./internal/secchan ./internal/xdr ./internal/nfs ./internal/client ./internal/stats ./internal/vfs ./internal/storage/... ./internal/server
 //
 // before merging — those packages share connections between the
 // reader loop, the dispatch worker pool, and readahead/write-behind
@@ -38,7 +38,11 @@ package repro
 // encoders borrow caller slices that dispatch workers seal) and
 // secchan.TestConcurrentGatherWritesRace (mixed Write/WriteSegments
 // traffic from many goroutines on one channel must keep the shared
-// ARC4 key stream aligned).
+// ARC4 key stream aligned). Session establishment (DESIGN.md §14)
+// adds internal/server: server.TestHandshakeStorm races full key
+// negotiations and ticket-chained resumptions from many clients
+// through the negotiation pool, the admission counters, and the
+// single-use resumption cache at once.
 
 import (
 	"bufio"

@@ -32,9 +32,13 @@ package secchan
 // Tickets are single-use: the server consumes the cache entry on hit
 // and inserts a new one for the rekeyed session, so a stolen ticket
 // races its owner at most once and the cache never accumulates dead
-// sessions. Forward secrecy is coarser than a full handshake's — the
-// RMS lives in server memory for the cache TTL — which is the same
-// tradeoff TLS session tickets make; the TTL and byte budget bound it.
+// sessions. Each entry is bound to the (hostID, location, service)
+// the session was established for; a resumption claiming any other
+// endpoint is treated as a miss, so a ticket cannot be redeemed
+// against a different served FS on the same master. Forward secrecy
+// is coarser than a full handshake's — the RMS lives in server memory
+// for the cache TTL — which is the same tradeoff TLS session tickets
+// make; the TTL and byte budget bound it.
 
 import (
 	"crypto/sha1"
@@ -135,16 +139,29 @@ func mintTicket(sessionID [sha1.Size]byte, cs, sc []byte) *ResumeTicket {
 
 // resumeEntryBytes is the accounting cost of one cache entry: the
 // 40 secret bytes plus struct, map-bucket, and ring overhead. The
-// budget is a memory bound, not an exact science; what matters is
-// that N entries cost O(N) accounted bytes.
+// location string is accounted on top since its length is
+// peer-influenced. The budget is a memory bound, not an exact
+// science; what matters is that N entries cost O(N) accounted bytes.
 const resumeEntryBytes = 128
+
+// resumeBinding ties a cached session to the endpoint it was
+// established for. take() requires the resuming client to present the
+// same (hostID, location, service) triple, so a ticket minted against
+// one served FS cannot be redeemed while claiming another.
+type resumeBinding struct {
+	hostID   [core.HostIDSize]byte
+	location string
+	service  uint32
+}
 
 type resumeEntry struct {
 	sid     [sha1.Size]byte
 	rms     [keyHalf]byte
+	binding resumeBinding
 	expires time.Time
+	cost    int64
+	idx     int  // position in ring, maintained across swap-removal
 	ref     bool // CLOCK reference bit
-	dead    bool // removed from the map, awaiting ring compaction
 }
 
 // ResumeCache is the server's bounded session cache: session ID →
@@ -155,13 +172,14 @@ type ResumeCache struct {
 	max     int64
 	ttl     time.Duration
 	entries map[[sha1.Size]byte]*resumeEntry
-	ring    []*resumeEntry // CLOCK ring; may contain dead entries
+	ring    []*resumeEntry // CLOCK ring; every live entry, nothing else
 	hand    int
 	bytes   int64
 	now     func() time.Time // injectable for expiry tests
 
 	hits, misses, expired stats.Counter
 	inserts, evictions    stats.Counter
+	bindingMiss           stats.Counter
 }
 
 // NewResumeCache builds a cache holding at most maxBytes of accounted
@@ -185,33 +203,56 @@ func NewResumeCache(maxBytes int64, ttl time.Duration) *ResumeCache {
 	}
 }
 
-// put caches a freshly established session.
-func (c *ResumeCache) put(sid [sha1.Size]byte, rms [keyHalf]byte) {
+// put caches a freshly established session bound to its endpoint.
+func (c *ResumeCache) put(sid [sha1.Size]byte, rms [keyHalf]byte, binding resumeBinding) {
 	if c == nil {
 		return
 	}
+	cost := int64(resumeEntryBytes + len(binding.location))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[sid]; ok {
 		e.rms = rms
+		e.binding = binding
 		e.expires = c.now().Add(c.ttl)
 		e.ref = true
+		c.bytes += cost - e.cost
+		e.cost = cost
 		return
 	}
-	for c.bytes+resumeEntryBytes > c.max && c.evictOne() {
+	for c.bytes+cost > c.max && c.evictOne() {
 	}
-	e := &resumeEntry{sid: sid, rms: rms, expires: c.now().Add(c.ttl), ref: true}
+	e := &resumeEntry{
+		sid: sid, rms: rms, binding: binding,
+		expires: c.now().Add(c.ttl), cost: cost,
+		idx: len(c.ring), ref: true,
+	}
 	c.entries[sid] = e
 	c.ring = append(c.ring, e)
-	c.bytes += resumeEntryBytes
+	c.bytes += cost
 	c.inserts.Inc()
 }
 
+// removeLocked unlinks e from the map and swap-removes it from the
+// CLOCK ring in O(1), so consumed tickets never linger as dead slots
+// (the ring holds exactly the live entries at all times). Approximate
+// CLOCK order is fine — the swapped-in entry keeps its reference bit.
+func (c *ResumeCache) removeLocked(e *resumeEntry) {
+	delete(c.entries, e.sid)
+	last := len(c.ring) - 1
+	moved := c.ring[last]
+	c.ring[e.idx] = moved
+	moved.idx = e.idx
+	c.ring[last] = nil
+	c.ring = c.ring[:last]
+	c.bytes -= e.cost
+	// The hand is re-clamped at the top of evictOne's sweep.
+}
+
 // evictOne advances the CLOCK hand to the first unreferenced entry and
-// evicts it, compacting dead ring slots on the way. Reports whether an
-// entry was freed.
+// evicts it. Reports whether an entry was freed.
 func (c *ResumeCache) evictOne() bool {
-	for pass := 0; pass < 2*len(c.ring)+1; pass++ {
+	for pass := 0; pass <= 2*len(c.ring); pass++ {
 		if len(c.ring) == 0 {
 			return false
 		}
@@ -219,29 +260,23 @@ func (c *ResumeCache) evictOne() bool {
 			c.hand = 0
 		}
 		e := c.ring[c.hand]
-		if e.dead {
-			c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
-			continue
-		}
 		if e.ref {
 			e.ref = false
 			c.hand++
 			continue
 		}
-		delete(c.entries, e.sid)
-		e.dead = true
-		c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
-		c.bytes -= resumeEntryBytes
+		c.removeLocked(e)
 		c.evictions.Inc()
 		return true
 	}
 	return false
 }
 
-// take consumes the entry for sid if present and unexpired. Tickets
-// are single-use: a hit removes the entry (the resumed session's new
-// ticket is inserted by the caller).
-func (c *ResumeCache) take(sid [sha1.Size]byte) (rms [keyHalf]byte, ok bool) {
+// take consumes the entry for sid if present, unexpired, and bound to
+// the same endpoint the caller presents. Tickets are single-use: any
+// lookup — hit, expired, or binding mismatch — removes the entry (the
+// resumed session's new ticket is inserted by the caller).
+func (c *ResumeCache) take(sid [sha1.Size]byte, binding resumeBinding) (rms [keyHalf]byte, ok bool) {
 	if c == nil {
 		return rms, false
 	}
@@ -252,11 +287,14 @@ func (c *ResumeCache) take(sid [sha1.Size]byte) (rms [keyHalf]byte, ok bool) {
 		c.misses.Inc()
 		return rms, false
 	}
-	delete(c.entries, sid)
-	e.dead = true
-	c.bytes -= resumeEntryBytes
+	c.removeLocked(e)
 	if c.now().After(e.expires) {
 		c.expired.Inc()
+		c.misses.Inc()
+		return rms, false
+	}
+	if e.binding != binding {
+		c.bindingMiss.Inc()
 		c.misses.Inc()
 		return rms, false
 	}
@@ -266,13 +304,14 @@ func (c *ResumeCache) take(sid [sha1.Size]byte) (rms [keyHalf]byte, ok bool) {
 
 // ResumeCacheStats is the JSON form of a cache's counters.
 type ResumeCacheStats struct {
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Expired   uint64 `json:"expired,omitempty"`
-	Inserts   uint64 `json:"inserts"`
-	Evictions uint64 `json:"evictions"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Expired     uint64 `json:"expired,omitempty"`
+	BindingMiss uint64 `json:"binding_misses,omitempty"`
+	Inserts     uint64 `json:"inserts"`
+	Evictions   uint64 `json:"evictions"`
 }
 
 // Stats captures the cache's counters.
@@ -283,13 +322,14 @@ func (c *ResumeCache) Stats() ResumeCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ResumeCacheStats{
-		Entries:   len(c.entries),
-		Bytes:     c.bytes,
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Expired:   c.expired.Load(),
-		Inserts:   c.inserts.Load(),
-		Evictions: c.evictions.Load(),
+		Entries:     len(c.entries),
+		Bytes:       c.bytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Expired:     c.expired.Load(),
+		BindingMiss: c.bindingMiss.Load(),
+		Inserts:     c.inserts.Load(),
+		Evictions:   c.evictions.Load(),
 	}
 }
 
@@ -349,7 +389,8 @@ func RejectResume(conn io.Writer) error {
 // returns hit = false with no error — the caller then reads the
 // client's fallback SFS_CONNECT from the same connection.
 func AcceptResume(conn io.ReadWriteCloser, req *ResumeRequest, cache *ResumeCache, rng *prng.Generator) (*Conn, *Info, bool, error) {
-	rms, ok := cache.take(req.SessionID)
+	binding := resumeBinding{hostID: req.HostID, location: req.Location, service: req.Service}
+	rms, ok := cache.take(req.SessionID, binding)
 	if !ok {
 		return nil, nil, false, RejectResume(conn)
 	}
@@ -366,7 +407,7 @@ func AcceptResume(conn io.ReadWriteCloser, req *ResumeRequest, cache *ResumeCach
 		chanStats.handshakeF.Inc()
 		return nil, nil, false, err
 	}
-	cache.put(sid, resumeMaster(cs[:], sc[:]))
+	cache.put(sid, resumeMaster(cs[:], sc[:]), binding)
 	var hostID core.HostID
 	copy(hostID[:], req.HostID[:])
 	info := &Info{

@@ -221,9 +221,9 @@ func TestResumeTicketExpiry(t *testing.T) {
 	var sid [sha1.Size]byte
 	var rms [keyHalf]byte
 	copy(sid[:], []byte("expiring session id."))
-	cache.put(sid, rms)
+	cache.put(sid, rms, resumeBinding{})
 	now = now.Add(2 * time.Minute)
-	if _, ok := cache.take(sid); ok {
+	if _, ok := cache.take(sid, resumeBinding{}); ok {
 		t.Fatal("expired ticket resumed")
 	}
 	st := cache.Stats()
@@ -241,14 +241,14 @@ func TestResumeCacheEviction(t *testing.T) {
 	var rms [keyHalf]byte
 	sid := func(i byte) (s [sha1.Size]byte) { s[0] = i; return }
 	for i := byte(0); i < 4; i++ {
-		cache.put(sid(i), rms)
+		cache.put(sid(i), rms, resumeBinding{})
 	}
 	if st := cache.Stats(); st.Evictions != 0 || st.Entries != 4 {
 		t.Fatalf("premature eviction: %+v", st)
 	}
 	// A fifth entry must evict one; CLOCK clears reference bits on the
 	// first sweep and evicts the first unreferenced entry (entry 0).
-	cache.put(sid(4), rms)
+	cache.put(sid(4), rms, resumeBinding{})
 	st := cache.Stats()
 	if st.Evictions != 1 || st.Entries != 4 {
 		t.Fatalf("eviction did not bound the cache: %+v", st)
@@ -256,10 +256,10 @@ func TestResumeCacheEviction(t *testing.T) {
 	if st.Bytes > 4*resumeEntryBytes {
 		t.Fatalf("accounted bytes %d exceed budget", st.Bytes)
 	}
-	if _, ok := cache.take(sid(0)); ok {
+	if _, ok := cache.take(sid(0), resumeBinding{}); ok {
 		t.Fatal("CLOCK kept the stale entry")
 	}
-	if _, ok := cache.take(sid(4)); !ok {
+	if _, ok := cache.take(sid(4), resumeBinding{}); !ok {
 		t.Fatal("fresh entry missing after eviction")
 	}
 }
@@ -269,12 +269,83 @@ func TestResumeSingleUse(t *testing.T) {
 	var sid [sha1.Size]byte
 	var rms [keyHalf]byte
 	sid[0] = 7
-	cache.put(sid, rms)
-	if _, ok := cache.take(sid); !ok {
+	cache.put(sid, rms, resumeBinding{})
+	if _, ok := cache.take(sid, resumeBinding{}); !ok {
 		t.Fatal("first take missed")
 	}
-	if _, ok := cache.take(sid); ok {
+	if _, ok := cache.take(sid, resumeBinding{}); ok {
 		t.Fatal("ticket replayed: second take hit")
+	}
+}
+
+func TestResumeCacheRingNoLeak(t *testing.T) {
+	// Regression: a steady-state take/put cycle stays under the byte
+	// budget, so eviction never runs — consumed entries must still leave
+	// the CLOCK ring, or every resumption leaks a dead slot forever.
+	cache := NewResumeCache(1<<20, time.Hour)
+	var rms [keyHalf]byte
+	sid := func(i int) (s [sha1.Size]byte) {
+		s[0], s[1], s[2], s[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		return
+	}
+	cache.put(sid(0), rms, resumeBinding{})
+	for i := 1; i <= 10000; i++ {
+		if _, ok := cache.take(sid(i-1), resumeBinding{}); !ok {
+			t.Fatalf("cycle %d: take missed", i)
+		}
+		cache.put(sid(i), rms, resumeBinding{})
+	}
+	cache.mu.Lock()
+	ring, entries := len(cache.ring), len(cache.entries)
+	cache.mu.Unlock()
+	if ring != entries {
+		t.Fatalf("ring holds %d slots for %d live entries (dead-slot leak)", ring, entries)
+	}
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	if st := cache.Stats(); st.Bytes != resumeEntryBytes {
+		t.Fatalf("accounted bytes = %d, want %d", st.Bytes, resumeEntryBytes)
+	}
+}
+
+func TestResumeBindingMismatch(t *testing.T) {
+	// A ticket minted for one endpoint must not resume another: any
+	// (hostID, location, service) drift is a miss and consumes the
+	// single-use entry.
+	cache := NewResumeCache(1<<16, time.Hour)
+	var rms [keyHalf]byte
+	bound := resumeBinding{location: "server.example.com", service: ServiceFile}
+	bound.hostID[0] = 1
+	sid := func(i byte) (s [sha1.Size]byte) { s[0] = i; return }
+
+	other := bound
+	other.service = ServiceAuth
+	cache.put(sid(1), rms, bound)
+	if _, ok := cache.take(sid(1), other); ok {
+		t.Fatal("ticket redeemed for a different service")
+	}
+	if _, ok := cache.take(sid(1), bound); ok {
+		t.Fatal("binding miss did not consume the single-use entry")
+	}
+
+	other = bound
+	other.hostID[0] = 2
+	cache.put(sid(2), rms, bound)
+	if _, ok := cache.take(sid(2), other); ok {
+		t.Fatal("ticket redeemed for a different hostID")
+	}
+
+	cache.put(sid(3), rms, bound)
+	if _, ok := cache.take(sid(3), bound); !ok {
+		t.Fatal("matching binding missed")
+	}
+	st := cache.Stats()
+	if st.BindingMiss != 2 {
+		t.Fatalf("binding misses = %d, want 2", st.BindingMiss)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
 	}
 }
 
@@ -304,8 +375,8 @@ func TestClientConnectPlainErrors(t *testing.T) {
 		serve func(io.ReadWriter)
 		want  error
 	}{
-		{"nosuch", func(c io.ReadWriter) { RejectNoSuchFS(c) }, ErrNoSuchFS},                           //nolint:errcheck
-		{"busy", func(c io.ReadWriter) { RejectBusy(c) }, ErrServerBusy},                               //nolint:errcheck
+		{"nosuch", func(c io.ReadWriter) { RejectNoSuchFS(c) }, ErrNoSuchFS},                                  //nolint:errcheck
+		{"busy", func(c io.ReadWriter) { RejectBusy(c) }, ErrServerBusy},                                      //nolint:errcheck
 		{"wrongkey", func(c io.ReadWriter) { AcceptPlain(c, otherKey.PublicKey.Bytes()) }, ErrHostIDMismatch}, //nolint:errcheck
 	}
 	for _, tc := range cases {

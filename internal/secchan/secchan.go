@@ -210,7 +210,9 @@ func readRecordPooled(r io.Reader) (*msgBuf, error) {
 	total := 0
 	for {
 		n := int(h & 0x7fffffff)
-		if total+n > maxHandshakeMsg {
+		// Bound n before any arithmetic: on 32-bit platforms total+n
+		// could wrap negative and slip past a combined check.
+		if n > maxHandshakeMsg || total > maxHandshakeMsg-n {
 			putMsgBuf(m)
 			return nil, errors.New("secchan: oversized handshake message")
 		}
@@ -495,7 +497,8 @@ func serverHandshake(conn io.ReadWriteCloser, req *ConnectRequest, priv *rabin.P
 	if err != nil {
 		return nil, nil, err
 	}
-	cache.put(sid, resumeMaster(cs[:], sc[:]))
+	cache.put(sid, resumeMaster(cs[:], sc[:]),
+		resumeBinding{hostID: req.HostID, location: req.Location, service: req.Service})
 	var hostID core.HostID
 	copy(hostID[:], req.HostID[:])
 	info := &Info{

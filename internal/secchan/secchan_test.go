@@ -40,6 +40,31 @@ func testKeys(t testing.TB) (*rabin.PrivateKey, *rabin.PrivateKey, *rabin.Privat
 	return serverKey, tempKey, otherKey
 }
 
+func TestOversizedHandshakeRecordRejected(t *testing.T) {
+	// Hostile record headers must be rejected from the length field
+	// alone — including n near 2^31-1, which would overflow a naive
+	// total+n check on 32-bit platforms and panic with a negative
+	// slice bound.
+	for _, n := range []uint32{maxHandshakeMsg + 1, 0x7fffffff} {
+		hdr := []byte{
+			byte(0x80 | n>>24&0x7f), byte(n >> 16), byte(n >> 8), byte(n),
+		}
+		if _, err := readRecordPooled(bytes.NewReader(hdr)); err == nil {
+			t.Fatalf("record of claimed length %d accepted", n)
+		}
+	}
+	// A second fragment pushing the running total past the bound is
+	// rejected too.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x00, 0x00, 0xff, 0xff}) // 64 KiB - 1, more follows
+	buf.Write(make([]byte, 0xffff))
+	buf.Write([]byte{0x80, 0x00, 0x00, 0x02}) // +2 crosses maxHandshakeMsg
+	buf.Write([]byte{0, 0})
+	if _, err := readRecordPooled(&buf); err == nil {
+		t.Fatal("fragmented record exceeding the bound accepted")
+	}
+}
+
 // handshakePair runs both sides of the handshake over a pipe.
 func handshakePair(t *testing.T, seed string) (client, server *Conn, ci, si *Info) {
 	t.Helper()

@@ -9,6 +9,10 @@
 //
 //	sfsbench [-quick] [-fig 5|6|7|8|9|wb|scal|warm|recovery|latency|login|all] [-json dir]
 //	sfsbench -clients N
+//	sfsbench -list
+//
+// -list prints every registered figure key alongside the
+// BENCH_<slug>.json file it regenerates, without running anything.
 //
 // With -json, every figure is also written to dir as a
 // machine-readable BENCH_<slug>.json (schema in EXPERIMENTS.md), so
@@ -29,10 +33,19 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, wb, scal, warm, recovery, latency, login, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: a key from -list, or all")
 	jsonDir := flag.String("json", "", "directory to write BENCH_*.json files into (empty disables)")
 	clients := flag.Int("clients", 0, "run one scalability point with N concurrent clients and exit")
+	list := flag.Bool("list", false, "list figure keys and their BENCH_*.json slugs, then exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-34s %s\n", "KEY", "FIGURE", "JSON")
+		for _, spec := range bench.Registry {
+			fmt.Printf("%-10s %-34s BENCH_%s.json\n", spec.Key, spec.ID, bench.SlugForID(spec.ID))
+		}
+		return
+	}
 
 	if *clients > 0 {
 		per := int64(4 << 20)
@@ -53,32 +66,25 @@ func main() {
 	}
 
 	opts := bench.Options{Quick: *quick, Out: os.Stdout}
-	runners := map[string]func(bench.Options) (*bench.Figure, error){
-		"5":        bench.Fig5,
-		"6":        bench.Fig6,
-		"7":        bench.Fig7,
-		"8":        bench.Fig8,
-		"9":        bench.Fig9,
-		"wb":       bench.FigWriteBehind,
-		"scal":     bench.FigScalability,
-		"warm":     bench.FigWarmRead,
-		"recovery": bench.FigRecovery,
-		"latency":  bench.FigLatency,
-		"login":    bench.FigLogin,
-	}
-	var order []string
+	var order []bench.FigureSpec
 	if *fig == "all" {
-		order = []string{"5", "6", "7", "8", "9", "wb", "scal", "warm", "recovery", "latency", "login"}
-	} else if _, ok := runners[*fig]; ok {
-		order = []string{*fig}
+		order = bench.Registry
 	} else {
-		fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (want 5..9, wb, scal, warm, recovery, latency, login, or all)\n", *fig)
-		os.Exit(2)
+		for _, spec := range bench.Registry {
+			if spec.Key == *fig {
+				order = []bench.FigureSpec{spec}
+				break
+			}
+		}
+		if len(order) == 0 {
+			fmt.Fprintf(os.Stderr, "sfsbench: unknown figure %q (see -list)\n", *fig)
+			os.Exit(2)
+		}
 	}
-	for _, id := range order {
-		f, err := runners[id](opts)
+	for _, spec := range order {
+		f, err := spec.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sfsbench: figure %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "sfsbench: figure %s: %v\n", spec.Key, err)
 			os.Exit(1)
 		}
 		if *jsonDir != "" {

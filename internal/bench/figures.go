@@ -408,3 +408,33 @@ func (f *Figure) RowFor(stack, phase string) (FigureRow, bool) {
 	}
 	return FigureRow{}, false
 }
+
+// FigureSpec is one entry of the figure registry: the -fig key the
+// CLI accepts, the ID the figure's output carries (whose slug names
+// the committed BENCH_<slug>.json), and the runner itself.
+type FigureSpec struct {
+	Key string
+	ID  string
+	Run func(Options) (*Figure, error)
+}
+
+// Registry lists every figure in canonical run order. cmd/sfsbench
+// drives -fig and -list from it, so registering a figure here is the
+// only step a new experiment needs to become runnable and listable.
+var Registry = []FigureSpec{
+	{Key: "5", ID: "Figure 5", Run: Fig5},
+	{Key: "6", ID: "Figure 6", Run: Fig6},
+	{Key: "7", ID: "Figure 7", Run: Fig7},
+	{Key: "8", ID: "Figure 8", Run: Fig8},
+	{Key: "9", ID: "Figure 9", Run: Fig9},
+	{Key: "wb", ID: "Figure 9 (write-behind ablation)", Run: FigWriteBehind},
+	{Key: "scal", ID: "Scalability", Run: FigScalability},
+	{Key: "warm", ID: "Warm read", Run: FigWarmRead},
+	{Key: "recovery", ID: "Recovery", Run: FigRecovery},
+	{Key: "latency", ID: "Latency", Run: FigLatency},
+	{Key: "login", ID: "Login-storm", Run: FigLogin},
+}
+
+// SlugForID derives the BENCH_ file stem for a figure ID without
+// running the figure (the -list path).
+func SlugForID(id string) string { return (&Figure{ID: id}).Slug() }

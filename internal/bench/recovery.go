@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/nfs"
+	"repro/internal/storage"
 	"repro/internal/storage/diskstore"
 	"repro/internal/vfs"
 )
@@ -159,8 +160,216 @@ func FigRecovery(opts Options) (*Figure, error) {
 	if ss, ok := cluster.ServerStats(); ok {
 		fig.Counters = map[string]nfs.ServerStats{label: ss}
 	}
+
+	// Phase 4: bounded recovery at scale (DESIGN.md §15). The same
+	// working set rewritten N times grows the journal N-fold, so
+	// journal-only replay scales with history while checkpointed
+	// replay stays O(working set + tail).
+	if err := recoveryAtScale(fig, opts); err != nil {
+		return nil, err
+	}
 	fig.render(opts.out())
 	return fig, nil
+}
+
+// recoveryAtScale appends the checkpointing and paging rows: replay
+// time vs history depth with and without checkpoints, and a
+// larger-than-RAM store whose reads must verify byte-identical while
+// residency stays under the hot budget.
+func recoveryAtScale(fig *Figure, opts Options) error {
+	rounds := 10
+	roundBytes := 4 << 20
+	hot := uint64(2 << 20)
+	coldFiles, coldFileBytes := 32, 1<<20 // 16x the hot budget
+	if opts.Quick {
+		roundBytes = 256 << 10
+		hot = 128 << 10
+		coldFiles, coldFileBytes = 16, 64<<10 // 8x the hot budget
+	}
+	const label = "SFS (disk store)"
+
+	journal1, _, err := replayAfterHistory(1, roundBytes, false)
+	if err != nil {
+		return err
+	}
+	journalN, _, err := replayAfterHistory(rounds, roundBytes, false)
+	if err != nil {
+		return err
+	}
+	ckptN, ckptStats, err := replayAfterHistory(rounds, roundBytes, true)
+	if err != nil {
+		return err
+	}
+	if ckptStats.TailRecords > uint64(roundBytes/(64<<10))+8 {
+		return fmt.Errorf("recovery: checkpointed tail has %d records — compaction is not bounding the journal", ckptStats.TailRecords)
+	}
+	speedup := journalN.Seconds() / ckptN.Seconds()
+	fig.Rows = append(fig.Rows,
+		FigureRow{Stack: label, Phase: "replay 1x history (journal only)", Value: journal1.Seconds() * 1000, Unit: "ms"},
+		FigureRow{Stack: label, Phase: fmt.Sprintf("replay %dx history (journal only)", rounds), Value: journalN.Seconds() * 1000, Unit: "ms"},
+		FigureRow{Stack: label, Phase: fmt.Sprintf("replay %dx history (checkpointed)", rounds), Value: ckptN.Seconds() * 1000, Unit: "ms"},
+		FigureRow{Stack: label, Phase: "checkpoint replay speedup", Value: speedup, Unit: "x"},
+		FigureRow{Stack: label, Phase: "checkpoint image load", Value: ckptStats.CheckpointMBps(), Unit: "MB/s"},
+	)
+
+	// Larger-than-RAM: a dataset several times the hot budget, served
+	// through the cold-extent pager after a checkpointed reboot.
+	resident, faults, err := largerThanRAM(hot, coldFiles, coldFileBytes)
+	if err != nil {
+		return err
+	}
+	fig.Rows = append(fig.Rows,
+		FigureRow{Stack: label, Phase: "larger-than-RAM dataset", Value: float64(coldFiles * coldFileBytes), Unit: "bytes"},
+		FigureRow{Stack: label, Phase: "larger-than-RAM hot budget", Value: float64(hot), Unit: "bytes"},
+		FigureRow{Stack: label, Phase: "larger-than-RAM resident", Value: float64(resident), Unit: "bytes"},
+		FigureRow{Stack: label, Phase: "larger-than-RAM faults", Value: float64(faults), Unit: "faults"},
+	)
+	return nil
+}
+
+// replayAfterHistory rewrites one working set `rounds` times
+// (committing each round), optionally checkpointing after each round,
+// then closes the store and measures a cold reopen's replay.
+func replayAfterHistory(rounds, roundBytes int, checkpoint bool) (time.Duration, storage.ReplayStats, error) {
+	dir, err := os.MkdirTemp("", "sfs-recovery-scale-")
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	defer os.RemoveAll(dir)
+	ds, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	fs, err := vfs.NewWithStores(ds, ds)
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	cred := vfs.Cred{UID: 0}
+	id, _, err := fs.Create(cred, fs.Root(), "workset", 0o644, true)
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	chunk := bytes.Repeat([]byte("history!"), 8<<10) // 64 KB
+	for r := 0; r < rounds; r++ {
+		for off := 0; off < roundBytes; off += len(chunk) {
+			if _, err := fs.Write(cred, id, uint64(off), chunk, false); err != nil {
+				return 0, storage.ReplayStats{}, err
+			}
+		}
+		if err := fs.Commit(id); err != nil {
+			return 0, storage.ReplayStats{}, err
+		}
+		if checkpoint {
+			if _, err := fs.Checkpoint(); err != nil {
+				return 0, storage.ReplayStats{}, err
+			}
+		}
+	}
+	if err := ds.Close(); err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+
+	start := time.Now()
+	ds2, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	fs2, err := vfs.NewWithStores(ds2, ds2)
+	if err != nil {
+		return 0, storage.ReplayStats{}, err
+	}
+	elapsed := time.Since(start)
+	rs := fs2.LastReplay()
+	// Spot-check the working set survived whichever path replayed it.
+	got, _, err := fs2.Read(cred, id, 0, 8)
+	if err != nil || !bytes.Equal(got, []byte("history!")) {
+		return 0, rs, fmt.Errorf("recovery: working set corrupt after reopen: %q, %v", got, err)
+	}
+	return elapsed, rs, ds2.Close()
+}
+
+// largerThanRAM builds a dataset of files×fileBytes over a pager
+// budgeted to hot bytes, checkpoints, reopens, and reads every byte
+// back through the cold-extent path, verifying content and that
+// residency stayed under budget.
+func largerThanRAM(hot uint64, files, fileBytes int) (resident, faults uint64, err error) {
+	dir, err := os.MkdirTemp("", "sfs-recovery-ram-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	open := func() (*vfs.FS, *diskstore.Store, error) {
+		ds, err := diskstore.Open(dir, diskstore.Options{HotBytes: hot})
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := vfs.NewWithStores(ds, ds)
+		if err != nil {
+			ds.Close()
+			return nil, nil, err
+		}
+		return fs, ds, nil
+	}
+	fs, ds, err := open()
+	if err != nil {
+		return 0, 0, err
+	}
+	cred := vfs.Cred{UID: 0}
+	pattern := func(i int) []byte {
+		p := bytes.Repeat([]byte{byte(i), byte(i >> 8), 0x5f, byte(^i)}, fileBytes/4)
+		return p
+	}
+	ids := make([]vfs.FileID, files)
+	for i := 0; i < files; i++ {
+		id, _, err := fs.Create(cred, fs.Root(), fmt.Sprintf("cold-%03d", i), 0o644, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := fs.Write(cred, id, 0, pattern(i), false); err != nil {
+			return 0, 0, err
+		}
+		ids[i] = id
+	}
+	if err := fs.Commit(ids[0]); err != nil {
+		return 0, 0, err
+	}
+	if _, err := fs.Checkpoint(); err != nil {
+		return 0, 0, err
+	}
+	if err := ds.Close(); err != nil {
+		return 0, 0, err
+	}
+
+	fs, ds, err = open()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ds.Close()
+	for i := 0; i < files; i++ {
+		want := pattern(i)
+		for off := 0; off < fileBytes; off += 64 << 10 {
+			n := uint32(64 << 10)
+			if fileBytes-off < int(n) {
+				n = uint32(fileBytes - off)
+			}
+			got, _, err := fs.Read(cred, ids[i], uint64(off), n)
+			if err != nil {
+				return 0, 0, fmt.Errorf("recovery: cold read %d@%d: %w", ids[i], off, err)
+			}
+			if !bytes.Equal(got, want[off:off+int(n)]) {
+				return 0, 0, fmt.Errorf("recovery: cold extent %d@%d not byte-identical after paging", ids[i], off)
+			}
+		}
+		st := fs.StorageStats()
+		if st == nil || st.Pager == nil {
+			return 0, 0, fmt.Errorf("recovery: disk store reports no pager stats")
+		}
+		if st.Pager.ResidentBytes > hot {
+			return 0, 0, fmt.Errorf("recovery: resident %d bytes exceeds -hot-bytes %d", st.Pager.ResidentBytes, hot)
+		}
+	}
+	st := fs.StorageStats()
+	return st.Pager.ResidentBytes, st.Pager.Faults, nil
 }
 
 // writeChunks streams data through the write-behind pipeline in 64 KB

@@ -44,4 +44,37 @@ func TestFigRecoveryShape(t *testing.T) {
 	if ss.Storage.ReplayRecords == 0 {
 		t.Fatal("storage replay_records = 0, want > 0")
 	}
+
+	// Bounded-recovery rows (DESIGN.md §15). Byte-identical cold reads
+	// and the residency bound are hard-asserted inside the figure; here
+	// the rows just have to exist with sane values.
+	speedup, ok := fig.RowFor(label, "checkpoint replay speedup")
+	if !ok || speedup.Value <= 0 {
+		t.Fatalf("checkpoint replay speedup row = %+v (ok=%v), want a positive ratio", speedup, ok)
+	}
+	for _, phase := range []string{
+		"replay 1x history (journal only)",
+		"replay 10x history (journal only)",
+		"replay 10x history (checkpointed)",
+		"checkpoint image load",
+	} {
+		if row, ok := fig.RowFor(label, phase); !ok || row.Value < 0 {
+			t.Fatalf("row %q = %+v (ok=%v), want a non-negative value", phase, row, ok)
+		}
+	}
+	dataset, ok := fig.RowFor(label, "larger-than-RAM dataset")
+	if !ok {
+		t.Fatal("missing 'larger-than-RAM dataset' row")
+	}
+	budget, ok := fig.RowFor(label, "larger-than-RAM hot budget")
+	if !ok || budget.Value >= dataset.Value {
+		t.Fatalf("hot budget %v vs dataset %v: the dataset must exceed the budget", budget.Value, dataset.Value)
+	}
+	res, ok := fig.RowFor(label, "larger-than-RAM resident")
+	if !ok || res.Value > budget.Value {
+		t.Fatalf("resident %v bytes (ok=%v) over hot budget %v", res.Value, ok, budget.Value)
+	}
+	if faults, ok := fig.RowFor(label, "larger-than-RAM faults"); !ok || faults.Value <= 0 {
+		t.Fatalf("faults row = %+v (ok=%v), want demand faults", faults, ok)
+	}
 }

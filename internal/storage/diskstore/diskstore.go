@@ -1,33 +1,42 @@
 // Package diskstore implements storage.MetadataStore and
 // storage.BlockStore on disk: every mutation appends a record to a
-// group-commit write-ahead log (storage/wal) while an embedded
-// memstore holds the serving copy rebuilt from the log at each open.
+// group-commit write-ahead log (storage/wal), a paged serving copy
+// (pager.go) keeps hot content blocks in memory under a byte budget
+// and cold extents in an on-disk extent file, and periodic checkpoint
+// images (checkpoint.go) bound recovery to the journal tail.
 //
 // Durability follows the NFS 3 stability model the vfs exposes:
 // unstable WriteAt appends asynchronously (user-space buffer, spilled
 // to the OS past a threshold), Commit and stable writes wait for one
 // group-committed fsync, and LogMeta — namespace mutations — is
-// synchronous like FFS metadata updates. The log is the only
-// persistent structure; checkpointing/compaction is future work
-// (ROADMAP), so the log grows for the life of the directory and every
-// open replays it from the start.
+// synchronous like FFS metadata updates. The journal is the
+// durability authority; the extent file is just the cold tier of the
+// serving copy, made authoritative only at checkpoint time (flushed,
+// fsynced, and indexed by the image before the journal is compacted).
+//
+// Boot = load the newest valid checkpoint image + replay only journal
+// records past its LSN. A torn or corrupt image falls back to the
+// previous generation and a longer replay; only corruption of both an
+// image and the journal segment covering it loses data, and that
+// reports a clean error, never a panic.
 //
 // CrashRestart is the kill -9 model: buffered records are torn off,
 // the log reopens with a bumped epoch, and the store rebuilds its
-// serving copy from what survived. The vfs then calls Replay to
-// rebuild the node tree and derives a fresh write verifier from the
-// epoch, which is exactly what lets acknowledged COMMITs survive the
-// crash while clients retransmit the unstable tail.
+// serving copy from image + surviving tail. The vfs then calls Replay
+// to rebuild the node tree and derives a fresh write verifier from
+// the epoch, which is exactly what lets acknowledged COMMITs survive
+// the crash while clients retransmit the unstable tail.
 package diskstore
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/stats"
 	"repro/internal/storage"
-	"repro/internal/storage/memstore"
 	"repro/internal/storage/wal"
 )
 
@@ -38,11 +47,15 @@ const LogName = "wal.log"
 type Options struct {
 	// AutoFlushBytes is passed to the WAL (0 selects the default).
 	AutoFlushBytes int
+	// HotBytes is the pager's residency budget for content blocks
+	// (0 selects DefaultHotBytes). The dataset may exceed it; cold
+	// extents page in from the extent file on demand.
+	HotBytes uint64
 }
 
-// Store is a durable store over a single WAL file. All methods are
-// safe for concurrent use under the vfs contract (per-id mutations
-// serialized by the caller).
+// Store is a durable store over a WAL chain, a checkpoint image pair,
+// and an extent file. All methods are safe for concurrent use under
+// the vfs contract (per-id mutations serialized by the caller).
 type Store struct {
 	dir  string
 	opts Options
@@ -55,22 +68,35 @@ type Store struct {
 	// kill -9 gives, and the verifier change makes clients retransmit.
 	mu      sync.Mutex
 	w       *wal.WAL
-	mem     *memstore.Store
+	pg      *pager
 	pending []pendingRec
 	scan    time.Duration // recovery scan + serving-copy rebuild time
+	replay  storage.ReplayStats
+	imgSeq  uint64 // journal seq covered by the image loaded at open
+
+	nextID     uint64 // id/cookie watermarks from the image trailer
+	nextCookie uint64
+
+	ckpt storage.CheckpointStats // running checkpoint counters
+
+	// testAbort, when set, is called at each checkpoint stage
+	// ("image", "rename-prev", "renamed") and aborts the checkpoint
+	// mid-protocol when it returns an error — the unit-test analogue
+	// of kill -9 at that instant.
+	testAbort func(stage string) error
 }
 
-// pendingRec is one decoded journal record awaiting the vfs's Replay
-// pass (tree rebuild). Data payloads were already applied to the
-// serving copy during open.
+// pendingRec is one decoded image or journal record awaiting the
+// vfs's Replay pass (tree rebuild). Data payloads were already
+// applied to the serving copy during open.
 type pendingRec struct {
 	rec storage.Record
 }
 
-// Open opens (or creates) the store rooted at dir, scanning the
-// journal and rebuilding the serving copy. The caller must follow
-// with a storage.Replayer Replay pass (vfs.NewWithStores does) to
-// rebuild the namespace.
+// Open opens (or creates) the store rooted at dir, loading the newest
+// valid checkpoint image and scanning the journal tail past it. The
+// caller must follow with a storage.Replayer Replay pass
+// (vfs.NewWithStores does) to rebuild the namespace.
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{dir: dir, opts: opts}
 	if err := s.open(); err != nil {
@@ -79,14 +105,63 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// open scans the WAL into a fresh serving copy and pending record
-// list. Callers hold s.mu or are the constructor.
+// open loads the image chain and scans the WAL tail into a fresh
+// serving copy and pending record list. Callers hold s.mu or are the
+// constructor.
 func (s *Store) open() error {
 	start := time.Now()
-	mem := memstore.New()
+	if s.pg != nil {
+		s.pg.close()
+		s.pg = nil
+	}
+	os.Remove(filepath.Join(s.dir, CkptTmpName)) // stale mid-checkpoint temp
+
+	img := loadImageChain(s.dir)
+	pg, err := newPager(filepath.Join(s.dir, ExtentsName), s.opts.HotBytes)
+	if err != nil {
+		return err
+	}
 	var pending []pendingRec
-	w, err := wal.Open(filepath.Join(s.dir, LogName), wal.Options{AutoFlushBytes: s.opts.AutoFlushBytes},
-		func(payload []byte) error {
+	var imgSeq, imgRecords, imgBytes uint64
+	if img != nil {
+		imgSeq = img.walSeq
+		imgBytes = img.bytes
+		imgRecords = uint64(len(img.nodes)) + uint64(len(img.extents))
+		pg.setNextSlot(img.nextSlot)
+		for i := range img.extents {
+			e := &img.extents[i]
+			pg.install(e.id, e.size, e.bnos, e.slots)
+		}
+		pending = make([]pendingRec, len(img.nodes))
+		for i := range img.nodes {
+			pending[i] = pendingRec{rec: storage.Record{Node: &img.nodes[i]}}
+		}
+		s.nextID, s.nextCookie = img.nextID, img.nextCookie
+		// Seed the running checkpoint counters so a reopened store's
+		// stats still report that it boots from an image. Count restarts
+		// at 1 per boot (per-process counter, like WAL append counts).
+		s.ckpt = storage.CheckpointStats{Count: 1, Bytes: imgBytes}
+	} else {
+		s.ckpt = storage.CheckpointStats{}
+		// No image: whatever the extent file holds belongs to a
+		// previous life of this directory. Reset it; the journal
+		// rebuilds everything.
+		if err := pg.f.Truncate(0); err != nil {
+			pg.close()
+			return err
+		}
+		s.nextID, s.nextCookie = 0, 0
+	}
+	imgNanos := uint64(time.Since(start).Nanoseconds())
+
+	walStart := time.Now()
+	var tailRecords uint64
+	w, err := wal.Open(filepath.Join(s.dir, LogName),
+		wal.Options{AutoFlushBytes: s.opts.AutoFlushBytes, SkipBelow: imgSeq},
+		func(seq uint64, payload []byte) error {
+			if seq <= imgSeq {
+				return nil // covered by the image
+			}
 			rec, data, err := storage.DecodeRecord(payload)
 			if err != nil {
 				return err
@@ -95,43 +170,70 @@ func (s *Store) open() error {
 			// namespace (applied later by the vfs) never reorders
 			// against content for one id, because the vfs emits both
 			// under the same node lock. Records for since-removed ids
-			// leave orphaned content — harmless, ids are never reused
-			// and the vfs only reads within live files' sizes.
+			// leave orphaned content — harmless, ids are never reused,
+			// the vfs only reads within live files' sizes, and the
+			// next checkpoint garbage-collects them.
 			if d := rec.Data; d != nil {
-				if err := mem.WriteAt(d.ID, d.Off, data, true, d.Time); err != nil {
+				if err := pg.WriteAt(d.ID, d.Off, data); err != nil {
 					return err
 				}
 			} else if m := rec.Meta; m != nil && m.Op == storage.OpSetAttr && m.SetMask&storage.SetSize != 0 {
-				if err := mem.Truncate(m.ID, m.Size); err != nil {
+				if err := pg.Truncate(m.ID, m.Size); err != nil {
 					return err
 				}
 			}
+			tailRecords++
 			pending = append(pending, pendingRec{rec: rec})
 			return nil
 		})
 	if err != nil {
+		pg.close()
 		return err
 	}
-	s.w, s.mem, s.pending = w, mem, pending
+	// Coverage check: the journal has been compacted up to ChainBase;
+	// the image must reach at least that far or there is a hole no
+	// replay can fill (double corruption — image and its covering
+	// segment). Refuse cleanly rather than serve a gap.
+	if base := w.ChainBase(); base > imgSeq {
+		w.Close()
+		pg.close()
+		return fmt.Errorf("diskstore: journal compacted to seq %d but checkpoint image covers only seq %d", base, imgSeq)
+	}
+	info := w.ReplayInfo()
+	rs := storage.ReplayStats{
+		CheckpointRecords: imgRecords,
+		CheckpointBytes:   imgBytes,
+		CheckpointNanos:   imgNanos,
+		TailRecords:       tailRecords,
+		TailBytes:         info.Bytes,
+		TailNanos:         uint64(time.Since(walStart).Nanoseconds()),
+	}
+	rs.Records = rs.CheckpointRecords + rs.TailRecords
+	rs.Bytes = rs.CheckpointBytes + rs.TailBytes
+	rs.NanoSec = uint64(time.Since(start).Nanoseconds())
+	s.w, s.pg, s.pending = w, pg, pending
+	s.replay = rs
+	s.imgSeq = imgSeq
 	s.scan = time.Since(start)
 	return nil
 }
 
 // state snapshots the swappable store state.
-func (s *Store) state() (*wal.WAL, *memstore.Store) {
+func (s *Store) state() (*wal.WAL, *pager) {
 	s.mu.Lock()
-	w, mem := s.w, s.mem
+	w, pg := s.w, s.pg
 	s.mu.Unlock()
-	return w, mem
+	return w, pg
 }
 
-// Replay implements storage.Replayer: it streams the records scanned
-// at open through apply so the vfs can rebuild its node tree, then
-// drops them. Serving-copy content was already rebuilt during open;
-// apply must not call back into the store.
+// Replay implements storage.Replayer: it streams the image's node
+// records and then the journal-tail records scanned at open through
+// apply so the vfs can rebuild its node tree, then drops them.
+// Serving-copy content was already rebuilt during open; apply must
+// not call back into the store.
 func (s *Store) Replay(apply func(storage.Record) error) (storage.ReplayStats, error) {
 	s.mu.Lock()
-	w, pending := s.w, s.pending
+	pending, rs := s.pending, s.replay
 	s.pending = nil
 	s.mu.Unlock()
 	for _, p := range pending {
@@ -139,15 +241,23 @@ func (s *Store) Replay(apply func(storage.Record) error) (storage.ReplayStats, e
 			return storage.ReplayStats{}, err
 		}
 	}
-	info := w.ReplayInfo()
+	return rs, nil
+}
+
+// Watermarks implements storage.Watermarker: the id/cookie allocation
+// watermarks persisted in the checkpoint trailer (zero when booting
+// without an image).
+func (s *Store) Watermarks() (nextID, nextCookie uint64) {
 	s.mu.Lock()
-	elapsed := s.scan
-	s.mu.Unlock()
-	return storage.ReplayStats{
-		Records: info.Records,
-		Bytes:   info.Bytes,
-		NanoSec: uint64(elapsed.Nanoseconds()),
-	}, nil
+	defer s.mu.Unlock()
+	return s.nextID, s.nextCookie
+}
+
+// WALSizeBytes implements storage.Checkpointer's trigger gauge: bytes
+// appended to the live journal segment since the last checkpoint.
+func (s *Store) WALSizeBytes() uint64 {
+	w, _ := s.state()
+	return w.LiveBytes()
 }
 
 // LogMeta journals one namespace/attribute mutation and waits for it
@@ -163,10 +273,11 @@ func (s *Store) LogMeta(rec *storage.MetaRecord) error {
 	return w.Sync()
 }
 
-// ReadAt serves reads from the in-memory copy.
+// ReadAt serves reads from the paged serving copy, faulting cold
+// extents in from the extent file as needed.
 func (s *Store) ReadAt(id, off uint64, p []byte) error {
-	_, mem := s.state()
-	return mem.ReadAt(id, off, p)
+	_, pg := s.state()
+	return pg.ReadAt(id, off, p)
 }
 
 // WriteAt applies the write to the serving copy and appends a journal
@@ -179,11 +290,11 @@ func (s *Store) WriteAt(id, off uint64, data []byte, stable bool, t int64) error
 // WriteAtClocked implements storage.ClockedStore: WriteAt with the
 // group-commit wait of a stable write charged to clk's fsync stage.
 func (s *Store) WriteAtClocked(id, off uint64, data []byte, stable bool, t int64, clk *stats.StageClock) error {
-	w, mem := s.state()
+	w, pg := s.state()
 	// The serving copy needs no shadow bookkeeping: recovery rebuilds
-	// it from the journal, so "the last stable image" is whatever the
-	// surviving log prefix says.
-	if err := mem.WriteAt(id, off, data, true, t); err != nil {
+	// it from image + journal, so "the last stable image" is whatever
+	// the surviving prefix says.
+	if err := pg.WriteAt(id, off, data); err != nil {
 		return err
 	}
 	rec := storage.DataRecord{ID: id, Off: off, Len: uint32(len(data)), Stable: stable, Time: t}
@@ -202,8 +313,8 @@ func (s *Store) WriteAtClocked(id, off uint64, data []byte, stable bool, t int64
 // OpSetAttr MetaRecord the vfs journals for the same operation, so
 // logging here would double-record it.
 func (s *Store) Truncate(id, size uint64) error {
-	_, mem := s.state()
-	return mem.Truncate(id, size)
+	_, pg := s.state()
+	return pg.Truncate(id, size)
 }
 
 // Commit waits for every prior write of any file to reach stable
@@ -221,10 +332,11 @@ func (s *Store) CommitClocked(_ uint64, clk *stats.StageClock) error {
 }
 
 // Remove drops serving-copy content; durability rides on the vfs's
-// OpRemove/OpRename MetaRecord.
+// OpRemove/OpRename MetaRecord. The extent slots go on the deferred
+// free list so retained images stay valid.
 func (s *Store) Remove(id uint64) error {
-	_, mem := s.state()
-	return mem.Remove(id)
+	_, pg := s.state()
+	return pg.Remove(id)
 }
 
 // Epoch implements storage.Epocher.
@@ -235,8 +347,8 @@ func (s *Store) Epoch() uint64 {
 
 // CrashRestart implements storage.CrashRestarter: kill -9 the log
 // (dropping user-space buffered records, keeping what reached the
-// OS), then reopen and rebuild the serving copy. The caller follows
-// with Replay to rebuild the namespace.
+// OS), then reopen and rebuild the serving copy from image + tail.
+// The caller follows with Replay to rebuild the namespace.
 func (s *Store) CrashRestart() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,20 +358,28 @@ func (s *Store) CrashRestart() error {
 	return s.open()
 }
 
-// Close flushes and syncs the journal and closes the store.
+// Close flushes and syncs the journal and closes the store. Resident
+// dirty blocks need no writeback: the journal already holds them and
+// the next open replays the tail.
 func (s *Store) Close() error {
-	w, _ := s.state()
-	return w.Close()
+	s.mu.Lock()
+	w, pg := s.w, s.pg
+	s.mu.Unlock()
+	err := w.Close()
+	if cerr := pg.close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // StorageStats implements storage.StatsReporter.
 func (s *Store) StorageStats() *storage.Stats {
 	s.mu.Lock()
-	w, scan := s.w, s.scan
+	w, pg, rs, ck := s.w, s.pg, s.replay, s.ckpt
 	s.mu.Unlock()
 	ws := w.StatsSnapshot()
-	info := w.ReplayInfo()
-	rs := storage.ReplayStats{Records: info.Records, Bytes: info.Bytes, NanoSec: uint64(scan.Nanoseconds())}
+	ck.LoadMBps = rs.CheckpointMBps()
+	ck.TailMBps = rs.TailMBps()
 	return &storage.Stats{
 		Kind:          "disk",
 		Epoch:         ws.Epoch,
@@ -268,8 +388,10 @@ func (s *Store) StorageStats() *storage.Stats {
 		Flushes:       ws.Flushes,
 		Fsyncs:        ws.Fsyncs,
 		BatchRecords:  ws.Batch,
-		ReplayRecords: info.Records,
-		ReplayBytes:   info.Bytes,
+		ReplayRecords: rs.Records,
+		ReplayBytes:   rs.Bytes,
 		ReplayMBps:    rs.MBps(),
+		Checkpoint:    &ck,
+		Pager:         pg.stats(),
 	}
 }

@@ -13,6 +13,13 @@ import (
 //	      3 × u32 fixed fields | name str16 | toName str16 | target str16
 //	data: kind=2 | stable u8 | time i64 | id u64 | off u64 |
 //	      len u32 | len bytes of content
+//	node: kind=3 | type u8 | mode,uid,gid,nlink u32 | id,size,parent u64 |
+//	      atime,mtime,ctime i64 | target str16 | nents u32 |
+//	      nents × (name str16 | id u64 | cookie u64)
+//
+// Meta and data records appear in the WAL; node records appear only in
+// checkpoint images (storage/diskstore), which reuse this payload
+// encoding inside their own CRC framing.
 //
 // All integers are little-endian; str16 is a u16 length prefix plus
 // bytes. Encoders fill a caller-provided buffer in place so the WAL
@@ -21,9 +28,12 @@ import (
 const (
 	kindMeta = 1
 	kindData = 2
+	kindNode = 3
 
 	metaFixedLen = 3 + 9*8 + 3*4 // kind, op, mask + u64s + u32s
 	dataFixedLen = 2 + 3*8 + 4   // kind, stable + time,id,off + len
+	nodeFixedLen = 2 + 4*4 + 6*8 // kind, type + u32s + u64s/i64s
+	nodeEntFixed = 2 * 8         // per-entry id + cookie (name is str16)
 )
 
 // ErrBadRecord reports a payload that passed the WAL's CRC but does
@@ -70,6 +80,45 @@ func putStr16(dst []byte, off int, s string) int {
 	off += 2
 	copy(dst[off:], s)
 	return off + len(s)
+}
+
+// NodeLen returns the encoded size of r.
+func NodeLen(r *NodeRecord) int {
+	n := nodeFixedLen + 2 + len(r.Target) + 4
+	for i := range r.Ents {
+		n += 2 + len(r.Ents[i].Name) + nodeEntFixed
+	}
+	return n
+}
+
+// PutNode encodes r into dst, which must be exactly NodeLen(r) bytes.
+func PutNode(dst []byte, r *NodeRecord) {
+	dst[0] = kindNode
+	dst[1] = r.Type
+	le := binary.LittleEndian
+	le.PutUint32(dst[2:], r.Mode)
+	le.PutUint32(dst[6:], r.UID)
+	le.PutUint32(dst[10:], r.GID)
+	le.PutUint32(dst[14:], r.Nlink)
+	le.PutUint64(dst[18:], r.ID)
+	le.PutUint64(dst[26:], r.Size)
+	le.PutUint64(dst[34:], r.Parent)
+	le.PutUint64(dst[42:], uint64(r.Atime))
+	le.PutUint64(dst[50:], uint64(r.Mtime))
+	le.PutUint64(dst[58:], uint64(r.Ctime))
+	off := putStr16(dst, nodeFixedLen, r.Target)
+	le.PutUint32(dst[off:], uint32(len(r.Ents)))
+	off += 4
+	for i := range r.Ents {
+		e := &r.Ents[i]
+		off = putStr16(dst, off, e.Name)
+		le.PutUint64(dst[off:], e.ID)
+		le.PutUint64(dst[off+8:], e.Cookie)
+		off += nodeEntFixed
+	}
+	if off != len(dst) {
+		panic("storage: PutNode buffer size mismatch")
+	}
 }
 
 // DataLen returns the encoded size of a data record carrying n
@@ -156,6 +205,57 @@ func DecodeRecord(p []byte) (Record, []byte, error) {
 			return Record{}, nil, ErrBadRecord
 		}
 		return Record{Data: r}, p[dataFixedLen:], nil
+	case kindNode:
+		if len(p) < nodeFixedLen {
+			return Record{}, nil, ErrBadRecord
+		}
+		r := &NodeRecord{
+			Type:   p[1],
+			Mode:   le.Uint32(p[2:]),
+			UID:    le.Uint32(p[6:]),
+			GID:    le.Uint32(p[10:]),
+			Nlink:  le.Uint32(p[14:]),
+			ID:     le.Uint64(p[18:]),
+			Size:   le.Uint64(p[26:]),
+			Parent: le.Uint64(p[34:]),
+			Atime:  int64(le.Uint64(p[42:])),
+			Mtime:  int64(le.Uint64(p[50:])),
+			Ctime:  int64(le.Uint64(p[58:])),
+		}
+		var err error
+		off := nodeFixedLen
+		if r.Target, off, err = getStr16(p, off); err != nil {
+			return Record{}, nil, err
+		}
+		if off+4 > len(p) {
+			return Record{}, nil, ErrBadRecord
+		}
+		nents := int(le.Uint32(p[off:]))
+		off += 4
+		// Each entry needs at least its fixed part, so a corrupt count
+		// cannot drive a huge allocation.
+		if nents > (len(p)-off)/(2+nodeEntFixed) {
+			return Record{}, nil, ErrBadRecord
+		}
+		if nents > 0 {
+			r.Ents = make([]DirEntRecord, nents)
+		}
+		for i := 0; i < nents; i++ {
+			e := &r.Ents[i]
+			if e.Name, off, err = getStr16(p, off); err != nil {
+				return Record{}, nil, err
+			}
+			if off+nodeEntFixed > len(p) {
+				return Record{}, nil, ErrBadRecord
+			}
+			e.ID = le.Uint64(p[off:])
+			e.Cookie = le.Uint64(p[off+8:])
+			off += nodeEntFixed
+		}
+		if off != len(p) {
+			return Record{}, nil, ErrBadRecord
+		}
+		return Record{Node: r}, nil, nil
 	default:
 		return Record{}, nil, fmt.Errorf("%w: kind %d", ErrBadRecord, p[0])
 	}

@@ -70,6 +70,35 @@ func TestDataRecordRoundTrip(t *testing.T) {
 	}
 }
 
+func TestNodeRecordRoundTrip(t *testing.T) {
+	recs := []NodeRecord{
+		{ID: 1, Type: 2, Mode: 0o755, Nlink: 3, Parent: 1,
+			Atime: 10, Mtime: 11, Ctime: 12,
+			Ents: []DirEntRecord{
+				{Name: "a", ID: 2, Cookie: 1},
+				{Name: "subdir", ID: 3, Cookie: 2},
+			}},
+		{ID: 2, Type: 1, Mode: 0o640, UID: 1000, GID: 100, Nlink: 2,
+			Size: 123456789, Atime: -1, Mtime: 1234567890, Ctime: 1234567891},
+		{ID: 9, Type: 3, Mode: 0o777, Nlink: 1, Size: 12, Target: "../elsewhere"},
+		{ID: 3, Type: 2, Mode: 0o700, Nlink: 2, Parent: 1}, // empty dir, nil Ents
+	}
+	for i, r := range recs {
+		buf := make([]byte, NodeLen(&r))
+		PutNode(buf, &r)
+		got, payload, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: DecodeRecord: %v", i, err)
+		}
+		if payload != nil || got.Node == nil || got.Meta != nil || got.Data != nil {
+			t.Fatalf("record %d: decoded wrong kind: %+v", i, got)
+		}
+		if !reflect.DeepEqual(*got.Node, r) {
+			t.Fatalf("record %d round trip:\n got %+v\nwant %+v", i, *got.Node, r)
+		}
+	}
+}
+
 func TestDecodeRecordRejectsGarbage(t *testing.T) {
 	good := make([]byte, DataLen(4))
 	PutData(good, &DataRecord{ID: 1, Len: 4}, []byte("abcd"))

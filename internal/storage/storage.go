@@ -73,20 +73,43 @@ type Replayer interface {
 	Replay(apply func(Record) error) (ReplayStats, error)
 }
 
-// ReplayStats summarizes one journal replay.
+// ReplayStats summarizes one boot-time recovery. With checkpointing
+// the recovery has two distinct phases — loading the checkpoint image
+// and replaying the journal tail past its LSN — reported separately so
+// boot-time dashboards can tell a big image from a long tail. The
+// combined fields are the sums (and all a store without checkpoints
+// fills in).
 type ReplayStats struct {
 	Records uint64 `json:"records"`
-	Bytes   uint64 `json:"bytes"` // journal bytes scanned (records + framing)
+	Bytes   uint64 `json:"bytes"` // journal + image bytes scanned
 	NanoSec uint64 `json:"nanos"` // wall time of scan + rebuild
+
+	// Checkpoint-load phase: node/extent records decoded from the
+	// checkpoint image. Zero when no image was found.
+	CheckpointRecords uint64 `json:"checkpoint_records,omitempty"`
+	CheckpointBytes   uint64 `json:"checkpoint_bytes,omitempty"`
+	CheckpointNanos   uint64 `json:"checkpoint_nanos,omitempty"`
+	// Tail-replay phase: journal records past the image's LSN.
+	TailRecords uint64 `json:"tail_records,omitempty"`
+	TailBytes   uint64 `json:"tail_bytes,omitempty"`
+	TailNanos   uint64 `json:"tail_nanos,omitempty"`
 }
 
 // MBps returns the replay throughput in MB/s (0 if the replay was too
 // fast to time).
-func (r ReplayStats) MBps() float64 {
-	if r.NanoSec == 0 {
+func (r ReplayStats) MBps() float64 { return mbps(r.Bytes, r.NanoSec) }
+
+// CheckpointMBps returns the checkpoint-image load throughput.
+func (r ReplayStats) CheckpointMBps() float64 { return mbps(r.CheckpointBytes, r.CheckpointNanos) }
+
+// TailMBps returns the journal tail-replay throughput.
+func (r ReplayStats) TailMBps() float64 { return mbps(r.TailBytes, r.TailNanos) }
+
+func mbps(bytes, nanos uint64) float64 {
+	if nanos == 0 {
 		return 0
 	}
-	return float64(r.Bytes) / (1 << 20) / (float64(r.NanoSec) / 1e9)
+	return float64(bytes) / (1 << 20) / (float64(nanos) / 1e9)
 }
 
 // Epocher exposes the per-boot epoch a durable store persists in its
@@ -128,6 +151,38 @@ type ClockedStore interface {
 	CommitClocked(id uint64, clk *stats.StageClock) error
 }
 
+// Checkpointer is implemented by durable stores that can bound replay
+// with checkpoint images. Checkpoint writes a point-in-time image of
+// the namespace (the node records the snapshot callback emits) plus
+// the store's own content index, then compacts the journal up to the
+// image's LSN.
+//
+// The caller owns quiescence: no LogMeta/WriteAt/Truncate/Commit/
+// Remove call may be in flight for the duration (the vfs holds its
+// quiesce lock across the call). Concurrent ReadAt is allowed.
+// snapshot must call emit once per live node; emit returns an error
+// only on image-write failure, which aborts the checkpoint leaving
+// the previous images and the full journal intact. nextID and
+// nextCookie are the caller's allocation watermarks, persisted in the
+// image so recovery never reuses an id (see Watermarker). The
+// returned stats are the store's updated running view.
+type Checkpointer interface {
+	Checkpoint(nextID, nextCookie uint64, snapshot func(emit func(*NodeRecord) error) error) (CheckpointStats, error)
+	// WALSizeBytes reports the bytes appended to the live journal
+	// segment since the last checkpoint (or boot) — the
+	// bytes-since-checkpoint trigger for background checkpointing.
+	WALSizeBytes() uint64
+}
+
+// Watermarker is implemented by stores whose checkpoint images persist
+// the id/cookie allocation watermarks. Replaying only node records
+// would under-estimate them (ids created and removed before the
+// checkpoint vanish from the image, and ids are never reused), so the
+// vfs folds these into its counters after Replay.
+type Watermarker interface {
+	Watermarks() (nextID, nextCookie uint64)
+}
+
 // StatsReporter exposes a store's observability counters.
 type StatsReporter interface {
 	StorageStats() *Stats
@@ -146,6 +201,37 @@ type Stats struct {
 	ReplayRecords uint64             `json:"replay_records"`
 	ReplayBytes   uint64             `json:"replay_bytes"`
 	ReplayMBps    float64            `json:"replay_mbps,omitempty"`
+	// Checkpoint and Pager appear only on stores that checkpoint and
+	// page (diskstore); omitted elsewhere so memstore deployments keep
+	// their exact pre-checkpoint stats documents.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+	Pager      *PagerStats      `json:"pager,omitempty"`
+}
+
+// CheckpointStats describes a store's checkpointing activity. As the
+// return value of Checkpointer.Checkpoint it describes that one
+// checkpoint; inside Stats it is the running view (Count cumulative,
+// Bytes/DurationMS from the most recent image, WALTruncatedBytes
+// cumulative journal bytes compacted away).
+type CheckpointStats struct {
+	Count             uint64  `json:"count"`
+	Bytes             uint64  `json:"bytes"`
+	DurationMS        float64 `json:"duration_ms"`
+	WALTruncatedBytes uint64  `json:"wal_truncated_bytes"`
+	// Boot-time gauges: throughput of the checkpoint-image load and
+	// the journal tail replay of the most recent open (satellite of
+	// the recovery figure; also logged by sfssd at boot).
+	LoadMBps float64 `json:"load_mbps,omitempty"`
+	TailMBps float64 `json:"tail_mbps,omitempty"`
+}
+
+// PagerStats describes the cold-extent pager: how much of the content
+// working set is resident in memory versus paged from the extent file.
+type PagerStats struct {
+	HotBytes      uint64 `json:"hot_bytes"`      // residency budget
+	ResidentBytes uint64 `json:"resident_bytes"` // hot blocks in memory now
+	Faults        uint64 `json:"faults"`         // read-through misses
+	Evictions     uint64 `json:"evictions"`      // blocks evicted by CLOCK
 }
 
 // MetaOp enumerates journaled namespace/attribute mutations.
@@ -212,9 +298,41 @@ type DataRecord struct {
 	Time   int64
 }
 
-// Record is one decoded journal record: exactly one of Meta or Data
-// is non-nil.
+// DirEntRecord is one directory entry inside a NodeRecord.
+type DirEntRecord struct {
+	Name   string
+	ID     uint64
+	Cookie uint64
+}
+
+// NodeRecord is one whole node as captured by a checkpoint snapshot:
+// the exact attributes, link count, directory entries (with their
+// cookies), and symlink target — everything replay needs to restore
+// the node bit-for-bit without re-running the MetaOp history that
+// built it. Node records never appear in the WAL; they live only in
+// checkpoint images, emitted by the vfs snapshot walk and streamed
+// back through Replay before any journal tail records.
+type NodeRecord struct {
+	ID    uint64
+	Type  uint8 // vfs.FileType numeric value (1 reg, 2 dir, 3 symlink)
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Nlink uint32
+	Size  uint64
+	Atime int64 // UnixNano, as journaled
+	Mtime int64
+	Ctime int64
+
+	Parent uint64         // TypeDir: id of ".."
+	Target string         // TypeSymlink
+	Ents   []DirEntRecord // TypeDir
+}
+
+// Record is one decoded journal or checkpoint record: exactly one of
+// Meta, Data, or Node is non-nil.
 type Record struct {
 	Meta *MetaRecord
 	Data *DataRecord
+	Node *NodeRecord
 }

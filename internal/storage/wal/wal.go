@@ -1,17 +1,46 @@
 // Package wal implements the write-ahead log under storage/diskstore:
-// an append-only file of CRC-framed records with group commit.
+// an append-only record log with group commit, kept short by segment
+// rotation at checkpoints.
 //
 // # Format
 //
-//	header:  "SFSWAL01" magic | epoch u64        (16 bytes)
+//	header:  "SFSWAL02" magic | epoch u64 | baseSeq u64 |
+//	         crc32(header) u32 | pad u32                  (32 bytes)
 //	record:  len u32 | crc32(payload) u32 | payload
 //
-// All integers are little-endian. The epoch counts opens: every Open
-// reads the stored epoch, increments it, and fsyncs the header before
-// serving appends, so a reopened log is distinguishable from the boot
-// that crashed — the vfs derives the NFS write verifier from it.
-// Recovery truncates the log at the first torn or corrupt record (a
-// crash mid-write), keeping every intact record before it.
+// All integers are little-endian. Records carry no explicit sequence
+// number: the i-th record of a segment (0-based) has seq
+// baseSeq + i + 1, so the frame stays 8 bytes and the append path
+// allocation-free. The header CRC exists so a corrupted baseSeq is
+// detected rather than silently renumbering every record — a bad
+// header demotes the whole segment, never shifts replay.
+//
+// The epoch counts opens: every Open reads the stored epoch,
+// increments it, and fsyncs the header before serving appends, so a
+// reopened log is distinguishable from the boot that crashed — the
+// vfs derives the NFS write verifier from it.
+//
+// # Rotation
+//
+// Rotate seals the current segment (flush + fsync), renames it to
+// path+".prev" (deleting the previous .prev), and starts a fresh
+// segment whose baseSeq continues the chain. The checkpointer calls
+// it right after an image lands: the new image covers everything in
+// .prev, and .prev is retained one generation so a torn image can
+// fall back to the previous image plus a longer replay. The chain
+// therefore never holds more than two segments.
+//
+// # Recovery
+//
+// Open scans .prev (oldest first) then the current segment, calling
+// replay with each intact record's seq, and truncates the first torn
+// or corrupt tail it finds. Options.SkipBelow — the seq already
+// covered by the caller's checkpoint image — lets Open skip reading
+// .prev entirely when the current segment's baseSeq shows .prev is
+// fully covered. Corruption never panics: a segment with a bad header
+// is dropped (and any later segment with it, since replaying across a
+// sequence gap would corrupt state), leaving a shorter but valid
+// prefix for the caller to layer over its image.
 //
 // # Group commit
 //
@@ -34,6 +63,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,8 +72,8 @@ import (
 )
 
 const (
-	magic      = "SFSWAL01"
-	headerSize = 16
+	magic      = "SFSWAL02"
+	headerSize = 32
 	frameSize  = 8 // len u32 + crc u32
 
 	// maxRecord bounds a single record so a corrupt length field
@@ -64,13 +94,21 @@ type Options struct {
 	// AutoFlushBytes overrides DefaultAutoFlush; negative disables
 	// auto-flush entirely (everything buffers until Flush/Sync).
 	AutoFlushBytes int
+
+	// SkipBelow is the record seq already covered by the caller's
+	// checkpoint image. Open still reports every scanned record to
+	// replay (the caller filters by seq), but uses SkipBelow to
+	// avoid reading the .prev segment at all when the current
+	// segment's base shows it is fully covered, and to rebase an
+	// emptied log so fresh appends stay above the image.
+	SkipBelow uint64
 }
 
 // ReplayInfo summarizes the recovery scan done by Open.
 type ReplayInfo struct {
-	Records   uint64        // intact records replayed
-	Bytes     uint64        // file bytes scanned (frames + payloads)
-	Truncated bool          // a torn tail was cut off
+	Records   uint64        // intact records scanned (pre-filter)
+	Bytes     uint64        // record bytes scanned (frames + payloads)
+	Truncated bool          // a torn tail or corrupt segment was cut
 	Elapsed   time.Duration // scan wall time
 }
 
@@ -78,23 +116,32 @@ type ReplayInfo struct {
 // safe for concurrent use.
 type WAL struct {
 	autoFlush int
+	skipBelow uint64
+	path      string
+	prevPath  string
 
 	// mu guards the append state: buf accumulates encoded records,
-	// seq counts records ever appended.
-	mu     sync.Mutex
-	buf    []byte
-	seq    uint64
-	closed bool
+	// seq counts records ever appended (absolute, chain-wide), base
+	// is the current segment's first seq minus one, and chainBase is
+	// the oldest segment's base — the seq below which the log holds
+	// no records.
+	mu        sync.Mutex
+	buf       []byte
+	seq       uint64
+	base      uint64
+	chainBase uint64
+	closed    bool
 
-	// flushMu serializes file writes and fsyncs (the group-commit
-	// leader lock) and guards f, spare, and written. Lock order:
-	// flushMu before mu.
+	// flushMu serializes file writes, fsyncs, and rotation (the
+	// group-commit leader lock) and guards f, spare, and written.
+	// Lock order: flushMu before mu.
 	flushMu sync.Mutex
 	f       *os.File
 	spare   []byte
 	written uint64 // records handed to the OS
 
 	synced atomic.Uint64 // records known durable
+	live   atomic.Uint64 // record bytes in the current segment
 
 	epoch  uint64
 	replay ReplayInfo
@@ -103,19 +150,28 @@ type WAL struct {
 	appendBytes stats.Counter
 	flushes     stats.Counter
 	fsyncs      stats.Counter
+	rotations   stats.Counter
 	batch       stats.Histogram
 }
 
-// Open opens or creates the log at path, replays intact records
-// through replay (payload slices are only valid during the call),
-// truncates any torn tail, and bumps the epoch. A replay error aborts
-// the open: the log is corrupt in a way recovery cannot repair.
-func Open(path string, opts Options, replay func(payload []byte) error) (*WAL, error) {
+// Open opens or creates the log chain at path (the current segment;
+// path+".prev" is the sealed one), replays intact records oldest
+// first through replay (payload slices are only valid during the
+// call), truncates any torn tail, and bumps the epoch. A replay error
+// aborts the open: the log is corrupt in a way recovery cannot
+// repair.
+func Open(path string, opts Options, replay func(seq uint64, payload []byte) error) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{f: f, autoFlush: opts.AutoFlushBytes}
+	w := &WAL{
+		f:         f,
+		autoFlush: opts.AutoFlushBytes,
+		skipBelow: opts.SkipBelow,
+		path:      path,
+		prevPath:  path + ".prev",
+	}
 	if w.autoFlush == 0 {
 		w.autoFlush = DefaultAutoFlush
 	}
@@ -126,80 +182,293 @@ func Open(path string, opts Options, replay func(payload []byte) error) (*WAL, e
 	return w, nil
 }
 
-func (w *WAL) recover(replay func(payload []byte) error) error {
-	start := time.Now()
-	st, err := w.f.Stat()
-	if err != nil {
-		return err
+// segInfo describes one scanned segment file.
+type segInfo struct {
+	hdrOK   bool
+	epoch   uint64
+	base    uint64
+	records uint64
+	bytes   uint64 // record bytes in the valid prefix
+	torn    bool   // valid prefix ends before EOF
+}
+
+func (s segInfo) end() uint64 { return s.base + s.records }
+
+func parseHeader(hdr []byte) (epoch, base uint64, ok bool) {
+	le := binary.LittleEndian
+	if string(hdr[:8]) != magic || crc32.ChecksumIEEE(hdr[:24]) != le.Uint32(hdr[24:]) {
+		return 0, 0, false
 	}
-	if st.Size() == 0 {
-		w.epoch = 1
-		return w.writeHeader()
+	return le.Uint64(hdr[8:]), le.Uint64(hdr[16:]), true
+}
+
+// scanSegment parses one segment: header, then records until EOF or
+// the first torn/corrupt frame. Corruption is reported in the result,
+// not as an error; only I/O failures and replay errors abort.
+func scanSegment(f *os.File, replay func(uint64, []byte) error) (segInfo, error) {
+	var seg segInfo
+	st, err := f.Stat()
+	if err != nil {
+		return seg, err
+	}
+	if st.Size() < headerSize {
+		return seg, nil
 	}
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(w.f, hdr[:]); err != nil {
-		return fmt.Errorf("wal: short header: %w", err)
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return seg, err
 	}
-	if string(hdr[:8]) != magic {
-		return fmt.Errorf("wal: bad magic %q", hdr[:8])
+	if seg.epoch, seg.base, seg.hdrOK = parseHeader(hdr[:]); !seg.hdrOK {
+		return seg, nil
 	}
-	w.epoch = binary.LittleEndian.Uint64(hdr[8:]) + 1
-
-	// Scan records until EOF or the first torn/corrupt one.
 	rest := make([]byte, st.Size()-headerSize)
-	if _, err := io.ReadFull(w.f, rest); err != nil {
-		return err
+	if _, err := f.ReadAt(rest, headerSize); err != nil {
+		return seg, err
 	}
 	off := 0
 	for off < len(rest) {
 		if off+frameSize > len(rest) {
-			w.replay.Truncated = true
+			seg.torn = true
 			break
 		}
 		n := int(binary.LittleEndian.Uint32(rest[off:]))
 		crc := binary.LittleEndian.Uint32(rest[off+4:])
 		if n <= 0 || n > maxRecord || off+frameSize+n > len(rest) {
-			w.replay.Truncated = true
+			seg.torn = true
 			break
 		}
 		payload := rest[off+frameSize : off+frameSize+n]
 		if crc32.ChecksumIEEE(payload) != crc {
-			w.replay.Truncated = true
+			seg.torn = true
 			break
 		}
 		if replay != nil {
-			if err := replay(payload); err != nil {
-				return fmt.Errorf("wal: replay record %d: %w", w.replay.Records, err)
+			if err := replay(seg.base+seg.records+1, payload); err != nil {
+				return seg, fmt.Errorf("wal: replay record %d: %w", seg.base+seg.records+1, err)
 			}
 		}
-		w.replay.Records++
+		seg.records++
 		off += frameSize + n
 	}
-	if w.replay.Truncated {
-		if err := w.f.Truncate(int64(headerSize + off)); err != nil {
-			return err
-		}
+	seg.bytes = uint64(off)
+	return seg, nil
+}
+
+// truncSeg cuts a segment file at the end of its valid prefix.
+func truncSeg(f *os.File, seg segInfo) error {
+	if err := f.Truncate(headerSize + int64(seg.bytes)); err != nil {
+		return err
 	}
-	w.replay.Bytes = uint64(off)
-	w.seq = w.replay.Records
+	return f.Sync()
+}
+
+// finish seals the recovery bookkeeping once epoch/base/chainBase are
+// decided: seq watermarks, live-byte gauge, and scan counters.
+func (w *WAL) finish(start time.Time, liveBytes uint64) {
+	w.seq = max(w.base, w.seq)
 	w.written = w.seq
 	w.synced.Store(w.seq)
+	w.live.Store(liveBytes)
+	w.replay.Elapsed = time.Since(start)
+}
+
+func (w *WAL) recover(replay func(uint64, []byte) error) error {
+	start := time.Now()
+	st, err := w.f.Stat()
+	if err != nil {
+		return err
+	}
+	prevF, prevErr := os.OpenFile(w.prevPath, os.O_RDWR, 0)
+	if prevErr != nil && !os.IsNotExist(prevErr) {
+		return prevErr
+	}
+	prevExists := prevErr == nil
+	if prevExists {
+		defer prevF.Close()
+	}
+
+	// Fresh log (or one whose files vanished under a live image):
+	// start the chain at the image's seq so new records stay above it.
+	if st.Size() == 0 && !prevExists {
+		w.epoch = 1
+		w.base, w.chainBase = w.skipBelow, w.skipBelow
+		w.finish(start, 0)
+		return w.writeHeader()
+	}
+
+	// An empty current segment next to a surviving .prev is a crash
+	// between the rotation renames and the first header write:
+	// complete the rotation by scanning .prev and re-heading the
+	// current segment where it ends.
+	if st.Size() == 0 {
+		seg, err := scanSegment(prevF, replay)
+		if err != nil {
+			return err
+		}
+		if !seg.hdrOK {
+			os.Remove(w.prevPath)
+			w.epoch = 1
+			w.base, w.chainBase = w.skipBelow, w.skipBelow
+			w.replay.Truncated = true
+		} else {
+			if seg.torn {
+				if err := truncSeg(prevF, seg); err != nil {
+					return err
+				}
+				w.replay.Truncated = true
+			}
+			w.epoch = seg.epoch + 1
+			w.base = max(seg.end(), w.skipBelow)
+			w.chainBase = seg.base
+			w.replay.Records = seg.records
+			w.replay.Bytes = seg.bytes
+		}
+		w.finish(start, 0)
+		return w.writeHeader()
+	}
+
+	var hdr [headerSize]byte
+	var curEpoch, curBase uint64
+	curHdrOK := false
+	if st.Size() >= headerSize {
+		if _, err := w.f.ReadAt(hdr[:], 0); err != nil {
+			return err
+		}
+		curEpoch, curBase, curHdrOK = parseHeader(hdr[:])
+	}
+
+	// Unreadable current header: fall back to .prev alone, or — with
+	// no usable segment at all — restart the chain at the image seq.
+	// Either way the surviving records form a valid prefix.
+	if !curHdrOK {
+		w.replay.Truncated = true
+		if prevExists {
+			seg, err := scanSegment(prevF, replay)
+			if err != nil {
+				return err
+			}
+			if seg.hdrOK {
+				if seg.torn {
+					if err := truncSeg(prevF, seg); err != nil {
+						return err
+					}
+				}
+				w.epoch = seg.epoch + 1
+				w.base = max(seg.end(), w.skipBelow)
+				w.chainBase = seg.base
+				w.replay.Records = seg.records
+				w.replay.Bytes = seg.bytes
+				w.finish(start, 0)
+				return w.resetCur()
+			}
+			os.Remove(w.prevPath)
+		}
+		w.epoch = 1
+		w.base, w.chainBase = w.skipBelow, w.skipBelow
+		w.finish(start, 0)
+		return w.resetCur()
+	}
+
+	w.epoch = curEpoch + 1
+	dropCur := false
+	if prevExists {
+		if w.skipBelow >= curBase {
+			// The image covers every record in .prev: keep it for
+			// image fallback but skip reading it.
+			var phdr [headerSize]byte
+			if _, err := prevF.ReadAt(phdr[:], 0); err == nil {
+				if _, pbase, ok := parseHeader(phdr[:]); ok {
+					w.chainBase = pbase
+				} else {
+					os.Remove(w.prevPath)
+					w.chainBase = curBase
+				}
+			} else {
+				os.Remove(w.prevPath)
+				w.chainBase = curBase
+			}
+		} else {
+			seg, err := scanSegment(prevF, replay)
+			if err != nil {
+				return err
+			}
+			switch {
+			case !seg.hdrOK:
+				// .prev is gone as a record source; the current
+				// segment starts past a seq gap and cannot be
+				// applied either.
+				os.Remove(w.prevPath)
+				dropCur = true
+				w.base, w.chainBase = w.skipBelow, w.skipBelow
+			case seg.torn || seg.end() != curBase:
+				// .prev lost its tail (or never met the current
+				// segment's base): keep its valid prefix, drop the
+				// current records past the gap.
+				if seg.torn {
+					if err := truncSeg(prevF, seg); err != nil {
+						return err
+					}
+				}
+				dropCur = true
+				w.base = max(seg.end(), w.skipBelow)
+				w.chainBase = seg.base
+				w.replay.Records += seg.records
+				w.replay.Bytes += seg.bytes
+			default:
+				w.chainBase = seg.base
+				w.replay.Records += seg.records
+				w.replay.Bytes += seg.bytes
+			}
+		}
+	} else {
+		w.chainBase = curBase
+	}
+	if dropCur {
+		w.replay.Truncated = true
+		w.finish(start, 0)
+		return w.resetCur()
+	}
+
+	w.base = curBase
+	seg, err := scanSegment(w.f, replay)
+	if err != nil {
+		return err
+	}
+	if seg.torn {
+		if err := w.f.Truncate(headerSize + int64(seg.bytes)); err != nil {
+			return err
+		}
+		w.replay.Truncated = true
+	}
+	w.replay.Records += seg.records
+	w.replay.Bytes += seg.bytes
+	w.seq = seg.end()
+	w.finish(start, seg.bytes)
 	if err := w.writeHeader(); err != nil {
 		return err
 	}
-	if _, err := w.f.Seek(int64(headerSize+off), io.SeekStart); err != nil {
-		return err
-	}
-	w.replay.Elapsed = time.Since(start)
-	return nil
+	_, err = w.f.Seek(headerSize+int64(seg.bytes), io.SeekStart)
+	return err
 }
 
-// writeHeader persists the current epoch and leaves the offset at the
-// end of the scanned region (callers reposition as needed).
+// resetCur empties the current segment and rewrites its header with
+// the (possibly rebased) epoch and base.
+func (w *WAL) resetCur() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	return w.writeHeader()
+}
+
+// writeHeader persists the current epoch and base and leaves the
+// offset at the start of the record area (callers reposition as
+// needed).
 func (w *WAL) writeHeader() error {
 	var hdr [headerSize]byte
 	copy(hdr[:], magic)
 	binary.LittleEndian.PutUint64(hdr[8:], w.epoch)
+	binary.LittleEndian.PutUint64(hdr[16:], w.base)
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.ChecksumIEEE(hdr[:24]))
 	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
 		return err
 	}
@@ -218,6 +487,83 @@ func (w *WAL) Epoch() uint64 { return w.epoch }
 
 // ReplayInfo returns the recovery summary from Open.
 func (w *WAL) ReplayInfo() ReplayInfo { return w.replay }
+
+// Seq returns the seq of the last record appended.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// ChainBase returns the seq below which the chain holds no records:
+// the oldest segment's base. A caller whose checkpoint image does not
+// reach ChainBase has a hole it cannot replay over.
+func (w *WAL) ChainBase() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.chainBase
+}
+
+// LiveBytes returns the record bytes in the current segment — the log
+// growth since the last rotation, which is what checkpoint triggers
+// measure.
+func (w *WAL) LiveBytes() uint64 { return w.live.Load() }
+
+// Rotate seals the current segment (flushing and fsyncing everything
+// appended so far), renames it to the .prev slot — discarding the
+// previous .prev, whose size it returns as the bytes compacted away —
+// and starts a fresh segment continuing the seq chain. Callers rotate
+// immediately after a checkpoint image lands: the image covers the
+// sealed segment, and the sealed segment covers back to the previous
+// image for fallback.
+func (w *WAL) Rotate() (freed uint64, err error) {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	upto, err := w.flushLocked()
+	if err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	w.fsyncs.Inc()
+	w.synced.Store(upto)
+	if st, err := os.Stat(w.prevPath); err == nil {
+		freed = uint64(st.Size())
+	}
+	if err := os.Remove(w.prevPath); err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+	if err := os.Rename(w.path, w.prevPath); err != nil {
+		return 0, err
+	}
+	nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	old := w.f
+	w.f = nf
+	w.chainBase = w.base
+	w.base = w.seq
+	w.mu.Unlock()
+	old.Close()
+	if err := w.writeHeader(); err != nil {
+		return 0, err
+	}
+	w.live.Store(0)
+	w.rotations.Inc()
+	return freed, syncDir(filepath.Dir(w.path))
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
 
 // Append reserves size bytes for one record and calls fill to encode
 // the payload in place. The record buffers in user space (crossing
@@ -249,6 +595,7 @@ func (w *WAL) Append(size int, fill func(dst []byte)) error {
 	w.mu.Unlock()
 	w.appends.Inc()
 	w.appendBytes.Add(uint64(frameSize + size))
+	w.live.Add(uint64(frameSize + size))
 	if w.autoFlush > 0 && buffered >= w.autoFlush {
 		return w.Flush()
 	}
@@ -379,6 +726,7 @@ type Stats struct {
 	AppendBytes uint64
 	Flushes     uint64
 	Fsyncs      uint64
+	Rotations   uint64
 	Batch       stats.HistSnapshot
 }
 
@@ -390,6 +738,7 @@ func (w *WAL) StatsSnapshot() Stats {
 		AppendBytes: w.appendBytes.Load(),
 		Flushes:     w.flushes.Load(),
 		Fsyncs:      w.fsyncs.Load(),
+		Rotations:   w.rotations.Load(),
 		Batch:       w.batch.Snapshot(),
 	}
 }

@@ -11,15 +11,28 @@ import (
 
 func openT(t *testing.T, path string, opts Options) (*WAL, [][]byte) {
 	t.Helper()
+	w, replayed, seqs := openSeqT(t, path, opts)
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("replay seqs not contiguous: %v", seqs)
+		}
+	}
+	return w, replayed
+}
+
+func openSeqT(t *testing.T, path string, opts Options) (*WAL, [][]byte, []uint64) {
+	t.Helper()
 	var replayed [][]byte
-	w, err := Open(path, opts, func(p []byte) error {
+	var seqs []uint64
+	w, err := Open(path, opts, func(seq uint64, p []byte) error {
 		replayed = append(replayed, append([]byte(nil), p...))
+		seqs = append(seqs, seq)
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	return w, replayed
+	return w, replayed, seqs
 }
 
 func appendT(t *testing.T, w *WAL, payload string) {
@@ -182,6 +195,183 @@ func fileSize(t *testing.T, path string) int64 {
 		t.Fatal(err)
 	}
 	return st.Size()
+}
+
+func TestRotateChainReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "alpha")
+	appendT(t, w, "bravo")
+	if _, err := w.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if got := w.LiveBytes(); got != 0 {
+		t.Fatalf("LiveBytes after Rotate = %d, want 0", got)
+	}
+	appendT(t, w, "charlie")
+	appendT(t, w, "delta")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A full-chain open replays both segments, oldest first, with
+	// contiguous seqs starting at 1.
+	w2, replayed, seqs := openSeqT(t, path, Options{})
+	want := []string{"alpha", "bravo", "charlie", "delta"}
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d records %q, want %q", len(replayed), replayed, want)
+	}
+	for i, s := range want {
+		if string(replayed[i]) != s || seqs[i] != uint64(i+1) {
+			t.Fatalf("record %d = %q seq %d, want %q seq %d", i, replayed[i], seqs[i], s, i+1)
+		}
+	}
+	if w2.ChainBase() != 0 || w2.Seq() != 4 {
+		t.Fatalf("ChainBase=%d Seq=%d, want 0, 4", w2.ChainBase(), w2.Seq())
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With SkipBelow at the rotation point the sealed segment is not
+	// even read: only the current segment's records come back.
+	w3, replayed, seqs := openSeqT(t, path, Options{SkipBelow: 2})
+	defer w3.Close()
+	if len(replayed) != 2 || string(replayed[0]) != "charlie" || seqs[0] != 3 {
+		t.Fatalf("skip open replayed %q seqs %v, want [charlie delta] from seq 3", replayed, seqs)
+	}
+	if w3.ChainBase() != 0 {
+		t.Fatalf("ChainBase = %d, want 0 (.prev retained for fallback)", w3.ChainBase())
+	}
+}
+
+func TestRotateDiscardsOldestSegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "first-gen")
+	if freed, err := w.Rotate(); err != nil || freed != 0 {
+		t.Fatalf("first Rotate: freed=%d err=%v, want 0, nil", freed, err)
+	}
+	appendT(t, w, "second-gen")
+	freed, err := w.Rotate()
+	if err != nil {
+		t.Fatalf("second Rotate: %v", err)
+	}
+	if freed == 0 {
+		t.Fatal("second Rotate freed 0 bytes, want the first generation's size")
+	}
+	appendT(t, w, "third-gen")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the records still in the two live segments replay; the
+	// caller's image is presumed to cover the discarded one.
+	w2, replayed, seqs := openSeqT(t, path, Options{SkipBelow: 1})
+	defer w2.Close()
+	if len(replayed) != 2 || seqs[0] != 2 || w2.ChainBase() != 1 {
+		t.Fatalf("replayed %q seqs %v chainBase %d, want 2 records from seq 2, base 1",
+			replayed, seqs, w2.ChainBase())
+	}
+}
+
+func TestInterruptedRotationCompletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "pre-crash")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash window: the old segment was renamed to .prev but the new
+	// current segment never got its header.
+	if err := os.Rename(path, path+".prev"); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, seqs := openSeqT(t, path, Options{})
+	if len(replayed) != 1 || seqs[0] != 1 {
+		t.Fatalf("replayed %q seqs %v, want [pre-crash] at seq 1", replayed, seqs)
+	}
+	appendT(t, w2, "post-recovery")
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, replayed, seqs := openSeqT(t, path, Options{})
+	defer w3.Close()
+	if len(replayed) != 2 || seqs[1] != 2 {
+		t.Fatalf("after recovery: replayed %q seqs %v, want both records", replayed, seqs)
+	}
+}
+
+func TestCorruptPrevKeepsValidPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "keep-me")
+	appendT(t, w, "corrupt-me")
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, w, "past-the-gap")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path + ".prev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path+".prev", data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Without an image covering the sealed segment, recovery keeps the
+	// intact prefix of .prev and must drop the current segment too:
+	// applying records past a seq gap would corrupt state.
+	w2, replayed, seqs := openSeqT(t, path, Options{})
+	if len(replayed) != 1 || string(replayed[0]) != "keep-me" || seqs[0] != 1 {
+		t.Fatalf("replayed %q seqs %v, want [keep-me] at seq 1", replayed, seqs)
+	}
+	if !w2.ReplayInfo().Truncated {
+		t.Fatal("ReplayInfo.Truncated = false, want true")
+	}
+	appendT(t, w2, "new-life")
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, replayed, _ := openSeqT(t, path, Options{})
+	defer w3.Close()
+	if len(replayed) != 2 || string(replayed[1]) != "new-life" {
+		t.Fatalf("after reopen: replayed %q, want [keep-me new-life]", replayed)
+	}
+}
+
+func TestCorruptHeaderNeverPanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "one")
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, w, "two")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the current segment's baseSeq field: the
+	// header CRC must reject it, demoting the segment instead of
+	// renumbering its records.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[16] ^= 0x04
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, seqs := openSeqT(t, path, Options{})
+	defer w2.Close()
+	if len(replayed) != 1 || string(replayed[0]) != "one" || seqs[0] != 1 {
+		t.Fatalf("replayed %q seqs %v, want just [one] from .prev", replayed, seqs)
+	}
+	if !w2.ReplayInfo().Truncated {
+		t.Fatal("ReplayInfo.Truncated = false, want true")
+	}
 }
 
 func TestGroupCommitCounters(t *testing.T) {

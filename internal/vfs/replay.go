@@ -47,6 +47,37 @@ func (fs *FS) noteCookie(c uint64) {
 
 // applyRecord replays one journal record into the tree.
 func (fs *FS) applyRecord(rec storage.Record) error {
+	if nr := rec.Node; nr != nil {
+		// A checkpoint-image node: installed verbatim, replacing any
+		// existing node of the same id (the implicit root from
+		// initTree when nr.ID is 1). Image records always precede the
+		// journal tail, so the tail's deltas land on top of these.
+		n := &node{
+			id: FileID(nr.ID),
+			attr: Attr{
+				Type: FileType(nr.Type), Mode: nr.Mode,
+				UID: nr.UID, GID: nr.GID, Size: nr.Size,
+				Atime: time.Unix(0, nr.Atime),
+				Mtime: time.Unix(0, nr.Mtime),
+				Ctime: time.Unix(0, nr.Ctime),
+			},
+			parent: FileID(nr.Parent),
+			target: nr.Target,
+			nlink:  nr.Nlink,
+		}
+		n.attr.FileID = n.id
+		n.attr.Nlink = nr.Nlink
+		if n.attr.Type == TypeDir {
+			n.children = make(map[string]dirent, len(nr.Ents))
+			for _, e := range nr.Ents {
+				n.children[e.Name] = dirent{id: FileID(e.ID), cookie: e.Cookie}
+				fs.noteCookie(e.Cookie)
+			}
+		}
+		fs.shardOf(n.id).nodes[n.id] = n
+		fs.noteID(nr.ID)
+		return nil
+	}
 	if d := rec.Data; d != nil {
 		n := fs.replayGet(d.ID)
 		if n == nil || n.attr.Type != TypeReg {
@@ -240,6 +271,7 @@ func (fs *FS) crashRestart(cr storage.CrashRestarter) error {
 	if err != nil {
 		return err
 	}
+	staging.foldWatermarks()
 	for i := range fs.shards {
 		fs.shards[i].mu.Lock()
 	}

@@ -236,6 +236,12 @@ type FS struct {
 	verf atomic.Uint64
 	// orderRestarts counts lock-ordering restarts (rule 2 above).
 	orderRestarts atomic.Uint64
+	// quiesce serializes mutations against checkpoint snapshots:
+	// every operation that journals a record or changes the tree
+	// holds it shared, Checkpoint and Restart hold it exclusive.
+	// Reads never touch it. Ordered before node locks (rule 0: no
+	// path acquires quiesce while holding a node or shard lock).
+	quiesce sync.RWMutex
 }
 
 // bootCount disambiguates verifiers minted within one clock tick.
@@ -291,8 +297,22 @@ func NewWithStores(meta storage.MetadataStore, blocks storage.BlockStore) (*FS, 
 		}
 		fs.replayed = st
 	}
+	fs.foldWatermarks()
 	fs.verf.Store(fs.newVerf())
 	return fs, nil
+}
+
+// foldWatermarks raises the id and cookie counters to the store's
+// checkpoint-trailer watermarks. Replay alone cannot recover them:
+// ids allocated before a checkpoint and freed after it appear in
+// neither the image nor the tail, and reusing one would resurrect
+// stale NFS file handles.
+func (fs *FS) foldWatermarks() {
+	if wm, ok := fs.meta.(storage.Watermarker); ok {
+		id, cookie := wm.Watermarks()
+		fs.noteID(id)
+		fs.noteCookie(cookie)
+	}
 }
 
 // initTree builds the empty shard table and the root directory. The
@@ -563,6 +583,8 @@ func (fs *FS) GetAttr(id FileID) (Attr, error) {
 // checks: chmod/chown require ownership (or root); size and time
 // updates require write permission.
 func (fs *FS) SetAttrs(cred Cred, id FileID, sa SetAttr) (Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	n, err := fs.getLocked(id)
 	if err != nil {
 		return Attr{}, err
@@ -719,6 +741,8 @@ func (fs *FS) Lookup(cred Cred, dir FileID, name string) (FileID, Attr, error) {
 // set an existing name fails with ErrExist; otherwise an existing
 // regular file is truncated and returned.
 func (fs *FS) Create(cred Cred, dir FileID, name string, mode uint32, exclusive bool) (FileID, Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return 0, Attr{}, err
 	}
@@ -838,6 +862,8 @@ func (fs *FS) touchDir(d *node, now time.Time) {
 
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(cred Cred, dir FileID, name string, mode uint32) (FileID, Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return 0, Attr{}, err
 	}
@@ -884,6 +910,8 @@ func (fs *FS) Mkdir(cred Cred, dir FileID, name string, mode uint32) (FileID, At
 
 // Symlink creates a symbolic link to target.
 func (fs *FS) Symlink(cred Cred, dir FileID, name, target string) (FileID, Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return 0, Attr{}, err
 	}
@@ -948,6 +976,8 @@ func (fs *FS) Readlink(id FileID) (string, error) {
 
 // Link creates a hard link to an existing regular file.
 func (fs *FS) Link(cred Cred, file, dir FileID, name string) error {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -1003,6 +1033,8 @@ func (fs *FS) Link(cred Cred, file, dir FileID, name string) error {
 
 // Remove unlinks a non-directory name from dir.
 func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -1064,6 +1096,8 @@ func (fs *FS) Remove(cred Cred, dir FileID, name string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(cred Cred, dir FileID, name string) error {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -1126,6 +1160,8 @@ func (fs *FS) Rmdir(cred Cred, dir FileID, name string) error {
 // directory locks, release, lock the full set in ascending id order,
 // and re-validate; any interleaved change restarts the loop.
 func (fs *FS) Rename(cred Cred, fromDir FileID, fromName string, toDir FileID, toName string) error {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	if err := checkName(fromName); err != nil {
 		return err
 	}
@@ -1326,6 +1362,8 @@ func (fs *FS) Write(cred Cred, id FileID, off uint64, data []byte, sync bool) (A
 // group-commit wait of a stable write is charged to clk's fsync stage
 // (storage.ClockedStore). A nil clk is exactly Write.
 func (fs *FS) WriteClocked(cred Cred, id FileID, off uint64, data []byte, sync bool, clk *stats.StageClock) (Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	n, err := fs.getLocked(id)
 	if err != nil {
 		return Attr{}, err
@@ -1424,6 +1462,11 @@ func (fs *FS) Verifier() uint64 { return fs.verf.Load() }
 // retransmits data that may in fact have survived: a redundant
 // retransmission, never a silently dropped stability promise.
 func (fs *FS) Restart() {
+	// Exclusive against mutators AND checkpoints: a checkpoint
+	// snapshotting the tree mid-swap would publish a half-restarted
+	// image.
+	fs.quiesce.Lock()
+	defer fs.quiesce.Unlock()
 	if cr, ok := fs.blocks.(storage.CrashRestarter); ok {
 		if err := fs.crashRestart(cr); err != nil {
 			// Restart is driven by tests and the recovery figure;

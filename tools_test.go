@@ -42,7 +42,12 @@ package repro
 // adds internal/server: server.TestHandshakeStorm races full key
 // negotiations and ticket-chained resumptions from many clients
 // through the negotiation pool, the admission counters, and the
-// single-use resumption cache at once.
+// single-use resumption cache at once. Checkpointing and paging
+// (DESIGN.md §15) add vfs.TestCheckpointConcurrentWrites (namespace
+// mutators and stable writers racing a stream of checkpoints through
+// the quiesce lock) and diskstore.TestCheckpointConcurrentReads
+// (readers faulting cold pages while the image writer flushes and
+// walks the extent index).
 
 import (
 	"bufio"
@@ -386,5 +391,129 @@ func TestDiskStoreRecoverySmoke(t *testing.T) {
 	// The reboot banner reports the replay that recovered it.
 	if !strings.Contains(out2.String(), "disk store in") {
 		t.Fatalf("second boot did not report the disk store:\n%s", out2.String())
+	}
+}
+
+// TestDiskStoreMidCheckpointKillSmoke extends the recovery gate to the
+// checkpointing path (DESIGN.md §15): sfssd runs with a tiny
+// -checkpoint-bytes threshold so the background checkpointer fires
+// repeatedly under a stream of durable puts, and the SIGKILL lands
+// right after a put acknowledges — racing whatever checkpoint, WAL
+// rotation, or image rename is in flight at that instant. The reboot
+// must serve every acknowledged file byte-for-byte, from whichever
+// image generation survived plus the journal tail. The deterministic
+// mid-protocol stages (crash between image write, prev rename, and
+// publish rename) are covered by diskstore's
+// TestCheckpointAbortedMidProtocol; this smoke proves the same
+// contract through real processes.
+func TestDiskStoreMidCheckpointKillSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	srvKey := filepath.Join(work, "server.sfs")
+	run(t, filepath.Join(bin, "sfskey"), "gen", "-o", srvKey, "-bits", "768")
+	selfPath := strings.TrimSpace(run(t, filepath.Join(bin, "sfskey"), "path",
+		"-k", srvKey, "-location", "files.example.com"))
+	storeDir := filepath.Join(work, "store")
+	adminKey := filepath.Join(work, "admin.sfs")
+	addr := freePort(t)
+	statsAddr := freePort(t)
+
+	startServer := func() (*exec.Cmd, *lockedBuffer) {
+		sd := exec.Command(filepath.Join(bin, "sfssd"),
+			"-listen", addr,
+			"-location", "files.example.com",
+			"-keyfile", srvKey,
+			"-store", "disk", "-dir", storeDir,
+			"-checkpoint-bytes", "4096", // checkpoint after nearly every put
+			"-stats", statsAddr,
+			"-user", "admin:0:pw:"+adminKey,
+		)
+		out := &lockedBuffer{}
+		sd.Stdout, sd.Stderr = out, out
+		if err := sd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			sd.Process.Kill() //nolint:errcheck
+			sd.Wait()         //nolint:errcheck
+			if t.Failed() {
+				t.Logf("sfssd output:\n%s", out.String())
+			}
+		})
+		waitListening(t, addr)
+		return sd, out
+	}
+
+	runClient := func(script string) string {
+		cd := exec.Command(filepath.Join(bin, "sfscd"),
+			"-server", "files.example.com="+addr,
+			"-user", "admin", "-keyfile", adminKey, "-quiet")
+		cd.Stdin = strings.NewReader(script)
+		out, err := cd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("sfscd: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+
+	// checkpointCount polls the stats endpoint for the running
+	// checkpoint counter.
+	checkpointCount := func() uint64 {
+		resp, err := http.Get("http://" + statsAddr + "/stats")
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Storage struct {
+				Checkpoint struct {
+					Count uint64 `json:"count"`
+				} `json:"checkpoint"`
+			} `json:"storage"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return 0
+		}
+		return doc.Storage.Checkpoint.Count
+	}
+
+	sd, _ := startServer()
+
+	// Stream durable puts (each ends in an acknowledged COMMIT) until
+	// the checkpointer has demonstrably fired at least twice — so the
+	// kill lands with a rotated WAL and a published image behind it,
+	// and likely another checkpoint in flight.
+	payload := func(i int) string { return fmt.Sprintf("checkpointed payload %d survives kill -9", i) }
+	var acked int
+	deadline := time.Now().Add(30 * time.Second)
+	for acked < 4 || checkpointCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpointer never fired twice (count=%d after %d puts)", checkpointCount(), acked)
+		}
+		runClient(fmt.Sprintf("put %s/ck-%d.txt %s\nquit\n", selfPath, acked, payload(acked)))
+		acked++
+	}
+
+	// Every put above was acknowledged; now die for real, mid whatever
+	// the background checkpointer is doing.
+	if err := sd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	sd.Wait() //nolint:errcheck
+
+	_, out2 := startServer()
+	for i := 0; i < acked; i++ {
+		got := runClient(fmt.Sprintf("cat %s/ck-%d.txt\nquit\n", selfPath, i))
+		if !strings.Contains(got, payload(i)) {
+			t.Fatalf("acknowledged COMMIT %d lost across mid-checkpoint kill -9: cat printed\n%s", i, got)
+		}
+	}
+	// The reboot banner reports the two recovery phases separately.
+	if !strings.Contains(out2.String(), "recovery: checkpoint") {
+		t.Fatalf("second boot did not report the recovery phase breakdown:\n%s", out2.String())
 	}
 }

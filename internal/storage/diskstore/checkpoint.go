@@ -181,10 +181,31 @@ func loadImageChain(dir string) *image {
 // journal are intact — a checkpoint either completes or changes
 // nothing durable.
 func (s *Store) Checkpoint(nextID, nextCookie uint64, snapshot func(emit func(*storage.NodeRecord) error) error) (storage.CheckpointStats, error) {
+	st, err := s.checkpoint(nextID, nextCookie, snapshot)
+	if err != nil {
+		// Surface stuck checkpointing: a growing failure count with a
+		// stale image count means the journal is no longer compacting.
+		s.mu.Lock()
+		s.ckpt.Failures++
+		s.mu.Unlock()
+	}
+	return st, err
+}
+
+func (s *Store) checkpoint(nextID, nextCookie uint64, snapshot func(emit func(*storage.NodeRecord) error) error) (storage.CheckpointStats, error) {
 	s.mu.Lock()
 	w, pg := s.w, s.pg
 	s.mu.Unlock()
 	start := time.Now()
+	// Make the journal durable through the seq the image will claim to
+	// cover: with buffered records still in user space, a crash between
+	// the image rename and the rotation would otherwise publish an
+	// image covering seqs the surviving WAL never reaches (the WAL open
+	// path also rebases past such an image, as a second line of
+	// defense against torn durable tails).
+	if err := w.Sync(); err != nil {
+		return storage.CheckpointStats{}, err
+	}
 	seq := w.Seq()
 
 	tmpPath := filepath.Join(s.dir, CkptTmpName)

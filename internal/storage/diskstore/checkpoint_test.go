@@ -227,6 +227,108 @@ func TestCheckpointAbortedMidProtocol(t *testing.T) {
 	}
 }
 
+// TestCheckpointAbortedWithUnstableTail crashes right after the image
+// rename — before the WAL rotates — while unstable (buffered) writes
+// are in flight, optionally also tearing the journal's durable tail.
+// The published image then covers seqs the surviving WAL never
+// reaches; recovery must rebase the seq space above the image so
+// writes acked AFTER the crash are not silently dropped by the next
+// boot's replay filter.
+func TestCheckpointAbortedWithUnstableTail(t *testing.T) {
+	for _, tearTail := range []bool{false, true} {
+		name := "buffered"
+		if tearTail {
+			name = "torn-durable-tail"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{AutoFlushBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainReplay(t, s)
+			if err := s.WriteAt(2, 0, []byte("acked"), true, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WriteAt(2, 5, []byte("|unstable"), false, 2); err != nil {
+				t.Fatal(err)
+			}
+			boom := errors.New("crashed after image rename")
+			s.testAbort = func(at string) error {
+				if at == "renamed" {
+					return boom
+				}
+				return nil
+			}
+			_, err = s.Checkpoint(3, 1, func(emit func(*storage.NodeRecord) error) error {
+				n := regNode(2, 14)
+				return emit(&n)
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("aborted checkpoint returned %v, want %v", err, boom)
+			}
+			if st := s.StorageStats(); st.Checkpoint.Failures != 1 {
+				t.Fatalf("checkpoint failures = %d, want 1", st.Checkpoint.Failures)
+			}
+			if err := s.w.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			s.pg.close()
+			if tearTail {
+				// Lose the journal's last durable record too (torn
+				// write): the image now covers seqs strictly past the
+				// surviving tail.
+				f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_RDWR, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := f.Stat()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Truncate(st.Size() - 4); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			// Boot one: the image (which captured the unstable content
+			// via the flushed extent file) must serve everything.
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainReplay(t, s2)
+			p := make([]byte, 14)
+			if err := s2.ReadAt(2, 0, p); err != nil || !bytes.Equal(p, []byte("acked|unstable")) {
+				t.Fatalf("content after crash = %q, %v", p, err)
+			}
+			// New acked write after the crash: this is the record the
+			// seq-reuse bug silently loses.
+			if err := s2.WriteAt(3, 0, []byte("post-crash-ack"), true, 3); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot two: the post-crash acked write must survive.
+			s3 := openT(t, dir)
+			defer s3.Close()
+			drainReplay(t, s3)
+			p = make([]byte, 14)
+			if err := s3.ReadAt(3, 0, p); err != nil || !bytes.Equal(p, []byte("post-crash-ack")) {
+				t.Fatalf("post-crash acked write lost: %q, %v", p, err)
+			}
+			if err := s3.ReadAt(2, 0, p); err != nil || !bytes.Equal(p, []byte("acked|unstable")) {
+				t.Fatalf("pre-crash content lost: %q, %v", p, err)
+			}
+			// And checkpointing proceeds cleanly from the repaired chain.
+			checkpointT(t, s3, 4, 2, regNode(2, 14), regNode(3, 14))
+		})
+	}
+}
+
 // TestCheckpointConcurrentReads: the Checkpointer contract allows
 // concurrent ReadAt while a checkpoint runs (only mutations are
 // quiesced). Race-detector target.

@@ -59,6 +59,7 @@ type pager struct {
 	resident  atomic.Uint64 // resident blocks, all shards
 	faults    atomic.Uint64
 	evictions atomic.Uint64
+	wbFails   atomic.Uint64 // abandoned evictions (write-back errors)
 }
 
 type pagerShard struct {
@@ -227,7 +228,10 @@ func (p *pager) evictOver(sh *pagerShard, pin *pblock) {
 		}
 		if err := p.writeBack(sh, b); err != nil {
 			// Leave the block resident; the next eviction retries.
-			// Durability is unaffected (the WAL holds the data).
+			// Durability is unaffected (the WAL holds the data), but
+			// residency can sit above budget until write-backs succeed,
+			// so count the failure where StorageStats can surface it.
+			p.wbFails.Add(1)
 			b.ref = true
 			return
 		}
@@ -504,9 +508,10 @@ func (p *pager) nextSlot() uint64 {
 // stats returns the pager's observability block.
 func (p *pager) stats() *storage.PagerStats {
 	return &storage.PagerStats{
-		HotBytes:      p.hotBytes,
-		ResidentBytes: p.resident.Load() * storage.BlockSize,
-		Faults:        p.faults.Load(),
-		Evictions:     p.evictions.Load(),
+		HotBytes:          p.hotBytes,
+		ResidentBytes:     p.resident.Load() * storage.BlockSize,
+		Faults:            p.faults.Load(),
+		Evictions:         p.evictions.Load(),
+		WriteBackFailures: p.wbFails.Load(),
 	}
 }

@@ -218,6 +218,11 @@ type CheckpointStats struct {
 	Bytes             uint64  `json:"bytes"`
 	DurationMS        float64 `json:"duration_ms"`
 	WALTruncatedBytes uint64  `json:"wal_truncated_bytes"`
+	// Failures counts Checkpoint calls that returned an error (each
+	// leaves the previous images and the full journal intact). A
+	// growing value against a stale Count means checkpointing is stuck
+	// and the journal is growing without bound.
+	Failures uint64 `json:"failures,omitempty"`
 	// Boot-time gauges: throughput of the checkpoint-image load and
 	// the journal tail replay of the most recent open (satellite of
 	// the recovery figure; also logged by sfssd at boot).
@@ -232,6 +237,11 @@ type PagerStats struct {
 	ResidentBytes uint64 `json:"resident_bytes"` // hot blocks in memory now
 	Faults        uint64 `json:"faults"`         // read-through misses
 	Evictions     uint64 `json:"evictions"`      // blocks evicted by CLOCK
+	// WriteBackFailures counts evictions abandoned because the dirty
+	// victim could not be written to the extent file. Durability is
+	// unaffected (the journal holds the data), but a growing value
+	// means residency may sit above HotBytes until write-backs succeed.
+	WriteBackFailures uint64 `json:"write_back_failures,omitempty"`
 }
 
 // MetaOp enumerates journaled namespace/attribute mutations.

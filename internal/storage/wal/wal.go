@@ -24,11 +24,16 @@
 //
 // Rotate seals the current segment (flush + fsync), renames it to
 // path+".prev" (deleting the previous .prev), and starts a fresh
-// segment whose baseSeq continues the chain. The checkpointer calls
-// it right after an image lands: the new image covers everything in
-// .prev, and .prev is retained one generation so a torn image can
-// fall back to the previous image plus a longer replay. The chain
-// therefore never holds more than two segments.
+// segment whose baseSeq continues the chain. The fresh segment is
+// created and headered under path+".next" before the live path is
+// renamed away, so a failure at any step either completes the
+// rotation or leaves the current segment untouched — there is no
+// window where acknowledged records live in a file the next boot
+// cannot find. The checkpointer calls Rotate right after an image
+// lands: the new image covers everything in .prev, and .prev is
+// retained one generation so a torn image can fall back to the
+// previous image plus a longer replay. The chain therefore never
+// holds more than two segments.
 //
 // # Recovery
 //
@@ -41,6 +46,14 @@
 // is dropped (and any later segment with it, since replaying across a
 // sequence gap would corrupt state), leaving a shorter but valid
 // prefix for the caller to layer over its image.
+//
+// If SkipBelow ends up above the chain's surviving tail — a crash
+// published a checkpoint image but lost the buffered or torn records
+// it covered before the rotation ran — Open completes that rotation:
+// it seals the scanned segment into the .prev slot and starts a fresh
+// segment based at SkipBelow, so fresh appends never reuse seqs the
+// image already covers (the caller's replay filter would silently
+// drop such records at the next boot, losing acknowledged writes).
 //
 // # Group commit
 //
@@ -176,7 +189,7 @@ func Open(path string, opts Options, replay func(seq uint64, payload []byte) err
 		w.autoFlush = DefaultAutoFlush
 	}
 	if err := w.recover(replay); err != nil {
-		f.Close()
+		w.f.Close() // recover may have swapped in a fresh segment file
 		return nil, err
 	}
 	return w, nil
@@ -274,6 +287,7 @@ func (w *WAL) finish(start time.Time, liveBytes uint64) {
 
 func (w *WAL) recover(replay func(uint64, []byte) error) error {
 	start := time.Now()
+	os.Remove(w.path + ".next") // stale temp from an interrupted Rotate
 	st, err := w.f.Stat()
 	if err != nil {
 		return err
@@ -443,6 +457,41 @@ func (w *WAL) recover(replay func(uint64, []byte) error) error {
 	w.replay.Records += seg.records
 	w.replay.Bytes += seg.bytes
 	w.seq = seg.end()
+
+	// The image covers seqs past this segment's durable end: a crash
+	// lost the buffered (or torn-off) tail records after the checkpoint
+	// image landed but before the WAL rotated. Complete that rotation —
+	// seal the scanned segment into the .prev slot and start a fresh
+	// segment based at the image's seq — so fresh appends land above
+	// the image's coverage instead of reusing seqs the next boot's
+	// replay filter would silently discard. The sealed segment keeps
+	// the chain's fallback discipline: previous image + .prev replay
+	// still reconstructs the pre-crash durable prefix.
+	if w.skipBelow > seg.end() {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := os.Remove(w.prevPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := os.Rename(w.path, w.prevPath); err != nil {
+			return err
+		}
+		nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err != nil {
+			return err
+		}
+		w.f.Close()
+		w.f = nf
+		w.chainBase = curBase
+		w.base = w.skipBelow
+		w.finish(start, 0)
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		return syncDir(filepath.Dir(w.path))
+	}
+
 	w.finish(start, seg.bytes)
 	if err := w.writeHeader(); err != nil {
 		return err
@@ -460,19 +509,25 @@ func (w *WAL) resetCur() error {
 	return w.writeHeader()
 }
 
+// writeHeaderTo persists a segment header (epoch, base) to f and
+// fsyncs it. The file offset is untouched.
+func writeHeaderTo(f *os.File, epoch, base uint64) error {
+	var hdr [headerSize]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], epoch)
+	binary.LittleEndian.PutUint64(hdr[16:], base)
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.ChecksumIEEE(hdr[:24]))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // writeHeader persists the current epoch and base and leaves the
 // offset at the start of the record area (callers reposition as
 // needed).
 func (w *WAL) writeHeader() error {
-	var hdr [headerSize]byte
-	copy(hdr[:], magic)
-	binary.LittleEndian.PutUint64(hdr[8:], w.epoch)
-	binary.LittleEndian.PutUint64(hdr[16:], w.base)
-	binary.LittleEndian.PutUint32(hdr[24:], crc32.ChecksumIEEE(hdr[:24]))
-	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
-		return err
-	}
-	if err := w.f.Sync(); err != nil {
+	if err := writeHeaderTo(w.f, w.epoch, w.base); err != nil {
 		return err
 	}
 	w.fsyncs.Inc()
@@ -516,6 +571,12 @@ func (w *WAL) LiveBytes() uint64 { return w.live.Load() }
 // immediately after a checkpoint image lands: the image covers the
 // sealed segment, and the sealed segment covers back to the previous
 // image for fallback.
+//
+// Rotation is failure-atomic: the fresh segment is created and
+// headered under a .next temp name before the live path is renamed
+// away, so any error leaves the WAL un-rotated but fully usable —
+// w.f always matches the live path, and no acknowledged record ever
+// lands in a file recovery cannot find.
 func (w *WAL) Rotate() (freed uint64, err error) {
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
@@ -528,27 +589,49 @@ func (w *WAL) Rotate() (freed uint64, err error) {
 	}
 	w.fsyncs.Inc()
 	w.synced.Store(upto)
+
+	nextPath := w.path + ".next"
+	os.Remove(nextPath)
+	nf, err := os.OpenFile(nextPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return 0, err
+	}
+	abort := func(e error) (uint64, error) {
+		nf.Close()
+		os.Remove(nextPath)
+		return 0, e
+	}
+	// Base the fresh segment at the flushed watermark, not w.seq:
+	// records appended (buffered) since the flush have seqs above upto
+	// and will spill into the fresh segment, where recovery numbers
+	// them from its base.
+	if err := writeHeaderTo(nf, w.epoch, upto); err != nil {
+		return abort(err)
+	}
+	w.fsyncs.Inc()
 	if st, err := os.Stat(w.prevPath); err == nil {
 		freed = uint64(st.Size())
 	}
 	if err := os.Remove(w.prevPath); err != nil && !os.IsNotExist(err) {
-		return 0, err
+		return abort(err)
 	}
 	if err := os.Rename(w.path, w.prevPath); err != nil {
-		return 0, err
+		return abort(err)
 	}
-	nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
-	if err != nil {
-		return 0, err
+	if err := os.Rename(nextPath, w.path); err != nil {
+		// Undo the first rename so the live fd keeps matching the live
+		// path; the WAL stays un-rotated but consistent.
+		os.Rename(w.prevPath, w.path)
+		return abort(err)
 	}
 	w.mu.Lock()
 	old := w.f
 	w.f = nf
 	w.chainBase = w.base
-	w.base = w.seq
+	w.base = upto
 	w.mu.Unlock()
 	old.Close()
-	if err := w.writeHeader(); err != nil {
+	if _, err := nf.Seek(headerSize, io.SeekStart); err != nil {
 		return 0, err
 	}
 	w.live.Store(0)

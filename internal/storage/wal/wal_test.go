@@ -301,6 +301,80 @@ func TestInterruptedRotationCompletes(t *testing.T) {
 	}
 }
 
+// TestOpenRebasesAboveImageCoverage: a crash publishes a checkpoint
+// image covering buffered records, then loses them before the WAL
+// rotates. Open must not let fresh appends reuse seqs the image
+// covers — the caller's replay filter would silently drop them at the
+// next boot, losing acknowledged writes.
+func TestOpenRebasesAboveImageCoverage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{AutoFlushBytes: -1})
+	appendT(t, w, "durable-1")
+	appendT(t, w, "durable-2")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, w, "buffered-lost") // covered by the image, lost in the crash
+	if err := w.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The image claims coverage through seq 3; the durable tail ends at
+	// seq 2. Open must complete the crashed rotation: seal the segment
+	// into .prev and base the fresh one at 3.
+	w2, replayed, _ := openSeqT(t, path, Options{SkipBelow: 3})
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records %q, want the 2 durable ones", len(replayed), replayed)
+	}
+	if got := w2.Seq(); got != 3 {
+		t.Fatalf("Seq after rebase = %d, want 3 (the image's coverage)", got)
+	}
+	if _, err := os.Stat(path + ".prev"); err != nil {
+		t.Fatalf("sealed segment missing: %v", err)
+	}
+	appendT(t, w2, "acked-after-image")
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next boot, same image: the post-image record must replay with a
+	// seq above the image's coverage so the caller's filter keeps it.
+	w3, replayed, seqs := openSeqT(t, path, Options{SkipBelow: 3})
+	defer w3.Close()
+	if len(replayed) != 1 || string(replayed[0]) != "acked-after-image" {
+		t.Fatalf("replayed %q, want just the post-image record", replayed)
+	}
+	if seqs[0] <= 3 {
+		t.Fatalf("post-image record replayed at seq %d, want > 3", seqs[0])
+	}
+}
+
+// TestOpenIgnoresStaleRotateTemp: a crash between creating the .next
+// temp segment and the rotation renames leaves the temp behind; Open
+// must discard it and recover the chain untouched.
+func TestOpenIgnoresStaleRotateTemp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := openT(t, path, Options{})
+	appendT(t, w, "kept")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".next", []byte("half-built segment"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, _ := openSeqT(t, path, Options{})
+	defer w2.Close()
+	if len(replayed) != 1 || string(replayed[0]) != "kept" {
+		t.Fatalf("replayed %q, want [kept]", replayed)
+	}
+	if _, err := os.Stat(path + ".next"); !os.IsNotExist(err) {
+		t.Fatalf("stale .next temp not removed: %v", err)
+	}
+}
+
 func TestCorruptPrevKeepsValidPrefix(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	w, _ := openT(t, path, Options{})

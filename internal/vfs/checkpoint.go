@@ -17,6 +17,7 @@ package vfs
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -111,6 +112,9 @@ func (fs *FS) StartAutoCheckpoint(walBytes uint64, every time.Duration) (stop fu
 		tick := time.NewTicker(poll)
 		defer tick.Stop()
 		last := time.Now()
+		var fails uint64
+		var lastMsg string
+		var lastWarn time.Time
 		for {
 			select {
 			case <-done:
@@ -123,8 +127,18 @@ func (fs *FS) StartAutoCheckpoint(walBytes uint64, every time.Duration) (stop fu
 			}
 			// An error leaves the previous image and the full journal
 			// intact; resetting the timer keeps a persistent failure
-			// from hot-looping the disk.
-			fs.Checkpoint()
+			// from hot-looping the disk. The store counts failures in
+			// its checkpoint stats block; log here too (throttled) so a
+			// journal growing without bound is never silent.
+			if _, err := fs.Checkpoint(); err != nil {
+				fails++
+				if msg := err.Error(); msg != lastMsg || time.Since(lastWarn) >= time.Minute {
+					lastMsg, lastWarn = msg, time.Now()
+					log.Printf("vfs: auto-checkpoint failed (%d failures): %v", fails, err)
+				}
+			} else {
+				fails, lastMsg = 0, ""
+			}
 			last = time.Now()
 		}
 	}()
